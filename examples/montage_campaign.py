@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Domain example: an astronomy mosaic campaign on a P2P grid.
+
+The paper's introduction motivates P2P grids with scientific workflows;
+the archetype is Montage (sky-mosaic assembly: project -> diff -> fit ->
+background-correct -> add).  This example submits a campaign of
+Montage-shaped workflows of varying sizes from several collaborating labs
+(home nodes) and compares how DSMF and decentralized HEFT treat the mix of
+small quick-look mosaics and large survey mosaics.
+
+The point the paper makes — and this example shows — is that
+longest-rank-first (DHEFT) starves the small mosaics behind the big ones,
+while DSMF's shortest-makespan-first keeps the interactive quick-looks
+flowing without hurting the survey jobs much.
+
+Run with ``python examples/montage_campaign.py``.
+"""
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.grid.system import P2PGridSystem
+from repro.workflow.generator import montage_like_workflow
+
+
+def build_campaign(seed: int):
+    """60 quick-look (4-input) and 15 survey (12-input) mosaics from 5 labs."""
+    rng = np.random.default_rng(seed)
+    workflows = []
+    labs = [0, 1, 2, 3, 4]
+    for i in range(60):
+        wf = montage_like_workflow(
+            f"quicklook{i:03d}", 4, rng, load_scale=800.0, data_scale=100.0
+        )
+        workflows.append((labs[i % len(labs)], wf))
+    for i in range(15):
+        wf = montage_like_workflow(
+            f"survey{i:03d}", 12, rng, load_scale=3000.0, data_scale=400.0
+        )
+        workflows.append((labs[i % len(labs)], wf))
+    return workflows
+
+
+def run(algorithm: str, seed: int = 11):
+    cfg = ExperimentConfig(
+        algorithm=algorithm,
+        n_nodes=60,
+        load_factor=1,          # ignored: we submit an explicit campaign
+        total_time=18 * 3600.0,
+        seed=seed,
+    )
+    system = P2PGridSystem(cfg, workflows=build_campaign(seed))
+    return system.run()
+
+
+def digest(label: str, result) -> None:
+    quick = [r for r in result.records if r.wid.startswith("quicklook") and r.ct]
+    survey = [r for r in result.records if r.wid.startswith("survey") and r.ct]
+    q_act = np.mean([r.ct for r in quick]) if quick else float("nan")
+    s_act = np.mean([r.ct for r in survey]) if survey else float("nan")
+    print(f"{label:10s} finished {result.n_done}/{result.n_workflows}  "
+          f"quick-look ACT {q_act:>8.0f}s ({len(quick)} done)   "
+          f"survey ACT {s_act:>8.0f}s ({len(survey)} done)")
+
+
+def main() -> None:
+    print("Montage campaign: 60 quick-look + 15 survey mosaics, 60-node grid")
+    print()
+    results = {alg: run(alg) for alg in ("dsmf", "dheft", "min-min")}
+    for alg, r in results.items():
+        digest(alg, r)
+    print()
+    dsmf_q = np.mean([r.ct for r in results["dsmf"].records
+                      if r.wid.startswith("quicklook") and r.ct])
+    dheft_q = np.mean([r.ct for r in results["dheft"].records
+                       if r.wid.startswith("quicklook") and r.ct])
+    print(f"DSMF serves quick-looks {dheft_q / dsmf_q:.1f}x faster than "
+          f"decentralized HEFT on this campaign — the paper's core claim in action.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Top-level convenience API.
+
+Thin wrappers so a downstream user can run a simulation in three lines
+without touching the experiment plumbing::
+
+    from repro import quick_run
+    result = quick_run(algorithm="dsmf", n_nodes=60, seed=7)
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.config import ExperimentConfig
+    from repro.metrics.collectors import RunResult
+
+__all__ = ["available_algorithms", "quick_run", "run_experiment"]
+
+
+def available_algorithms() -> list[str]:
+    """Names accepted by ``quick_run``/``run_experiment`` (the paper's
+    eight algorithms plus the FCFS second-phase ablation bundles)."""
+    from repro.core.heuristics.registry import algorithm_names
+
+    return algorithm_names()
+
+
+def run_experiment(config: "ExperimentConfig") -> "RunResult":
+    """Build a P2P grid system from ``config``, run it, return the metrics."""
+    from repro.grid.system import P2PGridSystem
+
+    system = P2PGridSystem(config)
+    return system.run()
+
+
+def quick_run(
+    algorithm: str = "dsmf",
+    n_nodes: int = 60,
+    load_factor: int = 2,
+    duration_hours: float = 12.0,
+    seed: int = 1,
+    **overrides,
+) -> "RunResult":
+    """One-call simulation with small-scale defaults (see README quickstart).
+
+    Any :class:`~repro.experiments.config.ExperimentConfig` field can be
+    overridden by keyword.
+    """
+    from repro.experiments.config import ExperimentConfig
+
+    config = ExperimentConfig(
+        algorithm=algorithm,
+        n_nodes=n_nodes,
+        load_factor=load_factor,
+        total_time=duration_hours * 3600.0,
+        seed=seed,
+        **overrides,
+    )
+    return run_experiment(config)

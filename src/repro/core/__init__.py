@@ -1,0 +1,22 @@
+"""The paper's primary contribution (substrates S14–S16).
+
+* :mod:`repro.core.estimates` — the start/finish-time estimators of
+  Equations (4)–(6) and the mutable per-cycle :class:`ResourceView`.
+* :mod:`repro.core.rpm` — rest-path makespan and remaining workflow
+  makespan (Equations (7)–(8)), composed from the estimators and the
+  average-based backward pass of :mod:`repro.workflow.analysis`.
+* :mod:`repro.core.dual_phase` — the dual-phase just-in-time engine:
+  Algorithm 1 (scheduler-node phase) and Algorithm 2 (resource-node phase).
+* :mod:`repro.core.heuristics` — DSMF plus the seven comparison policies.
+* :mod:`repro.core.fullahead` — the static HEFT and SMF baselines.
+"""
+
+from repro.core.estimates import BandwidthProvider, ResourceView
+from repro.core.rpm import WorkflowPriority, compute_priorities
+
+__all__ = [
+    "BandwidthProvider",
+    "ResourceView",
+    "WorkflowPriority",
+    "compute_priorities",
+]

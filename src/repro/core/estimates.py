@@ -1,0 +1,189 @@
+"""Start/finish-time estimation (Equations (4)–(6)) and the resource view.
+
+At the first scheduling phase a home node evaluates, for every candidate
+resource node ``p_h`` in its RSS, the estimated finish time of task ``τ``::
+
+    R(τ, p_h)   = l_h / c_h                          queuing delay (total load
+                                                     over capacity — the
+                                                     paper's conservative
+                                                     estimate)
+    LTD(τ)      = max over inputs (transfer time)    Eq. (4) — dependent data
+                                                     from each precedent's
+                                                     node, plus the task image
+                                                     from the home node
+    ST(τ, p_h)  = max(R, LTD)                        Eq. (5) — queueing and
+                                                     transfers overlap
+    FT(τ, p_h)  = ST + load(τ)/c_h                   Eq. (6)
+
+:class:`ResourceView` holds the candidate arrays for one scheduling cycle
+and evaluates ``FT`` for *all* candidates in one vectorized expression (this
+is the phase-1 hot path).  ``add_load`` implements Algorithm 1 line 15: the
+scheduler's local record of the chosen node is bumped so the next pick in
+the same cycle sees the load it just added.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+__all__ = ["BandwidthProvider", "ResourceView", "TaskInput"]
+
+#: One dependent input: ``(source_node_id, megabits)``.
+TaskInput = tuple[int, float]
+
+
+class BandwidthProvider(Protocol):
+    """Bandwidth/latency knowledge available to a scheduler.
+
+    Implementations: the ground-truth topology (oracle) or the
+    landmark-based estimator of :mod:`repro.net.landmarks`; actual
+    transfers always use the ground truth.
+    """
+
+    def bw_between(self, src: int, targets: np.ndarray) -> np.ndarray:
+        """Estimated bandwidth (Mb/s) from ``src`` to each target id."""
+        ...
+
+    def latency_between(self, src: int, targets: np.ndarray) -> np.ndarray:
+        """Latency (s) from ``src`` to each target id."""
+        ...
+
+
+class OracleBandwidth:
+    """Ground-truth bandwidth provider backed by the topology matrices."""
+
+    def __init__(self, topology) -> None:
+        self._bw = topology._bandwidth
+        self._lat = topology._latency
+
+    def bw_between(self, src: int, targets: np.ndarray) -> np.ndarray:
+        return self._bw[src, targets]
+
+    def latency_between(self, src: int, targets: np.ndarray) -> np.ndarray:
+        return self._lat[src, targets]
+
+
+class LandmarkBandwidth:
+    """Landmark-estimated bandwidth with oracle latency.
+
+    Latency to a handful of landmarks is trivially measurable (ping), so the
+    paper's nodes are assumed to know it; only bandwidth is estimated.
+    """
+
+    def __init__(self, estimator, topology) -> None:
+        self._meas = estimator.measurements
+        self._lat = topology._latency
+
+    def bw_between(self, src: int, targets: np.ndarray) -> np.ndarray:
+        est = np.minimum(self._meas[src][None, :], self._meas[targets]).max(axis=1)
+        est[targets == src] = np.inf
+        return est
+
+    def latency_between(self, src: int, targets: np.ndarray) -> np.ndarray:
+        return self._lat[src, targets]
+
+
+class ResourceView:
+    """Candidate resource nodes as seen by one scheduler in one cycle.
+
+    Parameters
+    ----------
+    ids:
+        Candidate node ids (the RSS plus the home node itself).
+    capacities / loads:
+        Per-candidate capacity (MIPS) and *believed* total load (MI) — from
+        gossip records, hence possibly stale.
+    bandwidth:
+        The scheduler's bandwidth knowledge.
+    home_id:
+        The scheduling node (source of task images).
+    """
+
+    def __init__(
+        self,
+        ids: Sequence[int],
+        capacities: Sequence[float],
+        loads: Sequence[float],
+        bandwidth: BandwidthProvider,
+        home_id: int,
+        writeback: Callable[[int, float], None] | None = None,
+    ):
+        if len(ids) == 0:
+            raise ValueError("ResourceView needs at least one candidate node")
+        self.ids = np.asarray(ids, dtype=np.int64)
+        self.capacities = np.asarray(capacities, dtype=np.float64)
+        self.loads = np.asarray(loads, dtype=np.float64)
+        if len(self.ids) != len(self.capacities) or len(self.ids) != len(self.loads):
+            raise ValueError("ids, capacities and loads must align")
+        if np.any(self.capacities <= 0):
+            raise ValueError("capacities must be positive")
+        self.bandwidth = bandwidth
+        self.home_id = int(home_id)
+        #: persistent write-back of Algorithm 1 line 15 (e.g. into the
+        #: home's gossip RSS record) applied on every ``add_load``.
+        self.writeback = writeback
+        self._index = {int(nid): k for k, nid in enumerate(self.ids)}
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    # ------------------------------------------------------------- estimates
+    def queue_delays(self) -> np.ndarray:
+        """R(·, p_h) for every candidate (Eq. 5's first argument)."""
+        return self.loads / self.capacities
+
+    def ltd_vector(self, image_mb: float, inputs: Sequence[TaskInput]) -> np.ndarray:
+        """Eq. (4): longest transmission delay onto every candidate."""
+        ids = self.ids
+        ltd = np.zeros(len(ids))
+        if image_mb > 0.0:
+            bw = self.bandwidth.bw_between(self.home_id, ids)
+            t = image_mb / bw + self.bandwidth.latency_between(self.home_id, ids)
+            t[ids == self.home_id] = 0.0
+            np.maximum(ltd, t, out=ltd)
+        for src, mb in inputs:
+            if mb <= 0.0:
+                continue
+            bw = self.bandwidth.bw_between(src, ids)
+            t = mb / bw + self.bandwidth.latency_between(src, ids)
+            t[ids == src] = 0.0
+            np.maximum(ltd, t, out=ltd)
+        return ltd
+
+    def ft_vector(
+        self, load: float, image_mb: float, inputs: Sequence[TaskInput]
+    ) -> np.ndarray:
+        """FT(τ, p_h) for every candidate — Eq. (6), fully vectorized."""
+        st = np.maximum(self.queue_delays(), self.ltd_vector(image_mb, inputs))
+        return st + load / self.capacities
+
+    def best(
+        self, load: float, image_mb: float, inputs: Sequence[TaskInput]
+    ) -> tuple[int, float]:
+        """Formula (9): the candidate with the earliest estimated finish."""
+        ft = self.ft_vector(load, image_mb, inputs)
+        k = int(np.argmin(ft))
+        return int(self.ids[k]), float(ft[k])
+
+    def best_ft(self, load: float, image_mb: float, inputs: Sequence[TaskInput]) -> float:
+        """min over candidates of FT (the dynamic part of a schedule-point
+        RPM)."""
+        return float(self.ft_vector(load, image_mb, inputs).min())
+
+    # -------------------------------------------------------------- mutation
+    def add_load(
+        self, node_id: int, load: float, on_update: Callable[[int, float], None] | None = None
+    ) -> None:
+        """Algorithm 1 line 15: account a dispatched task against the local
+        record of ``node_id``; ``on_update(node_id, new_load)`` lets the
+        caller write the update back to its gossip RSS."""
+        k = self._index.get(int(node_id))
+        if k is None:
+            raise KeyError(f"node {node_id} not in this resource view")
+        self.loads[k] += load
+        if on_update is not None:
+            on_update(int(node_id), float(self.loads[k]))
+        if self.writeback is not None:
+            self.writeback(int(node_id), float(self.loads[k]))

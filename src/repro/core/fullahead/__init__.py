@@ -1,0 +1,21 @@
+"""Full-ahead (static) scheduling baselines (substrate S16, paper §IV.A).
+
+HEFT [7] and the paper's self-implemented SMF schedule *every* task of
+*every* workflow centrally, with global information, before execution
+starts; resource nodes then simply execute ready tasks FCFS.  These two are
+the paper's comparison base: SMF is the quality ceiling (it exploits global
+knowledge *and* shortest-makespan-first ordering), full-ahead HEFT the
+classic list-scheduling reference DSMF is shown to beat.
+"""
+
+from repro.core.fullahead.planner import FullAheadPlan, FullAheadPlanner, GlobalView
+from repro.core.fullahead.heft import HeftPlanner
+from repro.core.fullahead.smf import SmfPlanner
+
+__all__ = [
+    "FullAheadPlan",
+    "FullAheadPlanner",
+    "GlobalView",
+    "HeftPlanner",
+    "SmfPlanner",
+]

@@ -1,0 +1,126 @@
+"""Full-ahead planning infrastructure.
+
+A :class:`FullAheadPlanner` sees a :class:`GlobalView` — every node's
+capacity, the full bandwidth matrix and every submitted workflow (this is
+precisely the "centralized scheduler with global information" the paper
+grants its full-ahead baselines) — and produces a
+:class:`FullAheadPlan` mapping every non-virtual task to a node.
+
+The shared placement machinery (`_EftState`) implements the classic
+list-scheduling step: given tasks in some priority order, place each on the
+node minimizing its earliest finish time, where
+
+    EFT(t, p) = max(avail[p], ready(t, p)) + load(t)/cap(p)
+    ready(t, p) = max over precedents k' of ( FT(k') + data/bw(node(k'), p) )
+                  (plus the image transfer from the home node)
+
+The per-task evaluation is vectorized over *all* nodes (one NumPy
+expression per task), which keeps planning 48k tasks over 1000 nodes in the
+seconds range — the hpc-parallel "vectorize the hot loop" rule.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.state import WorkflowExecution
+
+__all__ = ["FullAheadPlan", "FullAheadPlanner", "GlobalView"]
+
+
+@dataclass
+class GlobalView:
+    """Global information granted to full-ahead planners.
+
+    Attributes
+    ----------
+    node_ids:
+        All resource nodes available at plan time.
+    capacities:
+        Their capacities (MIPS), aligned with ``node_ids``.
+    bandwidth / latency:
+        Full end-to-end matrices (ground truth — full-ahead baselines are
+        granted oracle knowledge, per the paper).
+    avg_capacity / avg_bandwidth:
+        System-wide averages for the rank computations.
+    """
+
+    node_ids: np.ndarray
+    capacities: np.ndarray
+    bandwidth: np.ndarray
+    latency: np.ndarray
+    avg_capacity: float
+    avg_bandwidth: float
+
+
+@dataclass
+class FullAheadPlan:
+    """``(wid, tid) -> node_id`` for every non-virtual task."""
+
+    assignment: dict[tuple[str, int], int]
+
+    def node_for(self, wid: str, tid: int) -> int:
+        return self.assignment[(wid, tid)]
+
+
+class FullAheadPlanner(abc.ABC):
+    """Base class for static whole-system schedulers."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def plan(self, view: GlobalView, workflows: list[WorkflowExecution]) -> FullAheadPlan:
+        """Assign every non-virtual task of every workflow to a node."""
+
+
+class _EftState:
+    """Mutable availability/finish bookkeeping for list placement."""
+
+    def __init__(self, view: GlobalView):
+        self.view = view
+        self.avail = np.zeros(len(view.node_ids))
+        self._col_of = {int(nid): k for k, nid in enumerate(view.node_ids)}
+        # (wid, tid) -> (finish_time_estimate, node_id)
+        self.finish: dict[tuple[str, int], tuple[float, int]] = {}
+
+    def place(self, wx: WorkflowExecution, tid: int) -> int:
+        """Place one task on its EFT-minimizing node; returns the node id."""
+        wf = wx.wf
+        task = wf.tasks[tid]
+        wid = wf.wid
+        view = self.view
+
+        if task.virtual:
+            # Virtual tasks run instantly at the home node.
+            ft = 0.0
+            for p in wf.precedents[tid]:
+                ft = max(ft, self.finish[(wid, p)][0])
+            self.finish[(wid, tid)] = (ft, wx.home_id)
+            return wx.home_id
+
+        cols = np.arange(len(view.node_ids))
+        ready = np.zeros(len(cols))
+        if task.image_size > 0.0:
+            h = self._col_of[wx.home_id]
+            t = task.image_size / view.bandwidth[h, cols] + view.latency[h, cols]
+            t[cols == h] = 0.0
+            np.maximum(ready, t, out=ready)
+        for p, data in wf.precedents[tid].items():
+            ft_p, node_p = self.finish[(wid, p)]
+            if data > 0.0:
+                c = self._col_of[node_p]
+                t = data / view.bandwidth[c, cols] + view.latency[c, cols]
+                t[cols == c] = 0.0
+                np.maximum(ready, ft_p + t, out=ready)
+            else:
+                np.maximum(ready, ft_p, out=ready)
+
+        eft = np.maximum(self.avail, ready) + task.load / view.capacities
+        k = int(np.argmin(eft))
+        self.avail[k] = eft[k]
+        node = int(view.node_ids[k])
+        self.finish[(wid, tid)] = (float(eft[k]), node)
+        return node

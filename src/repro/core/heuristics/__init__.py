@@ -1,0 +1,45 @@
+"""Scheduling heuristics: DSMF and the paper's seven comparison policies.
+
+Every algorithm is a *bundle* of a phase-1 policy (run at home nodes each
+scheduling interval, Algorithm 1's body) and a phase-2 policy (run at
+resource nodes when the CPU frees up, Algorithm 2's body):
+
+=============  ==============================  =============================
+bundle         phase 1 (scheduler node)        phase 2 (resource node)
+=============  ==============================  =============================
+``dsmf``       shortest workflow makespan,     shortest workflow makespan,
+               longest RPM within workflow     tie-break longest RPM
+``dheft``      longest RPM first (all tasks)   longest RPM first
+``dsdf``       shortest deadline first         shortest deadline first
+``min-min``    min–min over schedule points    shortest task first (STF)
+``max-min``    max–min                         longest task first (LTF)
+``sufferage``  largest sufferage picks first   largest sufferage first (LSF)
+``heft``       full-ahead global HEFT plan     FCFS
+``smf``        full-ahead SMF plan             FCFS
+=============  ==============================  =============================
+
+plus ``*-fcfs`` ablation bundles replacing the phase-2 heuristic with FCFS
+(the paper's §IV.B prose comparison).
+"""
+
+from repro.core.heuristics.base import (
+    DispatchDecision,
+    Phase1Policy,
+    Phase2Policy,
+    SchedulingContext,
+)
+from repro.core.heuristics.registry import (
+    AlgorithmBundle,
+    algorithm_names,
+    get_bundle,
+)
+
+__all__ = [
+    "AlgorithmBundle",
+    "DispatchDecision",
+    "Phase1Policy",
+    "Phase2Policy",
+    "SchedulingContext",
+    "algorithm_names",
+    "get_bundle",
+]

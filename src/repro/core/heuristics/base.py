@@ -1,0 +1,103 @@
+"""Policy interfaces shared by all algorithm bundles.
+
+A phase-1 policy receives a :class:`SchedulingContext` — the home node's
+workflows with their current schedule points, a mutable
+:class:`~repro.core.estimates.ResourceView` over the RSS, and the
+gossip-aggregated averages — and returns an *ordered* list of
+:class:`DispatchDecision`.  The dual-phase engine executes the decisions in
+order; the view has already been charged for each pick (Algorithm 1 line
+15), so decisions embed the finish-time landscape the policy saw.
+
+A phase-2 policy selects the next task to execute among the *runnable*
+entries of a resource node's ready set (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.estimates import ResourceView
+from repro.grid.state import TaskDispatch, WorkflowExecution
+
+__all__ = [
+    "DispatchDecision",
+    "Phase1Policy",
+    "Phase2Policy",
+    "SchedulingContext",
+]
+
+
+@dataclass
+class DispatchDecision:
+    """One task-to-node assignment produced by a phase-1 policy.
+
+    ``stamps`` carries the priority values the bundle's phase-2 policy will
+    read (``ms``, ``rpm``, ``sufferage``, ``deadline``, ``et``).
+    """
+
+    wx: WorkflowExecution
+    tid: int
+    target: int
+    estimated_ft: float
+    stamps: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SchedulingContext:
+    """Everything a phase-1 policy may consult during one cycle.
+
+    Attributes
+    ----------
+    home_id:
+        The scheduler node running Algorithm 1.
+    now:
+        Simulated time.
+    workflows:
+        The home node's RUNNING workflows that currently have at least one
+        schedule point.
+    view:
+        Mutable resource view over RSS(home) ∪ {home}; policies must charge
+        every dispatch via ``view.add_load`` so later picks see it.
+    avg_capacity / avg_bandwidth:
+        The aggregation-gossip estimates at this node (system-wide average
+        MIPS and Mb/s) used for all eet/ett terms.
+    """
+
+    home_id: int
+    now: float
+    workflows: list[WorkflowExecution]
+    view: ResourceView
+    avg_capacity: float
+    avg_bandwidth: float
+
+    def task_inputs(self, wx: WorkflowExecution, tid: int):
+        """Dependent-data inputs ``(source_node, Mb)`` for a schedule point."""
+        return wx.inputs_for(tid)
+
+
+class Phase1Policy(abc.ABC):
+    """Workflow-task dispatching at the submission site (Algorithm 1)."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def plan(self, ctx: SchedulingContext) -> list[DispatchDecision]:
+        """Return dispatch decisions in execution order (may be empty)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+class Phase2Policy(abc.ABC):
+    """Ready-task selection at the resource node (Algorithm 2)."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(self, runnable: Sequence[TaskDispatch], now: float) -> TaskDispatch:
+        """Pick the next task to execute among ``runnable`` (non-empty)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"

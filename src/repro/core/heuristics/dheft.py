@@ -1,0 +1,70 @@
+"""Decentralized HEFT (DHEFT): longest RPM first at both phases (§IV.A).
+
+The paper's decentralized adaptation of HEFT keeps HEFT's defining rule —
+handle the task with the largest upward rank (here: RPM) first — but runs
+it just-in-time inside the dual-phase framework: all schedule points at a
+home node are pooled and dispatched in descending RPM order to the
+earliest-finish candidate, and resource nodes also execute the longest-RPM
+runnable task first.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.heuristics.base import (
+    DispatchDecision,
+    Phase1Policy,
+    Phase2Policy,
+    SchedulingContext,
+)
+from repro.core.rpm import compute_priorities
+from repro.grid.state import TaskDispatch
+
+__all__ = ["DheftPhase1", "LongestRpmPhase2"]
+
+
+class DheftPhase1(Phase1Policy):
+    """Pooled schedule points, descending RPM, earliest-finish placement."""
+
+    name = "dheft"
+
+    def plan(self, ctx: SchedulingContext) -> list[DispatchDecision]:
+        prios = {
+            wx.wf.wid: compute_priorities(wx, ctx.view, ctx.avg_capacity, ctx.avg_bandwidth)
+            for wx in ctx.workflows
+        }
+        pooled: list[tuple[float, str, int]] = []
+        for wx in ctx.workflows:
+            prio = prios[wx.wf.wid]
+            for tid, rpm in prio.rpm.items():
+                pooled.append((rpm, wx.wf.wid, tid))
+        pooled.sort(key=lambda x: (-x[0], x[1], x[2]))
+
+        by_wid = {wx.wf.wid: wx for wx in ctx.workflows}
+        decisions: list[DispatchDecision] = []
+        for rpm, wid, tid in pooled:
+            wx = by_wid[wid]
+            task = wx.wf.tasks[tid]
+            inputs = ctx.task_inputs(wx, tid)
+            target, ft = ctx.view.best(task.load, task.image_size, inputs)
+            decisions.append(
+                DispatchDecision(
+                    wx=wx,
+                    tid=tid,
+                    target=target,
+                    estimated_ft=ft,
+                    stamps={"rpm": rpm, "ms": prios[wid].makespan},
+                )
+            )
+            ctx.view.add_load(target, task.load)
+        return decisions
+
+
+class LongestRpmPhase2(Phase2Policy):
+    """Execute the runnable task with the largest stamped RPM first."""
+
+    name = "longest-rpm"
+
+    def select(self, runnable: Sequence[TaskDispatch], now: float) -> TaskDispatch:
+        return min(runnable, key=lambda d: (-d.rpm_stamp, d.seq))

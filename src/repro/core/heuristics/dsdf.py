@@ -1,0 +1,75 @@
+"""Dynamic Shortest Deadline First (DSDF, §IV.A).
+
+The paper defines a task's deadline as "the difference between its rest
+path makespan and its workflow's makespan" — i.e. the *slack*
+``ms(f) − RPM(τ)``: how long the task can sit before it lands on its
+workflow's critical chain.  DSDF runs the most urgent (smallest slack)
+tasks first at both scheduling phases, always placing on the
+earliest-finish candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.heuristics.base import (
+    DispatchDecision,
+    Phase1Policy,
+    Phase2Policy,
+    SchedulingContext,
+)
+from repro.core.rpm import compute_priorities
+from repro.grid.state import TaskDispatch
+
+__all__ = ["DsdfPhase1", "DsdfPhase2"]
+
+
+class DsdfPhase1(Phase1Policy):
+    """Pooled schedule points in ascending deadline (slack) order."""
+
+    name = "dsdf"
+
+    def plan(self, ctx: SchedulingContext) -> list[DispatchDecision]:
+        prios = {
+            wx.wf.wid: compute_priorities(wx, ctx.view, ctx.avg_capacity, ctx.avg_bandwidth)
+            for wx in ctx.workflows
+        }
+        pooled: list[tuple[float, str, int]] = []
+        for wx in ctx.workflows:
+            prio = prios[wx.wf.wid]
+            for tid in prio.rpm:
+                pooled.append((prio.deadline(tid), wx.wf.wid, tid))
+        pooled.sort(key=lambda x: (x[0], x[1], x[2]))
+
+        by_wid = {wx.wf.wid: wx for wx in ctx.workflows}
+        decisions: list[DispatchDecision] = []
+        for deadline, wid, tid in pooled:
+            wx = by_wid[wid]
+            prio = prios[wid]
+            task = wx.wf.tasks[tid]
+            inputs = ctx.task_inputs(wx, tid)
+            target, ft = ctx.view.best(task.load, task.image_size, inputs)
+            decisions.append(
+                DispatchDecision(
+                    wx=wx,
+                    tid=tid,
+                    target=target,
+                    estimated_ft=ft,
+                    stamps={
+                        "deadline": deadline,
+                        "rpm": prio.rpm[tid],
+                        "ms": prio.makespan,
+                    },
+                )
+            )
+            ctx.view.add_load(target, task.load)
+        return decisions
+
+
+class DsdfPhase2(Phase2Policy):
+    """Execute the runnable task with the smallest stamped deadline."""
+
+    name = "dsdf"
+
+    def select(self, runnable: Sequence[TaskDispatch], now: float) -> TaskDispatch:
+        return min(runnable, key=lambda d: (d.deadline_stamp, d.seq))

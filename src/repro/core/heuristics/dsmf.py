@@ -1,0 +1,76 @@
+"""Dynamic Shortest Makespan First — the paper's contribution (§III.C/D).
+
+Phase 1 (Algorithm 1): compute RPM for every schedule point (Eq. 7) and
+each workflow's remaining makespan (Eq. 8); handle workflows in *ascending*
+makespan order (shortest-remaining-makespan first, the SJF-like rule that
+minimizes average waiting), and within a workflow dispatch schedule points
+in *descending* RPM order (the most critical chain first); each task goes
+to the RSS candidate with the earliest estimated finish time (Formula 9),
+charging the local record (line 15).
+
+Phase 2 (Algorithm 2): among runnable ready-set tasks pick the one whose
+workflow has the shortest stamped remaining makespan (Formula 10),
+tie-breaking by the longest RPM.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.heuristics.base import (
+    DispatchDecision,
+    Phase1Policy,
+    Phase2Policy,
+    SchedulingContext,
+)
+from repro.core.rpm import compute_priorities
+from repro.grid.state import TaskDispatch
+
+__all__ = ["DsmfPhase1", "DsmfPhase2"]
+
+
+class DsmfPhase1(Phase1Policy):
+    """Algorithm 1 with the DSMF heuristic."""
+
+    name = "dsmf"
+
+    def plan(self, ctx: SchedulingContext) -> list[DispatchDecision]:
+        # Lines 2–7: RPM of every schedule point, then ms(f) per workflow.
+        prios = [
+            compute_priorities(wx, ctx.view, ctx.avg_capacity, ctx.avg_bandwidth)
+            for wx in ctx.workflows
+        ]
+        # Line 8: ascending remaining makespan (stable on wid for determinism).
+        prios.sort(key=lambda p: (p.makespan, p.wx.wf.wid))
+
+        decisions: list[DispatchDecision] = []
+        for prio in prios:
+            # Line 11: schedule points by descending RPM.
+            order = sorted(prio.rpm, key=lambda t: (-prio.rpm[t], t))
+            for tid in order:
+                wx = prio.wx
+                task = wx.wf.tasks[tid]
+                inputs = ctx.task_inputs(wx, tid)
+                # Line 13 / Formula (9): earliest estimated finish time.
+                target, ft = ctx.view.best(task.load, task.image_size, inputs)
+                decisions.append(
+                    DispatchDecision(
+                        wx=wx,
+                        tid=tid,
+                        target=target,
+                        estimated_ft=ft,
+                        stamps={"ms": prio.makespan, "rpm": prio.rpm[tid]},
+                    )
+                )
+                # Line 15: update the local record of the selected node.
+                ctx.view.add_load(target, task.load)
+        return decisions
+
+
+class DsmfPhase2(Phase2Policy):
+    """Algorithm 2: shortest stamped workflow makespan, then longest RPM."""
+
+    name = "dsmf"
+
+    def select(self, runnable: Sequence[TaskDispatch], now: float) -> TaskDispatch:
+        return min(runnable, key=lambda d: (d.ms_stamp, -d.rpm_stamp, d.seq))

@@ -1,0 +1,76 @@
+"""Extra baseline policies beyond the paper (extensions).
+
+Two classic dynamic-mapping baselines from the Maheswaran et al. family
+that the paper does not evaluate but that complete the comparison space:
+
+* **OLB** (opportunistic load balancing): dispatch each schedule point to
+  the candidate with the smallest *queueing delay*, ignoring execution and
+  transfer time — the textbook "balance first, speed never" strawman.
+* **Random**: uniform random candidate — the zero-information floor.
+
+Both pair with FCFS at the second phase.  They let downstream users sanity
+check that any serious heuristic (including every one of the paper's)
+clears these floors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.heuristics.base import (
+    DispatchDecision,
+    Phase1Policy,
+    SchedulingContext,
+)
+
+__all__ = ["OlbPhase1", "RandomPhase1"]
+
+
+class OlbPhase1(Phase1Policy):
+    """Least-loaded-first placement (ignores execution/transfer times)."""
+
+    name = "olb"
+
+    def plan(self, ctx: SchedulingContext) -> list[DispatchDecision]:
+        decisions: list[DispatchDecision] = []
+        for wx in ctx.workflows:
+            for tid in sorted(wx.schedule_points):
+                task = wx.wf.tasks[tid]
+                delays = ctx.view.queue_delays()
+                k = int(np.argmin(delays))
+                target = int(ctx.view.ids[k])
+                ft = float(
+                    ctx.view.ft_vector(task.load, task.image_size,
+                                       ctx.task_inputs(wx, tid))[k]
+                )
+                decisions.append(
+                    DispatchDecision(wx=wx, tid=tid, target=target, estimated_ft=ft)
+                )
+                ctx.view.add_load(target, task.load)
+        return decisions
+
+
+class RandomPhase1(Phase1Policy):
+    """Uniform random placement over the RSS (zero-information floor)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+
+    def plan(self, ctx: SchedulingContext) -> list[DispatchDecision]:
+        decisions: list[DispatchDecision] = []
+        for wx in ctx.workflows:
+            for tid in sorted(wx.schedule_points):
+                task = wx.wf.tasks[tid]
+                k = int(self._rng.integers(len(ctx.view)))
+                target = int(ctx.view.ids[k])
+                ft = float(
+                    ctx.view.ft_vector(task.load, task.image_size,
+                                       ctx.task_inputs(wx, tid))[k]
+                )
+                decisions.append(
+                    DispatchDecision(wx=wx, tid=tid, target=target, estimated_ft=ft)
+                )
+                ctx.view.add_load(target, task.load)
+        return decisions

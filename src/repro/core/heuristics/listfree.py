@@ -1,0 +1,126 @@
+"""min-min, max-min and sufferage phase-1 policies (paper §IV.A, ref [18]).
+
+Maheswaran et al.'s dynamic matching heuristics for *independent* tasks,
+applied — as the paper does — to the pooled schedule points of all
+workflows at a home node:
+
+* **min-min** repeatedly dispatches the task with the globally smallest
+  best finish time;
+* **max-min** repeatedly dispatches the task whose *best* finish time is
+  largest;
+* **sufferage** repeatedly dispatches the task that would suffer most if
+  denied its best node (largest second-best − best gap).
+
+After every pick the working resource view is charged, so subsequent picks
+see the updated queue estimates — the defining trait of these heuristics.
+
+The paired phase-2 policies (per the paper's modification of [18]) are
+shortest task first, longest task first and largest sufferage first; the
+relevant keys are stamped on each dispatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.heuristics.base import (
+    DispatchDecision,
+    Phase1Policy,
+    SchedulingContext,
+)
+from repro.grid.state import WorkflowExecution
+
+__all__ = ["MinMinPhase1", "MaxMinPhase1", "SufferagePhase1"]
+
+
+class _PooledTask:
+    __slots__ = ("wx", "tid", "load", "image", "inputs")
+
+    def __init__(self, wx: WorkflowExecution, tid: int, ctx: SchedulingContext):
+        self.wx = wx
+        self.tid = tid
+        task = wx.wf.tasks[tid]
+        self.load = task.load
+        self.image = task.image_size
+        self.inputs = ctx.task_inputs(wx, tid)
+
+
+def _pool(ctx: SchedulingContext) -> list[_PooledTask]:
+    return [
+        _PooledTask(wx, tid, ctx)
+        for wx in ctx.workflows
+        for tid in sorted(wx.schedule_points)
+    ]
+
+
+class _IterativePoolPolicy(Phase1Policy):
+    """Shared select-charge-repeat loop; subclasses define the pick rule."""
+
+    def plan(self, ctx: SchedulingContext) -> list[DispatchDecision]:
+        pool = _pool(ctx)
+        decisions: list[DispatchDecision] = []
+        while pool:
+            # Finish-time vector per pooled task under the *current* view.
+            fts = [ctx.view.ft_vector(t.load, t.image, t.inputs) for t in pool]
+            pick_idx, target_k, extra = self._pick(fts)
+            t = pool.pop(pick_idx)
+            ftv = fts[pick_idx]
+            target = int(ctx.view.ids[target_k])
+            stamps = {"et": t.load / ctx.avg_capacity}
+            stamps.update(extra)
+            decisions.append(
+                DispatchDecision(
+                    wx=t.wx,
+                    tid=t.tid,
+                    target=target,
+                    estimated_ft=float(ftv[target_k]),
+                    stamps=stamps,
+                )
+            )
+            ctx.view.add_load(target, t.load)
+        return decisions
+
+    def _pick(self, fts: list[np.ndarray]) -> tuple[int, int, dict[str, float]]:
+        raise NotImplementedError
+
+
+class MinMinPhase1(_IterativePoolPolicy):
+    """Pick the task with the smallest best finish time."""
+
+    name = "min-min"
+
+    def _pick(self, fts):
+        best = [(float(f.min()), int(f.argmin())) for f in fts]
+        i = min(range(len(best)), key=lambda k: best[k][0])
+        return i, best[i][1], {}
+
+
+class MaxMinPhase1(_IterativePoolPolicy):
+    """Pick the task with the *largest* best finish time."""
+
+    name = "max-min"
+
+    def _pick(self, fts):
+        best = [(float(f.min()), int(f.argmin())) for f in fts]
+        i = max(range(len(best)), key=lambda k: best[k][0])
+        return i, best[i][1], {}
+
+
+class SufferagePhase1(_IterativePoolPolicy):
+    """Pick the task with the largest sufferage (2nd-best − best FT)."""
+
+    name = "sufferage"
+
+    def _pick(self, fts):
+        suffs: list[float] = []
+        argmins: list[int] = []
+        for f in fts:
+            k = int(f.argmin())
+            argmins.append(k)
+            if len(f) >= 2:
+                two = np.partition(f, 1)[:2]
+                suffs.append(float(two[1] - two[0]))
+            else:
+                suffs.append(0.0)
+        i = max(range(len(suffs)), key=lambda k: suffs[k])
+        return i, argmins[i], {"sufferage": suffs[i]}

@@ -1,0 +1,52 @@
+"""Simple phase-2 (ready-set) policies: FCFS, STF, LTF, LSF.
+
+FCFS is what the full-ahead baselines use at resource nodes (and what the
+original min-min/max-min/sufferage of ref [18] would do — the paper's
+§IV.B prose quantifies how much the heuristic second phase helps over
+FCFS, which our ``*-fcfs`` ablation bundles reproduce).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.heuristics.base import Phase2Policy
+from repro.grid.state import TaskDispatch
+
+__all__ = ["FcfsPhase2", "StfPhase2", "LtfPhase2", "LsfPhase2"]
+
+
+class FcfsPhase2(Phase2Policy):
+    """First come, first served: order of arrival in the ready set."""
+
+    name = "fcfs"
+
+    def select(self, runnable: Sequence[TaskDispatch], now: float) -> TaskDispatch:
+        return min(runnable, key=lambda d: (d.dispatch_time, d.seq))
+
+
+class StfPhase2(Phase2Policy):
+    """Shortest task first (paired with min-min)."""
+
+    name = "stf"
+
+    def select(self, runnable: Sequence[TaskDispatch], now: float) -> TaskDispatch:
+        return min(runnable, key=lambda d: (d.load, d.seq))
+
+
+class LtfPhase2(Phase2Policy):
+    """Longest task first (paired with max-min)."""
+
+    name = "ltf"
+
+    def select(self, runnable: Sequence[TaskDispatch], now: float) -> TaskDispatch:
+        return min(runnable, key=lambda d: (-d.load, d.seq))
+
+
+class LsfPhase2(Phase2Policy):
+    """Largest sufferage first (paired with sufferage)."""
+
+    name = "lsf"
+
+    def select(self, runnable: Sequence[TaskDispatch], now: float) -> TaskDispatch:
+        return min(runnable, key=lambda d: (-d.sufferage_stamp, d.seq))

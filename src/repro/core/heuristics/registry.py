@@ -1,0 +1,114 @@
+"""Algorithm bundle registry.
+
+Maps the algorithm names used throughout the experiments (and in the
+paper's figure legends) to (phase-1 policy, phase-2 policy) pairs — or, for
+the full-ahead baselines, to (planner, FCFS).  Fresh policy instances are
+constructed per call so concurrent systems never share state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.fullahead.heft import HeftPlanner
+from repro.core.fullahead.planner import FullAheadPlanner
+from repro.core.fullahead.smf import SmfPlanner
+from repro.core.heuristics.base import Phase1Policy, Phase2Policy
+from repro.core.heuristics.dheft import DheftPhase1, LongestRpmPhase2
+from repro.core.heuristics.dsdf import DsdfPhase1, DsdfPhase2
+from repro.core.heuristics.dsmf import DsmfPhase1, DsmfPhase2
+from repro.core.heuristics.extras import OlbPhase1, RandomPhase1
+from repro.core.heuristics.listfree import MaxMinPhase1, MinMinPhase1, SufferagePhase1
+from repro.core.heuristics.phase2 import FcfsPhase2, LsfPhase2, LtfPhase2, StfPhase2
+
+__all__ = ["AlgorithmBundle", "algorithm_names", "get_bundle", "PAPER_ALGORITHMS"]
+
+
+@dataclass
+class AlgorithmBundle:
+    """A complete scheduling algorithm: both phases (or a static plan)."""
+
+    name: str
+    phase2: Phase2Policy
+    phase1: Optional[Phase1Policy] = None
+    planner: Optional[FullAheadPlanner] = None
+
+    def __post_init__(self) -> None:
+        if (self.phase1 is None) == (self.planner is None):
+            raise ValueError(
+                f"bundle {self.name!r} needs exactly one of phase1/planner"
+            )
+
+    @property
+    def full_ahead(self) -> bool:
+        """True for the static (full-ahead scheduling model) baselines."""
+        return self.planner is not None
+
+
+_FACTORIES: dict[str, Callable[[], AlgorithmBundle]] = {
+    # --- the paper's eight algorithms -----------------------------------
+    "dsmf": lambda: AlgorithmBundle("dsmf", DsmfPhase2(), phase1=DsmfPhase1()),
+    "dheft": lambda: AlgorithmBundle("dheft", LongestRpmPhase2(), phase1=DheftPhase1()),
+    "dsdf": lambda: AlgorithmBundle("dsdf", DsdfPhase2(), phase1=DsdfPhase1()),
+    "min-min": lambda: AlgorithmBundle("min-min", StfPhase2(), phase1=MinMinPhase1()),
+    "max-min": lambda: AlgorithmBundle("max-min", LtfPhase2(), phase1=MaxMinPhase1()),
+    "sufferage": lambda: AlgorithmBundle(
+        "sufferage", LsfPhase2(), phase1=SufferagePhase1()
+    ),
+    "heft": lambda: AlgorithmBundle("heft", FcfsPhase2(), planner=HeftPlanner()),
+    "smf": lambda: AlgorithmBundle("smf", FcfsPhase2(), planner=SmfPlanner()),
+    # --- second-phase FCFS ablations (§IV.B prose / "Table II") ---------
+    "min-min-fcfs": lambda: AlgorithmBundle(
+        "min-min-fcfs", FcfsPhase2(), phase1=MinMinPhase1()
+    ),
+    "max-min-fcfs": lambda: AlgorithmBundle(
+        "max-min-fcfs", FcfsPhase2(), phase1=MaxMinPhase1()
+    ),
+    "sufferage-fcfs": lambda: AlgorithmBundle(
+        "sufferage-fcfs", FcfsPhase2(), phase1=SufferagePhase1()
+    ),
+    "dheft-fcfs": lambda: AlgorithmBundle(
+        "dheft-fcfs", FcfsPhase2(), phase1=DheftPhase1()
+    ),
+    "dsmf-fcfs": lambda: AlgorithmBundle(
+        "dsmf-fcfs", FcfsPhase2(), phase1=DsmfPhase1()
+    ),
+    # --- extra baselines beyond the paper (sanity floors) ----------------
+    "olb": lambda: AlgorithmBundle("olb", FcfsPhase2(), phase1=OlbPhase1()),
+    "random": lambda: AlgorithmBundle("random", FcfsPhase2(), phase1=RandomPhase1()),
+}
+
+#: The eight algorithms of Fig. 4–10, in the paper's legend order.
+PAPER_ALGORITHMS: tuple[str, ...] = (
+    "dheft",
+    "heft",
+    "max-min",
+    "min-min",
+    "dsdf",
+    "sufferage",
+    "dsmf",
+    "smf",
+)
+
+
+def algorithm_names() -> list[str]:
+    """All registered bundle names."""
+    return sorted(_FACTORIES)
+
+
+def get_bundle(name: str) -> AlgorithmBundle:
+    """Instantiate the bundle registered under ``name``.
+
+    Raises
+    ------
+    KeyError
+        With the list of valid names, if ``name`` is unknown.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {', '.join(algorithm_names())}"
+        ) from None
+    return factory()

@@ -1,0 +1,10 @@
+"""Evaluation harness (substrate S18): configs, scenarios, figures, CLI.
+
+Every table and figure of the paper's Section IV has a regeneration entry
+point here; see DESIGN.md's per-experiment index and
+``python -m repro --help``.
+"""
+
+from repro.experiments.config import ExperimentConfig, ScaleProfile
+
+__all__ = ["ExperimentConfig", "ScaleProfile"]

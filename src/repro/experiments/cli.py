@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro`` / the ``p2pgrid`` script.
+
+Subcommands
+-----------
+``run``     one simulation, printing the summary and hourly metrics,
+``figure``  regenerate a paper figure (4–14 or ``table2``) as ASCII + CSV,
+``table``   print Table I (the experimental setting) or Table II,
+``list``    list registered algorithm bundles.
+
+Examples
+--------
+::
+
+    p2pgrid run --algorithm dsmf -n 120 --hours 24 --seed 3
+    p2pgrid figure 4 --profile small --csv out/fig4.csv
+    p2pgrid figure 12 --profile medium
+    p2pgrid table 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.api import available_algorithms, quick_run
+from repro.experiments.config import ScaleProfile
+from repro.experiments.figures import FIGURES, table1_settings
+from repro.experiments.report import ascii_plot, ascii_table, write_series_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="p2pgrid",
+        description=(
+            "Reproduction of 'Dual-Phase Just-in-Time Workflow Scheduling in "
+            "P2P Grid Systems' (Di & Wang, ICPP 2010)."
+        ),
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulation")
+    run.add_argument("--algorithm", "-a", default="dsmf", choices=available_algorithms())
+    run.add_argument("--nodes", "-n", type=int, default=100)
+    run.add_argument("--load-factor", "-l", type=int, default=3)
+    run.add_argument("--hours", type=float, default=24.0)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--dynamic-factor", type=float, default=0.0)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("figure", choices=sorted(FIGURES, key=lambda s: (len(s), s)))
+    fig.add_argument(
+        "--profile",
+        default="small",
+        choices=[s.value for s in ScaleProfile],
+        help="scale profile (paper = exactly Table I, expensive)",
+    )
+    fig.add_argument("--seed", type=int, default=1)
+    fig.add_argument("--csv", default=None, help="also write the series to CSV")
+    fig.add_argument("--quiet", action="store_true", help="suppress per-run progress")
+
+    tab = sub.add_parser("table", help="print a paper table")
+    tab.add_argument("table", choices=["1", "2"])
+    tab.add_argument("--profile", default="small", choices=[s.value for s in ScaleProfile])
+    tab.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("list", help="list available algorithms")
+    return p
+
+
+def _cmd_run(args) -> int:
+    result = quick_run(
+        algorithm=args.algorithm,
+        n_nodes=args.nodes,
+        load_factor=args.load_factor,
+        duration_hours=args.hours,
+        seed=args.seed,
+        dynamic_factor=args.dynamic_factor,
+    )
+    print(result.summary())
+    rows = [
+        [f"{s.time / 3600:.0f}h", s.throughput, round(s.act), round(s.ae, 3)]
+        for s in result.samples
+    ]
+    print(ascii_table(["time", "finished", "ACT (s)", "AE"], rows))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    harness = FIGURES[args.figure]
+    progress = None
+    if not args.quiet:
+        def progress(label, r):  # noqa: ANN001
+            print(f"  [{label}] {r.n_done}/{r.n_workflows} done, "
+                  f"ACT={r.act:.0f}s AE={r.ae:.3f} ({r.wall_seconds:.1f}s wall)",
+                  file=sys.stderr)
+    result = harness(profile=args.profile, seed=args.seed, progress=progress)
+    print(f"== {result.title} ==")
+    if result.categories:
+        headers = ["series"] + result.categories
+        rows = []
+        for label, (_, ys) in result.series.items():
+            rows.append([label] + [round(y, 3) for y in ys])
+        print(ascii_table(headers, rows))
+    else:
+        print(
+            ascii_plot(
+                result.series, xlabel=result.xlabel, ylabel=result.ylabel
+            )
+        )
+        finals = result.final_values()
+        rows = [[k, round(v, 3)] for k, v in sorted(finals.items(), key=lambda kv: kv[1])]
+        print(ascii_table(["series", f"final {result.ylabel}"], rows))
+    if args.csv:
+        path = write_series_csv(args.csv, result.series)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    if args.table == "1":
+        print("== Table I: experimental setting ==")
+        print(ascii_table(["parameter", "value"], table1_settings()))
+        return 0
+    args.figure = "table2"
+    args.csv = None
+    args.quiet = False
+    return _cmd_figure(args)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point (console script ``p2pgrid``)."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "table":
+        return _cmd_table(args)
+    if args.command == "list":
+        for name in available_algorithms():
+            print(name)
+        return 0
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,177 @@
+"""Experiment configuration (Table I plus every model switch).
+
+Defaults reproduce the base setting of Fig. 4–6: Table I parameters with
+the figure-specific dependent-data range 10–1000 Mb (CCR ≈ 0.16) and three
+workflows initially submitted per node.  The paper-scale values (n = 1000
+nodes, 36 simulated hours) are expensive for CI, so harnesses usually apply
+a :class:`ScaleProfile` that shrinks ``n_nodes``/``total_time`` while
+keeping all per-task parameters — which preserves the result *shape*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import asdict, dataclass, field, replace
+from typing import Optional
+
+__all__ = ["ExperimentConfig", "ScaleProfile"]
+
+
+class ScaleProfile(str, enum.Enum):
+    """How large to run an experiment.
+
+    ``PAPER`` is exactly §IV.A; ``MEDIUM`` keeps the dynamics with ~4x
+    fewer nodes; ``SMALL`` is the CI/test profile.
+    """
+
+    PAPER = "paper"
+    MEDIUM = "medium"
+    SMALL = "small"
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Complete description of one simulation run.
+
+    Time quantities are seconds, loads are MI, capacities MIPS, data sizes
+    megabits, bandwidths Mb/s — exactly Table I's units.
+    """
+
+    # ---------------------------------------------------------- scheduling
+    algorithm: str = "dsmf"
+    #: Algorithm-1 activation period ("The scheduler is activated every 15
+    #: minutes").
+    schedule_interval: float = 900.0
+    #: Dispatch newly ready tasks immediately instead of waiting for the
+    #: next cycle (ablation; the paper uses the periodic model).
+    immediate_dispatch: bool = False
+
+    # --------------------------------------------------------------- scale
+    n_nodes: int = 1000
+    #: Average number of workflows submitted per node (Fig. 7/8's x-axis).
+    load_factor: int = 3
+    #: Simulated horizon ("The total experimental time is 36 hours").
+    total_time: float = 36 * 3600.0
+    seed: int = 1
+
+    # ----------------------------------------------------------- workflows
+    task_range: tuple[int, int] = (2, 30)
+    fanout_range: tuple[int, int] = (1, 5)
+    load_range: tuple[float, float] = (100.0, 10_000.0)
+    image_range: tuple[float, float] = (10.0, 100.0)
+    #: Fig. 4–6 base setting (Table I's full envelope is 100–10000, used by
+    #: the CCR sweep of Fig. 9/10).
+    data_range: tuple[float, float] = (10.0, 1000.0)
+    capacities: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0)
+
+    # -------------------------------------------------------------- network
+    waxman_alpha: float = 0.15
+    waxman_beta: float = 0.2
+    bw_min: float = 0.1
+    bw_max: float = 10.0
+    plane_size: float = 1000.0
+    #: Model inbound link sharing between concurrent transfers (extension;
+    #: the paper assumes contention-free concurrent transfers).
+    transfer_contention: bool = False
+
+    # -------------------------------------------------------------- gossip
+    gossip_interval: float = 300.0
+    gossip_ttl: int = 4
+    gossip_push_size: int = 4
+    #: RSS entries kept per node; ``None`` -> 2*ceil(log2 n).
+    rss_capacity: Optional[int] = None
+    #: Records older than this many gossip cycles are evicted.
+    rss_expiry_cycles: float = 4.0
+    aggregation_restart_cycles: int = 12
+    #: ``"gossip"`` = partial, possibly stale views (the paper's model);
+    #: ``"oracle"`` = perfect global load knowledge (diagnostic ablation).
+    rss_mode: str = "gossip"
+    #: Schedulers estimate bandwidth via landmarks (paper §III.B); set
+    #: False to hand them the ground-truth matrix (ablation).
+    use_landmark_bandwidth: bool = True
+    n_landmarks: Optional[int] = None
+
+    # --------------------------------------------------------------- churn
+    #: Ratio of churning nodes per scheduling interval (Fig. 12–14's df).
+    dynamic_factor: float = 0.0
+    #: Fraction of nodes that permanently stay (and host all workflows)
+    #: when ``dynamic_factor`` > 0; §IV.B uses 500 of 1000.
+    permanent_fraction: float = 0.5
+    #: What disconnection does to resident tasks.  ``"suspend"`` (default)
+    #: stalls them until the node rejoins — matching the paper's
+    #: observation that degraded throughput comes from "large-load tasks
+    #: which cannot be finished quickly" while finished workflows keep
+    #: stable ACT/AE.  ``"fail"`` kills the owning workflows outright
+    #: (harsh ablation; this is what makes rescheduling future work).
+    churn_mode: str = "suspend"
+    #: Paper's future-work extension: re-activate tasks lost to churn
+    #: (only meaningful with ``churn_mode="fail"``).
+    reschedule_failed: bool = False
+
+    # -------------------------------------------------------------- metrics
+    metrics_interval: float = 3600.0
+
+    # ----------------------------------------------------------- validation
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError("need at least two nodes")
+        if self.load_factor < 1:
+            raise ValueError("load factor must be >= 1")
+        if self.total_time <= 0:
+            raise ValueError("total_time must be positive")
+        if self.schedule_interval <= 0 or self.gossip_interval <= 0:
+            raise ValueError("intervals must be positive")
+        if not 0.0 <= self.dynamic_factor <= 1.0:
+            raise ValueError("dynamic_factor must be in [0, 1]")
+        if not 0.0 < self.permanent_fraction <= 1.0:
+            raise ValueError("permanent_fraction must be in (0, 1]")
+        if self.rss_mode not in ("gossip", "oracle"):
+            raise ValueError(f"unknown rss_mode {self.rss_mode!r}")
+        if self.churn_mode not in ("suspend", "fail"):
+            raise ValueError(f"unknown churn_mode {self.churn_mode!r}")
+        if min(self.capacities) <= 0:
+            raise ValueError("capacities must be positive")
+        # Late import to avoid a cycle; verifies the algorithm name early so
+        # misconfigured sweeps fail fast rather than after topology setup.
+        from repro.core.heuristics.registry import algorithm_names
+
+        if self.algorithm not in algorithm_names():
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"available: {', '.join(algorithm_names())}"
+            )
+
+    # ------------------------------------------------------------- utility
+    def with_(self, **overrides) -> "ExperimentConfig":
+        """Functional update (configs are frozen)."""
+        return replace(self, **overrides)
+
+    def describe(self) -> dict:
+        """Plain-dict dump (for EXPERIMENTS.md provenance lines)."""
+        return asdict(self)
+
+    def expected_ccr(self) -> float:
+        """Rough communication-to-computation ratio of the workload.
+
+        Matches the paper's §IV.A estimates: mean dependent-data transfer
+        time over the mean link bandwidth, divided by mean execution time
+        at the mean capacity.
+        """
+        mean_load = sum(self.load_range) / 2.0
+        mean_data = sum(self.data_range) / 2.0
+        mean_cap = sum(self.capacities) / len(self.capacities)
+        mean_bw = (self.bw_min + self.bw_max) / 2.0
+        return (mean_data / mean_bw) / (mean_load / mean_cap)
+
+
+#: Per-profile overrides applied by the figure harnesses.
+PROFILE_OVERRIDES: dict[ScaleProfile, dict] = {
+    ScaleProfile.PAPER: {},
+    ScaleProfile.MEDIUM: {"n_nodes": 250, "total_time": 36 * 3600.0},
+    ScaleProfile.SMALL: {"n_nodes": 80, "total_time": 12 * 3600.0},
+}
+
+
+def apply_profile(config: ExperimentConfig, profile: ScaleProfile) -> ExperimentConfig:
+    """Rescale a paper-parameter config for the requested profile."""
+    return config.with_(**PROFILE_OVERRIDES[ScaleProfile(profile)])

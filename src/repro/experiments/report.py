@@ -1,0 +1,116 @@
+"""Plain-text rendering and CSV export for experiment results.
+
+The original figures are gnuplot line/bar charts; this module renders the
+same data as ASCII line plots and tables (no plotting dependency is
+available offline) and writes machine-readable CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_plot", "ascii_table", "write_series_csv", "write_table_csv"]
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], float_fmt: str = "{:.3f}"
+) -> str:
+    """Render a fixed-width table."""
+
+    def fmt(x: object) -> str:
+        if isinstance(x, float):
+            return float_fmt.format(x)
+        return str(x)
+
+    cells = [[fmt(x) for x in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in cells:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 18,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render several (x, y) series as one ASCII line chart.
+
+    Each series gets a distinct marker; the legend maps markers to labels.
+    """
+    markers = "ox+*#@%&$~^"
+    xs_all = [x for xs, _ in series.values() for x in xs]
+    ys_all = [y for _, ys in series.values() for y in ys]
+    if not xs_all:
+        return "(no data)"
+    xmin, xmax = min(xs_all), max(xs_all)
+    ymin, ymax = min(ys_all), max(ys_all)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(x: float, y: float, ch: str) -> None:
+        col = int((x - xmin) / (xmax - xmin) * (width - 1))
+        row = int((y - ymin) / (ymax - ymin) * (height - 1))
+        grid[height - 1 - row][col] = ch
+
+    legend = []
+    for k, (label, (xs, ys)) in enumerate(series.items()):
+        ch = markers[k % len(markers)]
+        legend.append(f"{ch}={label}")
+        for x, y in zip(xs, ys):
+            put(x, y, ch)
+
+    lines = [f"{ymax:>10.3g} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{ymin:>10.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    lines.append(
+        " " * 12 + f"{xmin:<10.3g}{xlabel:^{max(0, width - 20)}}{xmax:>10.3g}"
+    )
+    lines.append("  legend: " + "  ".join(legend))
+    if ylabel:
+        lines.insert(0, f"  {ylabel}")
+    return "\n".join(lines)
+
+
+def write_series_csv(
+    path: str | Path,
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    xname: str = "x",
+) -> Path:
+    """Write per-series long-form CSV: series,x,y."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["series", xname, "value"])
+        for label, (xs, ys) in series.items():
+            for x, y in zip(xs, ys):
+                w.writerow([label, x, y])
+    return path
+
+
+def write_table_csv(
+    path: str | Path, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> Path:
+    """Write a rectangular table as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(headers)
+        w.writerows(rows)
+    return path

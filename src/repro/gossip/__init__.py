@@ -1,0 +1,27 @@
+"""The mixed gossip protocol (substrates S5–S6, paper §III.B).
+
+The paper aggregates two kinds of information at every peer:
+
+* **state information** — each node's latest total load and capacity —
+  collected by an *epidemic* push gossip over a Newscast-style random
+  overlay (:mod:`repro.gossip.epidemic`, :mod:`repro.gossip.newscast`), and
+* **statistics** — the system-wide average node capacity and average
+  bandwidth — computed by Jelasity-style *aggregation* gossip
+  (:mod:`repro.gossip.aggregation`).
+
+Both protocols are cycle-driven (the paper's gossip cycle is five minutes);
+the grid system drives them from a single
+:class:`~repro.sim.periodic.PeriodicActivity`.
+"""
+
+from repro.gossip.aggregation import AggregationGossip
+from repro.gossip.epidemic import EpidemicGossip
+from repro.gossip.messages import NodeStateRecord
+from repro.gossip.newscast import NewscastOverlay
+
+__all__ = [
+    "AggregationGossip",
+    "EpidemicGossip",
+    "NewscastOverlay",
+    "NodeStateRecord",
+]

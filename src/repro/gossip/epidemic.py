@@ -1,0 +1,194 @@
+"""Epidemic push gossip for node-state dissemination (substrate S5).
+
+Per gossip cycle (paper: five minutes) every live node
+
+1. re-stamps its own :class:`~repro.gossip.messages.NodeStateRecord` with its
+   current total load,
+2. selects ``fanout = ceil(log2 n)`` random neighbors via the Newscast
+   overlay, and
+3. pushes its own record plus up to ``push_size`` sampled known records,
+   each with TTL decremented (paper: TTL = 4, so a record travels at most
+   four hops from its owner).
+
+Receivers merge records, keeping the fresher timestamp per node, and each
+node's resource set RSS is bounded to ``rss_capacity`` entries — the paper's
+O(log2 n) space bound — evicting the stalest.  Records older than
+``expiry`` (default: four gossip cycles) are dropped, which is also how
+departed nodes disappear from scheduling views under churn.
+
+The per-node view exposed to Algorithm 1 is :meth:`rss_view`; the scheduler
+additionally *writes back* its dispatch decisions via
+:meth:`apply_local_update` (Algorithm 1 line 15) so consecutive picks in the
+same scheduling cycle see the load they just added.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.gossip.messages import NodeStateRecord
+from repro.gossip.newscast import NewscastOverlay
+
+__all__ = ["EpidemicGossip"]
+
+LoadProvider = Callable[[int], tuple[float, float]]
+"""Callback ``node_id -> (total_load_MI, capacity_MIPS)``."""
+
+
+class EpidemicGossip:
+    """State-information dissemination with bounded per-node views.
+
+    Parameters
+    ----------
+    overlay:
+        Peer-sampling service.
+    load_provider:
+        Returns the *ground truth* ``(total_load, capacity)`` of a node when
+        that node stamps its own record (information about *other* nodes is
+        only ever obtained through gossip).
+    rng:
+        Randomness for record sampling.
+    ttl:
+        Initial hop budget of a freshly stamped record (paper: 4).
+    push_size:
+        Known records piggybacked per push in addition to the sender's own.
+    rss_capacity:
+        Max records retained per node; ``None`` -> ``2 * ceil(log2 n)``.
+    expiry:
+        Age (seconds) beyond which a record is evicted; ``None`` -> never.
+    """
+
+    def __init__(
+        self,
+        overlay: NewscastOverlay,
+        load_provider: LoadProvider,
+        rng: np.random.Generator,
+        ttl: int = 4,
+        push_size: int = 4,
+        rss_capacity: int | None = None,
+        expiry: float | None = None,
+    ):
+        self.overlay = overlay
+        self.load_provider = load_provider
+        self.rng = rng
+        self.ttl = int(ttl)
+        self.push_size = int(push_size)
+        n = max(len(overlay.live), 2)
+        if rss_capacity is None:
+            rss_capacity = 2 * int(np.ceil(np.log2(n)))
+        self.rss_capacity = int(rss_capacity)
+        self.expiry = expiry
+        self.fanout = max(1, int(np.ceil(np.log2(n))))
+        # rss[i] : node_id -> freshest record known at i (never contains i).
+        self.rss: dict[int, dict[int, NodeStateRecord]] = {
+            i: {} for i in overlay.live
+        }
+        self.messages_sent = 0
+        self.records_shipped = 0
+
+    # ---------------------------------------------------------------- churn
+    def add_node(self, node_id: int) -> None:
+        """Start tracking a joining node (empty RSS; fills via gossip)."""
+        self.rss[node_id] = {}
+
+    def remove_node(self, node_id: int) -> None:
+        """Forget a departing node's own view.
+
+        Remote records pointing at it decay via ``expiry``; until then
+        schedulers may still (incorrectly) select it — exactly the staleness
+        hazard the paper attributes to node churning.
+        """
+        self.rss.pop(node_id, None)
+
+    # ---------------------------------------------------------------- cycle
+    def run_cycle(self, now: float) -> None:
+        """One push round for every live node (cycle-driven execution)."""
+        live = self.overlay.live
+        # Stamp fresh self-records first so this cycle ships current loads.
+        self_records: dict[int, NodeStateRecord] = {}
+        for i in live:
+            load, capacity = self.load_provider(i)
+            self_records[i] = NodeStateRecord(
+                node_id=i, capacity=capacity, total_load=load, timestamp=now, ttl=self.ttl
+            )
+
+        for i in live:
+            rss_i = self.rss[i]
+            targets = self.overlay.sample(i, self.fanout)
+            if not targets:
+                continue
+            # Sample up to push_size forwardable known records once per
+            # sender; all targets receive the same digest (one "message").
+            forwardable = [r for r in rss_i.values() if r.ttl > 0]
+            if len(forwardable) > self.push_size:
+                idx = self.rng.choice(len(forwardable), size=self.push_size, replace=False)
+                digest = [forwardable[int(k)].aged() for k in idx]
+            else:
+                digest = [r.aged() for r in forwardable]
+            digest.append(self_records[i])
+            for t in targets:
+                self.messages_sent += 1
+                self.records_shipped += len(digest)
+                self._deliver(t, i, digest)
+
+        if self.expiry is not None:
+            self._expire(now)
+
+    def _deliver(self, target: int, sender: int, records: list[NodeStateRecord]) -> None:
+        rss = self.rss.get(target)
+        if rss is None:  # target churned out mid-cycle
+            return
+        for rec in records:
+            if rec.node_id == target:
+                continue
+            cur = rss.get(rec.node_id)
+            if cur is None or rec.fresher_than(cur):
+                rss[rec.node_id] = rec
+        if len(rss) > self.rss_capacity:
+            # Evict the stalest entries beyond capacity.
+            by_age = sorted(rss.items(), key=lambda kv: kv[1].timestamp, reverse=True)
+            self.rss[target] = dict(by_age[: self.rss_capacity])
+
+    def _expire(self, now: float) -> None:
+        assert self.expiry is not None
+        horizon = now - self.expiry
+        for i, rss in self.rss.items():
+            dead = [nid for nid, rec in rss.items() if rec.timestamp < horizon]
+            for nid in dead:
+                del rss[nid]
+
+    # ------------------------------------------------------------ consumers
+    def rss_view(self, node_id: int) -> dict[int, NodeStateRecord]:
+        """The resource set RSS(p) Algorithm 1 iterates over.
+
+        The mapping is the live internal one: schedulers must mutate it only
+        through :meth:`apply_local_update`.
+        """
+        return self.rss.get(node_id, {})
+
+    def apply_local_update(
+        self, owner: int, target: int, new_load: float, now: float
+    ) -> None:
+        """Algorithm 1 line 15: after dispatching a task to ``target``,
+        overwrite the *owner's local* record of the target's load."""
+        rss = self.rss.get(owner)
+        if rss is None:
+            return
+        cur = rss.get(target)
+        if cur is None:
+            return
+        rss[target] = NodeStateRecord(
+            node_id=target,
+            capacity=cur.capacity,
+            total_load=new_load,
+            timestamp=now,
+            ttl=cur.ttl,
+        )
+
+    def mean_known_nodes(self) -> float:
+        """Average RSS size over live nodes — the Fig. 11(a) metric."""
+        if not self.rss:
+            return 0.0
+        return float(np.mean([len(v) for v in self.rss.values()]))

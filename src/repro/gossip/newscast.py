@@ -1,0 +1,150 @@
+"""Newscast-style membership overlay (part of substrate S5).
+
+The paper selects gossip neighbors "randomly ... at every propagation cycle
+based on the Newscast model" with a fan-out of ``log2(n)``.  Newscast
+maintains, per node, a bounded cache of ``(peer, freshness)`` descriptors;
+each cycle a node merges caches with a random cache entry and keeps the
+freshest ``c`` descriptors.  The emergent communication graph is a small-
+world random graph, which is what gives epidemic dissemination its
+exponential spread.
+
+The overlay also provides the peer-sampling service used by the epidemic and
+aggregation protocols, and absorbs churn: descriptors of departed nodes age
+out, joining nodes bootstrap from a random live seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NewscastOverlay"]
+
+
+class NewscastOverlay:
+    """Bounded-cache membership with per-cycle shuffles.
+
+    Parameters
+    ----------
+    node_ids:
+        Initially live peers.
+    rng:
+        Peer-sampling randomness.
+    cache_size:
+        Descriptors kept per node; ``None`` -> ``max(8, 2*ceil(log2 n))``
+        which keeps the per-node view O(log n) as the paper requires.
+    """
+
+    def __init__(
+        self,
+        node_ids: list[int],
+        rng: np.random.Generator,
+        cache_size: int | None = None,
+    ):
+        self.rng = rng
+        n = max(len(node_ids), 2)
+        if cache_size is None:
+            cache_size = max(8, 2 * int(np.ceil(np.log2(n))))
+        self.cache_size = int(cache_size)
+        self.live: set[int] = set(node_ids)
+        # cache[i] : dict peer_id -> freshness timestamp
+        self.cache: dict[int, dict[int, float]] = {i: {} for i in node_ids}
+        self._bootstrap_random(node_ids)
+
+    # ---------------------------------------------------------------- setup
+    def _bootstrap_random(self, node_ids: list[int]) -> None:
+        ids = np.asarray(node_ids, dtype=np.int64)
+        if len(ids) < 2:
+            return
+        k = min(self.cache_size, len(ids) - 1)
+        for i in node_ids:
+            peers = self.rng.choice(ids, size=k + 1, replace=False)
+            cache = self.cache[i]
+            for p in peers:
+                p = int(p)
+                if p != i and len(cache) < self.cache_size:
+                    cache[p] = 0.0
+
+    # ---------------------------------------------------------------- churn
+    def add_node(self, node_id: int, now: float) -> None:
+        """Join: bootstrap the cache from a random live seed."""
+        self.live.add(node_id)
+        cache: dict[int, float] = {}
+        candidates = [p for p in self.live if p != node_id]
+        if candidates:
+            seed = int(self.rng.choice(np.asarray(candidates, dtype=np.int64)))
+            cache.update(self.cache.get(seed, {}))
+            cache.pop(node_id, None)
+            cache[seed] = now
+        self.cache[node_id] = dict(
+            sorted(cache.items(), key=lambda kv: kv[1], reverse=True)[: self.cache_size]
+        )
+
+    def remove_node(self, node_id: int) -> None:
+        """Leave: the node's cache dies with it; remote descriptors of it
+        age out naturally (no global purge — matching real gossip)."""
+        self.live.discard(node_id)
+        self.cache.pop(node_id, None)
+
+    # ---------------------------------------------------------------- cycle
+    def run_cycle(self, now: float) -> None:
+        """One Newscast shuffle for every live node.
+
+        Each node contacts one random cache entry (if live), both merge the
+        union of their caches plus fresh descriptors of each other, keeping
+        the freshest ``cache_size`` entries.
+        """
+        order = np.fromiter(self.live, dtype=np.int64, count=len(self.live))
+        self.rng.shuffle(order)
+        for i in order:
+            i = int(i)
+            cache = self.cache.get(i)
+            if cache is None:
+                continue
+            live_peers = [p for p in cache if p in self.live]
+            if not live_peers:
+                # Degenerate cache (all entries churned out): reseed.
+                candidates = [p for p in self.live if p != i]
+                if candidates:
+                    p = int(self.rng.choice(np.asarray(candidates, dtype=np.int64)))
+                    cache[p] = now
+                continue
+            j = live_peers[int(self.rng.integers(len(live_peers)))]
+            self._shuffle_pair(i, j, now)
+
+    def _shuffle_pair(self, i: int, j: int, now: float) -> None:
+        ci, cj = self.cache[i], self.cache[j]
+        merged: dict[int, float] = dict(ci)
+        for p, ts in cj.items():
+            if p not in merged or ts > merged[p]:
+                merged[p] = ts
+        merged[i] = now
+        merged[j] = now
+        keep = sorted(merged.items(), key=lambda kv: kv[1], reverse=True)
+        new_i: dict[int, float] = {}
+        new_j: dict[int, float] = {}
+        for p, ts in keep:
+            if p != i and len(new_i) < self.cache_size:
+                new_i[p] = ts
+            if p != j and len(new_j) < self.cache_size:
+                new_j[p] = ts
+        self.cache[i] = new_i
+        self.cache[j] = new_j
+
+    # -------------------------------------------------------------- sampling
+    def sample(self, node_id: int, k: int) -> list[int]:
+        """Return up to ``k`` distinct random live peers from the cache."""
+        cache = self.cache.get(node_id)
+        if not cache:
+            return []
+        peers = [p for p in cache if p in self.live and p != node_id]
+        if not peers:
+            return []
+        if len(peers) <= k:
+            return peers
+        idx = self.rng.choice(len(peers), size=k, replace=False)
+        return [peers[int(t)] for t in idx]
+
+    def known_live(self, node_id: int) -> list[int]:
+        """All live peers currently in the node's cache."""
+        cache = self.cache.get(node_id, {})
+        return [p for p in cache if p in self.live]

@@ -1,0 +1,133 @@
+"""Peer node: scheduler node + resource node in one (paper §II.B).
+
+Every node owns a single, non-sharable, non-preemptive CPU: at most one
+task runs at any time.  The node keeps the ready set RDS(p) of dispatched
+tasks (runnable or still waiting for data) and reports its *total load*
+``l_r`` — the summed loads of the running task and everything in the ready
+set — which is what the epidemic gossip advertises and Formula (9)'s
+queuing-delay estimate divides by the capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.grid.state import TaskDispatch
+from repro.sim.engine import Event
+
+__all__ = ["PeerNode"]
+
+
+class PeerNode:
+    """One peer of the P2P grid.
+
+    Parameters
+    ----------
+    nid:
+        Node id (index into the topology).
+    capacity:
+        CPU capacity in MIPS (Table I: 1, 2, 4, 8 or 16).
+    is_home:
+        Whether workflows are submitted here (home/scheduler role).  All
+        nodes are resource nodes.
+    volatile:
+        Whether the churn process may remove this node (home nodes are
+        never volatile, matching §IV.B).
+    """
+
+    def __init__(self, nid: int, capacity: float, is_home: bool = True, volatile: bool = False):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.nid = nid
+        self.capacity = float(capacity)
+        self.is_home = is_home
+        self.volatile = volatile
+        self.alive = True
+        self.epoch = 0
+        self.ready: list[TaskDispatch] = []
+        self.running: Optional[TaskDispatch] = None
+        self.completion_event: Optional[Event] = None
+        #: seconds of execution left on the suspended running task (set when
+        #: the node disconnects in ``suspend`` churn mode).
+        self.suspended_remaining: Optional[float] = None
+        # counters for diagnostics
+        self.tasks_executed = 0
+        self.busy_time = 0.0
+
+    # -------------------------------------------------------------- queries
+    def total_load(self) -> float:
+        """l_r: loads of the running task plus every ready-set task (MI).
+
+        The paper estimates queueing *conservatively* with full task loads,
+        so the running task contributes its whole load too.
+        """
+        load = self.running.load if self.running is not None else 0.0
+        for d in self.ready:
+            load += d.load
+        return load
+
+    def runnable_tasks(self) -> list[TaskDispatch]:
+        """Ready-set tasks whose image and dependent data have all arrived
+        (§II.A step 9: only those can be selected for execution)."""
+        return [d for d in self.ready if d.runnable]
+
+    @property
+    def busy(self) -> bool:
+        """True while a task occupies the CPU."""
+        return self.running is not None
+
+    # ------------------------------------------------------------- mutation
+    def enqueue(self, dispatch: TaskDispatch) -> None:
+        """Phase 1 migrated a task here: add it to the ready set."""
+        self.ready.append(dispatch)
+
+    def remove(self, dispatch: TaskDispatch) -> None:
+        """Drop a (cancelled) dispatch from the ready set if present."""
+        try:
+            self.ready.remove(dispatch)
+        except ValueError:
+            pass
+
+    def start(self, dispatch: TaskDispatch, now: float) -> float:
+        """Assign the CPU to ``dispatch``; returns its execution time."""
+        if self.running is not None:
+            raise RuntimeError(f"node {self.nid} CPU is busy")
+        if not dispatch.runnable:
+            raise RuntimeError(
+                f"task {dispatch.key()} is not runnable (pending inputs "
+                f"{dispatch.pending_inputs})"
+            )
+        self.ready.remove(dispatch)
+        dispatch.start_time = now
+        self.running = dispatch
+        et = dispatch.load / self.capacity
+        self.busy_time += et
+        return et
+
+    def finish_running(self, now: float) -> TaskDispatch:
+        """CPU completed the current task; frees the node."""
+        if self.running is None:
+            raise RuntimeError(f"node {self.nid} has nothing running")
+        d = self.running
+        d.finish_time = now
+        self.running = None
+        self.completion_event = None
+        self.tasks_executed += 1
+        return d
+
+    def reset_for_rejoin(self, epoch: int) -> None:
+        """Wipe volatile state when the churn process revives this node
+        (``fail`` churn mode: the node returns empty)."""
+        self.alive = True
+        self.epoch = epoch
+        self.ready.clear()
+        self.running = None
+        self.completion_event = None
+        self.suspended_remaining = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "dead"
+        return (
+            f"PeerNode({self.nid}, {self.capacity} MIPS, {state}, "
+            f"ready={len(self.ready)}, running={self.running is not None})"
+        )

@@ -1,0 +1,198 @@
+"""Runtime state: workflow executions and dispatched tasks.
+
+:class:`WorkflowExecution` tracks one submitted workflow at its home node —
+which tasks finished where, which are dispatched, and the current
+*schedule-point* set (tasks whose precedents are all finished but which are
+not yet dispatched), maintained incrementally so Algorithm 1 never rescans
+the whole DAG.
+
+:class:`TaskDispatch` is the unit sitting in a resource node's ready set
+RDS(p): the task plus the priority stamps the first scheduling phase
+computed for it (the paper migrates each task "together with its rest path
+makespan and its workflow's makespan"; the other heuristics stamp their own
+keys the same way).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.workflow.dag import Workflow
+
+__all__ = ["TaskDispatch", "WorkflowExecution", "WorkflowStatus"]
+
+
+class WorkflowStatus(enum.Enum):
+    """Lifecycle of a submitted workflow."""
+
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class TaskDispatch:
+    """A task migrated to a resource node, waiting in its ready set.
+
+    Priority stamps (``ms_stamp``, ``rpm_stamp``, ``sufferage_stamp``,
+    ``deadline_stamp``, ``et_stamp``) are whatever the phase-1 policy
+    computed at dispatch time; the phase-2 policy of the same algorithm
+    bundle reads the matching stamp.  ``pending_inputs`` counts transfers
+    (image + dependent data) still in flight; the task becomes *runnable*
+    when it reaches zero.
+    """
+
+    wid: str
+    tid: int
+    load: float
+    image_size: float
+    home_id: int
+    target_id: int
+    dispatch_time: float
+    seq: int
+    ms_stamp: float = 0.0
+    rpm_stamp: float = 0.0
+    sufferage_stamp: float = 0.0
+    deadline_stamp: float = 0.0
+    et_stamp: float = 0.0
+    pending_inputs: int = 0
+    ready_time: Optional[float] = None
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    cancelled: bool = False
+
+    @property
+    def runnable(self) -> bool:
+        """All inputs arrived, not yet started, not cancelled."""
+        return (
+            self.pending_inputs == 0
+            and self.start_time is None
+            and not self.cancelled
+        )
+
+    def key(self) -> tuple[str, int]:
+        """Global identity of the dispatched task."""
+        return (self.wid, self.tid)
+
+
+class WorkflowExecution:
+    """Home-node view of one submitted workflow ``f_ij``.
+
+    Parameters
+    ----------
+    wf:
+        The (normalized) workflow DAG.
+    home_id:
+        Submission site (scheduler node).
+    submit_time:
+        Simulated submission instant.
+    eft:
+        Expected finish time (Eq. 1) under system-wide averages — the
+        denominator baseline of the efficiency metric.
+    """
+
+    def __init__(self, wf: Workflow, home_id: int, submit_time: float, eft: float):
+        self.wf = wf
+        self.home_id = home_id
+        self.submit_time = submit_time
+        self.eft = eft
+        self.status = WorkflowStatus.RUNNING
+        self.completion_time: Optional[float] = None
+        self.failure_reason: str = ""
+        #: tid -> (node_id, finish_time) for completed tasks.
+        self.finished: dict[int, tuple[int, float]] = {}
+        #: tids dispatched (phase 1 done) but not yet finished.
+        self.dispatched: set[int] = set()
+        #: unfinished-precedent counts, maintained incrementally.
+        self._pending_precs: dict[int, int] = {
+            tid: len(wf.precedents[tid]) for tid in wf.tasks
+        }
+        #: current schedule points (ready to dispatch, not yet dispatched).
+        self.schedule_points: set[int] = {
+            tid for tid, n in self._pending_precs.items() if n == 0
+        }
+
+    # --------------------------------------------------------------- events
+    def mark_dispatched(self, tid: int) -> None:
+        """Phase 1 sent ``tid`` to a resource node."""
+        if tid not in self.schedule_points:
+            raise ValueError(f"task {tid} of {self.wf.wid} is not a schedule point")
+        self.schedule_points.discard(tid)
+        self.dispatched.add(tid)
+
+    def mark_finished(self, tid: int, node_id: int, time: float) -> list[int]:
+        """Record completion of ``tid`` at ``node_id``.
+
+        Returns the tasks that *became* schedule points (all precedents now
+        finished).
+        """
+        if tid in self.finished:
+            raise ValueError(f"task {tid} of {self.wf.wid} finished twice")
+        self.finished[tid] = (node_id, time)
+        self.dispatched.discard(tid)
+        self.schedule_points.discard(tid)  # virtual tasks finish undispatched
+        newly: list[int] = []
+        for s in self.wf.successors[tid]:
+            self._pending_precs[s] -= 1
+            if (
+                self._pending_precs[s] == 0
+                and s not in self.finished
+                and s not in self.dispatched
+            ):
+                self.schedule_points.add(s)
+                newly.append(s)
+        return newly
+
+    def invalidate_task(self, tid: int) -> None:
+        """Rescheduling extension: forget a previously finished/dispatched
+        task (its node churned out), restoring precedence bookkeeping."""
+        if tid in self.finished:
+            del self.finished[tid]
+            for s in self.wf.successors[tid]:
+                self._pending_precs[s] += 1
+                self.schedule_points.discard(s)
+        self.dispatched.discard(tid)
+        if self._pending_precs[tid] == 0:
+            self.schedule_points.add(tid)
+
+    # -------------------------------------------------------------- queries
+    @property
+    def is_complete(self) -> bool:
+        """True when every task (including the exit task) has finished."""
+        return len(self.finished) == len(self.wf.tasks)
+
+    def node_of(self, tid: int) -> int:
+        """Node that executed a finished task (the data's location)."""
+        return self.finished[tid][0]
+
+    def inputs_for(self, tid: int) -> list[tuple[int, float]]:
+        """``(source_node, megabits)`` per dependent-data edge into ``tid``.
+
+        Only valid for schedule points (all precedents finished).
+        """
+        out = []
+        for p, data in self.wf.precedents[tid].items():
+            if data > 0.0:
+                out.append((self.finished[p][0], data))
+        return out
+
+    def completion_duration(self) -> Optional[float]:
+        """ct(f): response time from submission to exit-task completion."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.submit_time
+
+    def efficiency(self) -> Optional[float]:
+        """e(f) = eft(f) / ct(f) (Eq. 1)."""
+        ct = self.completion_duration()
+        if ct is None or ct <= 0:
+            return None
+        return self.eft / ct
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WorkflowExecution({self.wf.wid!r}, status={self.status.value}, "
+            f"done={len(self.finished)}/{len(self.wf.tasks)})"
+        )

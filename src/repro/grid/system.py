@@ -1,0 +1,664 @@
+"""The complete P2P grid simulation (substrate S12): everything wired up.
+
+:class:`P2PGridSystem` builds — from one
+:class:`~repro.experiments.config.ExperimentConfig` — the Waxman topology,
+the peer nodes with Table I capacities, the submitted workflows, the mixed
+gossip protocol, the scheduling algorithm bundle and (when df > 0) the
+churn process, then runs the discrete-event simulation and returns a
+:class:`~repro.metrics.collectors.RunResult`.
+
+Execution semantics implemented here (paper §II.A, Fig. 1):
+
+* phase 1 dispatches migrate a task (image transfer home→target) and start
+  the dependent-data transfers from the precedents' nodes (steps 6–8);
+* a ready-set task becomes *runnable* when image and data have all arrived
+  (step 9); when the target CPU is free the bundle's phase-2 policy picks
+  among runnable tasks (Algorithm 2);
+* each node's CPU is non-sharable and non-preemptive — one task at a time;
+* virtual (zero-cost normalization) tasks complete instantly at the home
+  node and are never migrated;
+* full-ahead baselines dispatch every task at t=0 per their static plan,
+  with each data transfer starting the moment its producer finishes.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dual_phase import Phase1Runner
+from repro.core.estimates import LandmarkBandwidth, OracleBandwidth
+from repro.core.fullahead.planner import GlobalView
+from repro.core.heuristics.base import DispatchDecision
+from repro.core.heuristics.registry import get_bundle
+from repro.experiments.config import ExperimentConfig
+from repro.gossip.aggregation import AggregationGossip
+from repro.gossip.epidemic import EpidemicGossip
+from repro.gossip.newscast import NewscastOverlay
+from repro.grid.churn import ChurnProcess
+from repro.grid.node import PeerNode
+from repro.grid.state import TaskDispatch, WorkflowExecution, WorkflowStatus
+from repro.grid.transfers import TransferManager
+from repro.metrics.collectors import MetricsCollector, RunResult, WorkflowRecord
+from repro.net.landmarks import LandmarkEstimator
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.periodic import PeriodicActivity
+from repro.sim.rng import RngHub
+from repro.workflow.analysis import expected_finish_time
+from repro.workflow.generator import WorkflowParams, random_workflow
+
+__all__ = ["P2PGridSystem"]
+
+
+class P2PGridSystem:
+    """One simulated P2P grid run."""
+
+    def __init__(self, config: ExperimentConfig, workflows=None):
+        """Build the full system.
+
+        Parameters
+        ----------
+        config:
+            The experiment description.
+        workflows:
+            Optional explicit list of ``(home_id, Workflow)`` pairs; by
+            default ``load_factor * n_nodes`` random workflows are generated
+            per §IV.A and distributed over the home nodes.
+        """
+        self.config = config
+        self.sim = Simulator()
+        self.rng = RngHub(config.seed)
+        self.bundle = get_bundle(config.algorithm)
+
+        # ----------------------------------------------------- network (S2-S4)
+        self.topology = Topology.waxman(
+            config.n_nodes,
+            self.rng.stream("topology"),
+            alpha=config.waxman_alpha,
+            beta=config.waxman_beta,
+            bw_min=config.bw_min,
+            bw_max=config.bw_max,
+            plane_size=config.plane_size,
+        )
+        self.landmarks = LandmarkEstimator(
+            self.topology, self.rng.stream("landmarks"), n_landmarks=config.n_landmarks
+        )
+        if config.use_landmark_bandwidth:
+            self.scheduler_bandwidth = LandmarkBandwidth(self.landmarks, self.topology)
+        else:
+            self.scheduler_bandwidth = OracleBandwidth(self.topology)
+
+        # ------------------------------------------------------- nodes (S10)
+        cap_rng = self.rng.stream("capacities")
+        caps = cap_rng.choice(np.asarray(config.capacities), size=config.n_nodes)
+        dynamic = config.dynamic_factor > 0.0
+        n_perm = (
+            int(round(config.permanent_fraction * config.n_nodes))
+            if dynamic
+            else config.n_nodes
+        )
+        n_perm = max(1, min(config.n_nodes, n_perm))
+        self.nodes: list[PeerNode] = [
+            PeerNode(
+                nid=i,
+                capacity=float(caps[i]),
+                is_home=(i < n_perm),
+                volatile=(i >= n_perm),
+            )
+            for i in range(config.n_nodes)
+        ]
+        self.home_nodes = [n for n in self.nodes if n.is_home]
+
+        # ----------------------------------------------------- gossip (S5-S6)
+        all_ids = [n.nid for n in self.nodes]
+        self.overlay = NewscastOverlay(all_ids, self.rng.stream("newscast"))
+        self.epidemic = EpidemicGossip(
+            self.overlay,
+            load_provider=self._node_state,
+            rng=self.rng.stream("epidemic"),
+            ttl=config.gossip_ttl,
+            push_size=config.gossip_push_size,
+            rss_capacity=config.rss_capacity,
+            expiry=config.rss_expiry_cycles * config.gossip_interval,
+        )
+        self.aggregation = AggregationGossip(
+            self.overlay,
+            self.rng.stream("aggregation"),
+            restart_cycles=config.aggregation_restart_cycles,
+        )
+        self.aggregation.register_metric(
+            "capacity", lambda nid: self.nodes[nid].capacity
+        )
+        meas = self.landmarks.measurements
+        finite_cap = np.nanmax(np.where(np.isfinite(meas), meas, np.nan))
+        local_bw = np.minimum(meas, finite_cap).mean(axis=1)
+        self.aggregation.register_metric(
+            "bandwidth", lambda nid: float(local_bw[nid])
+        )
+
+        # -------------------------------------------------- workflows (S7-S9)
+        self._oracle_avg_capacity = float(np.mean([n.capacity for n in self.nodes]))
+        self._oracle_avg_bandwidth = self.topology.mean_bandwidth()
+        self.executions: dict[str, WorkflowExecution] = {}
+        self.workflows_by_home: dict[int, list[WorkflowExecution]] = {
+            n.nid: [] for n in self.home_nodes
+        }
+        if workflows is None:
+            workflows = self._generate_workflows()
+        for home_id, wf in workflows:
+            eft = expected_finish_time(
+                wf, self._oracle_avg_capacity, self._oracle_avg_bandwidth
+            )
+            wx = WorkflowExecution(wf, home_id, submit_time=0.0, eft=eft)
+            self.executions[wf.wid] = wx
+            self.workflows_by_home.setdefault(home_id, []).append(wx)
+
+        # ------------------------------------------------------ runtime state
+        self.transfers = TransferManager(
+            self.sim, self.topology, contention=config.transfer_contention
+        )
+        self.dispatch_index: dict[tuple[str, int], TaskDispatch] = {}
+        self._seq = 0
+        #: full-ahead: (wid, producer_tid) -> consumers awaiting its data.
+        self._deferred_edges: dict[tuple[str, int], list[tuple[TaskDispatch, float]]] = {}
+        self.collector = MetricsCollector()
+        self.phase1 = Phase1Runner(self)
+        self.churn: Optional[ChurnProcess] = (
+            ChurnProcess(self, self.rng.stream("churn")) if dynamic else None
+        )
+        self._fullahead_plan = None
+        self._ran = False
+
+    # ------------------------------------------------------------------ setup
+    def _generate_workflows(self):
+        cfg = self.config
+        params = WorkflowParams(
+            task_range=cfg.task_range,
+            fanout_range=cfg.fanout_range,
+            load_range=cfg.load_range,
+            image_range=cfg.image_range,
+            data_range=cfg.data_range,
+        )
+        wf_rng = self.rng.stream("workflows")
+        total = cfg.load_factor * cfg.n_nodes
+        homes = [n.nid for n in self.home_nodes]
+        out = []
+        for i in range(total):
+            home = homes[i % len(homes)]
+            wf = random_workflow(f"wf{i:05d}n{home}", wf_rng, params)
+            out.append((home, wf))
+        return out
+
+    def _node_state(self, nid: int) -> tuple[float, float]:
+        node = self.nodes[nid]
+        return node.total_load(), node.capacity
+
+    # ----------------------------------------------------------- gossip views
+    def avg_capacity_estimate(self, nid: int) -> float:
+        """The node's decentralized estimate of mean capacity (MIPS)."""
+        est = self.aggregation.estimate("capacity", nid)
+        return est if est > 0 else self._oracle_avg_capacity
+
+    def avg_bandwidth_estimate(self, nid: int) -> float:
+        """The node's decentralized estimate of mean bandwidth (Mb/s)."""
+        est = self.aggregation.estimate("bandwidth", nid)
+        return est if est > 0 else max(self._oracle_avg_bandwidth, 1e-9)
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> RunResult:
+        """Execute the simulation and return the collected metrics."""
+        if self._ran:
+            raise RuntimeError("a P2PGridSystem can only run once")
+        self._ran = True
+        cfg = self.config
+        started = _wallclock.perf_counter()
+
+        # Same-instant ordering within a tick: gossip, churn, phase-1,
+        # metrics — achieved by creation order (the event queue is FIFO at
+        # equal timestamps).
+        PeriodicActivity(self.sim, cfg.gossip_interval, self._gossip_cycle, label="gossip")
+        if self.churn is not None:
+            PeriodicActivity(
+                self.sim, cfg.schedule_interval, self.churn.tick, label="churn"
+            )
+        if not self.bundle.full_ahead:
+            PeriodicActivity(
+                self.sim, cfg.schedule_interval, self._phase1_cycle, label="phase1"
+            )
+        PeriodicActivity(
+            self.sim, cfg.metrics_interval, self._metrics_cycle, label="metrics"
+        )
+
+        self.sim.schedule(0.0, self._submit_all, label="submit")
+        if self.bundle.full_ahead:
+            self.sim.schedule(0.0, self._fullahead_start, label="fullahead")
+
+        self.sim.run(until=cfg.total_time)
+        self._finalize_records()
+        self.collector.sample(
+            self.sim.now,
+            rss_mean=self.epidemic.mean_known_nodes(),
+            alive_nodes=sum(1 for n in self.nodes if n.alive),
+        )
+        wall = _wallclock.perf_counter() - started
+        return RunResult(
+            algorithm=cfg.algorithm,
+            seed=cfg.seed,
+            n_nodes=cfg.n_nodes,
+            n_workflows=len(self.executions),
+            total_time=cfg.total_time,
+            act=self.collector.act,
+            ae=self.collector.ae,
+            n_done=self.collector.n_done,
+            n_failed=self.collector.n_failed,
+            events_executed=self.sim.events_executed,
+            wall_seconds=wall,
+            rss_mean=self.epidemic.mean_known_nodes(),
+            records=self.collector.records,
+            samples=self.collector.samples,
+            config=cfg.describe(),
+        )
+
+    # --------------------------------------------------------- periodic ticks
+    def _gossip_cycle(self, cycle: int) -> None:
+        now = self.sim.now
+        self.overlay.run_cycle(now)
+        self.epidemic.run_cycle(now)
+        self.aggregation.run_cycle(now)
+
+    def _phase1_cycle(self, cycle: int) -> None:
+        self.phase1.run_cycle()
+
+    def _metrics_cycle(self, cycle: int) -> None:
+        self.collector.sample(
+            self.sim.now,
+            rss_mean=self.epidemic.mean_known_nodes(),
+            alive_nodes=sum(1 for n in self.nodes if n.alive),
+        )
+
+    # ------------------------------------------------------------ submission
+    def _submit_all(self) -> None:
+        for wx in self.executions.values():
+            self._absorb_virtual_and_check(wx)
+        if self.config.immediate_dispatch and not self.bundle.full_ahead:
+            for home in self.home_nodes:
+                self.phase1.run_for_home(home.nid)
+
+    # --------------------------------------------------------- JIT dispatching
+    def execute_decision(self, decision: DispatchDecision) -> bool:
+        """Migrate one task per a phase-1 decision (Algorithm 1 lines 13–15).
+
+        Returns False when the target churned out since the gossip record
+        was stamped — the task then stays a schedule point for the next
+        cycle and the stale record is evicted from the home's RSS.
+        """
+        target = self.nodes[decision.target]
+        home_id = decision.wx.home_id
+        if not target.alive:
+            rss = self.epidemic.rss_view(home_id)
+            rss.pop(decision.target, None)
+            return False
+        wx = decision.wx
+        tid = decision.tid
+        if wx.status is not WorkflowStatus.RUNNING or tid not in wx.schedule_points:
+            return False
+        inputs = wx.inputs_for(tid)
+        # A precedent's data may live on a departed node.
+        dead_sources = [src for src, _ in inputs if not self.nodes[src].alive]
+        if dead_sources:
+            if self.config.churn_mode == "suspend":
+                # The data's host is temporarily offline: retry next cycle.
+                return False
+            if self.config.reschedule_failed:
+                for src in dead_sources:
+                    for p in wx.wf.precedents[tid]:
+                        if p in wx.finished and wx.finished[p][0] == src:
+                            wx.invalidate_task(p)
+                return False
+            self._fail_workflow(wx, reason=f"dependent data lost on node {dead_sources[0]}")
+            return False
+
+        wx.mark_dispatched(tid)
+        task = wx.wf.tasks[tid]
+        dispatch = TaskDispatch(
+            wid=wx.wf.wid,
+            tid=tid,
+            load=task.load,
+            image_size=task.image_size,
+            home_id=home_id,
+            target_id=target.nid,
+            dispatch_time=self.sim.now,
+            seq=self._next_seq(),
+            ms_stamp=decision.stamps.get("ms", 0.0),
+            rpm_stamp=decision.stamps.get("rpm", 0.0),
+            sufferage_stamp=decision.stamps.get("sufferage", 0.0),
+            deadline_stamp=decision.stamps.get("deadline", 0.0),
+            et_stamp=decision.stamps.get("et", 0.0),
+        )
+        self.dispatch_index[dispatch.key()] = dispatch
+        target.enqueue(dispatch)
+        self._start_input_transfers(dispatch, inputs)
+        return True
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _start_input_transfers(
+        self, dispatch: TaskDispatch, inputs: list[tuple[int, float]]
+    ) -> None:
+        """Start image + dependent-data transfers; arm readiness counting."""
+        pending = 0
+        target = dispatch.target_id
+        if dispatch.image_size > 0.0 and dispatch.home_id != target:
+            pending += 1
+            self.transfers.start(
+                dispatch.home_id,
+                target,
+                dispatch.image_size,
+                lambda d=dispatch: self._transfer_arrived(d),
+            )
+        for src, mb in inputs:
+            if mb > 0.0 and src != target:
+                pending += 1
+                self.transfers.start(
+                    src, target, mb, lambda d=dispatch: self._transfer_arrived(d)
+                )
+        dispatch.pending_inputs = pending
+        if pending == 0:
+            dispatch.ready_time = self.sim.now
+            self._try_start(self.nodes[target])
+
+    def _transfer_arrived(self, dispatch: TaskDispatch) -> None:
+        if dispatch.cancelled:
+            return
+        dispatch.pending_inputs -= 1
+        if dispatch.pending_inputs == 0:
+            dispatch.ready_time = self.sim.now
+            self._try_start(self.nodes[dispatch.target_id])
+
+    # -------------------------------------------------- phase 2 / execution
+    def _try_start(self, node: PeerNode) -> None:
+        """Algorithm 2: assign the CPU when it is free (paper step 4/9)."""
+        if not node.alive or node.busy:
+            return
+        # Lazily drop cancelled entries so ready sets stay small.
+        if any(d.cancelled for d in node.ready):
+            node.ready = [d for d in node.ready if not d.cancelled]
+        runnable = node.runnable_tasks()
+        if not runnable:
+            return
+        dispatch = self.bundle.phase2.select(runnable, self.sim.now)
+        et = node.start(dispatch, self.sim.now)
+        node.completion_event = self.sim.schedule(
+            et, lambda n=node: self._on_cpu_complete(n), label="exec"
+        )
+
+    def _on_cpu_complete(self, node: PeerNode) -> None:
+        dispatch = node.finish_running(self.sim.now)
+        self._task_finished(dispatch, node)
+        self._try_start(node)
+
+    def _task_finished(self, dispatch: TaskDispatch, node: PeerNode) -> None:
+        wx = self.executions[dispatch.wid]
+        self.dispatch_index.pop(dispatch.key(), None)
+        if wx.status is not WorkflowStatus.RUNNING:
+            return  # workflow already failed; the result is discarded
+        wx.mark_finished(dispatch.tid, node.nid, self.sim.now)
+        self._absorb_virtual_and_check(wx)
+        if self.bundle.full_ahead:
+            self._release_deferred_edges(wx, dispatch.tid, node.nid)
+        elif (
+            self.config.immediate_dispatch
+            and wx.status is WorkflowStatus.RUNNING
+            and wx.schedule_points
+        ):
+            self.phase1.run_for_home(wx.home_id, only_wids={wx.wf.wid})
+
+    def _absorb_virtual_and_check(self, wx: WorkflowExecution) -> None:
+        """Complete virtual schedule points instantly; detect completion."""
+        progressed = True
+        while progressed:
+            progressed = False
+            for tid in list(wx.schedule_points):
+                if wx.wf.tasks[tid].virtual:
+                    wx.mark_finished(tid, wx.home_id, self.sim.now)
+                    progressed = True
+        if wx.status is WorkflowStatus.RUNNING and wx.is_complete:
+            wx.status = WorkflowStatus.DONE
+            wx.completion_time = self.sim.now
+            self.collector.workflow_done(self._record(wx))
+
+    # --------------------------------------------------- full-ahead execution
+    def _fullahead_start(self) -> None:
+        """Plan centrally with global information and dispatch everything."""
+        ids = np.asarray([n.nid for n in self.nodes], dtype=np.int64)
+        caps = np.asarray([n.capacity for n in self.nodes])
+        view = GlobalView(
+            node_ids=ids,
+            capacities=caps,
+            bandwidth=self.topology._bandwidth,
+            latency=self.topology._latency,
+            avg_capacity=self._oracle_avg_capacity,
+            avg_bandwidth=max(self._oracle_avg_bandwidth, 1e-9),
+        )
+        assert self.bundle.planner is not None
+        plan = self.bundle.planner.plan(view, list(self.executions.values()))
+        self._fullahead_plan = plan
+
+        for wx in self.executions.values():
+            wf = wx.wf
+            for tid in wf.topo_order:
+                task = wf.tasks[tid]
+                if task.virtual or tid in wx.finished:
+                    continue
+                target = plan.node_for(wf.wid, tid)
+                self._fullahead_dispatch(wx, tid, target, plan)
+
+    def _fullahead_dispatch(self, wx, tid: int, target: int, plan) -> None:
+        """Place a task per the static plan; edge transfers start when the
+        producing task finishes (full-ahead knows targets in advance)."""
+        wf = wx.wf
+        task = wf.tasks[tid]
+        wx.schedule_points.discard(tid)
+        wx.dispatched.add(tid)
+        dispatch = TaskDispatch(
+            wid=wf.wid,
+            tid=tid,
+            load=task.load,
+            image_size=task.image_size,
+            home_id=wx.home_id,
+            target_id=target,
+            dispatch_time=self.sim.now,
+            seq=self._next_seq(),
+        )
+        self.dispatch_index[dispatch.key()] = dispatch
+        node = self.nodes[target]
+        node.enqueue(dispatch)
+
+        pending = 0
+        if task.image_size > 0.0 and wx.home_id != target:
+            pending += 1
+            self.transfers.start(
+                wx.home_id,
+                target,
+                task.image_size,
+                lambda d=dispatch: self._transfer_arrived(d),
+            )
+        for p, data in wf.precedents[tid].items():
+            if p in wx.finished:
+                # Producer already done (virtual entry at t=0): only a real
+                # remote transfer delays readiness.
+                src = wx.finished[p][0]
+                if data > 0.0 and src != target:
+                    pending += 1
+                    self.transfers.start(
+                        src, target, data,
+                        lambda d=dispatch: self._transfer_arrived(d),
+                    )
+            else:
+                # Every unfinished precedent holds one readiness token, even
+                # for co-located / zero-data edges — otherwise a successor
+                # sharing its producer's node could execute first.
+                pending += 1
+                self._deferred_edges.setdefault((wf.wid, p), []).append(
+                    (dispatch, data)
+                )
+        dispatch.pending_inputs = pending
+        if pending == 0:
+            dispatch.ready_time = self.sim.now
+            self._try_start(node)
+
+    def _release_deferred_edges(self, wx, producer_tid: int, producer_node: int) -> None:
+        """The producer finished: ship its outputs to waiting consumers (or
+        release their dependency token directly when no transfer is needed)."""
+        waiting = self._deferred_edges.pop((wx.wf.wid, producer_tid), None)
+        if not waiting:
+            return
+        for consumer, data in waiting:
+            if consumer.cancelled:
+                continue
+            if data > 0.0 and producer_node != consumer.target_id:
+                self.transfers.start(
+                    producer_node,
+                    consumer.target_id,
+                    data,
+                    lambda d=consumer: self._transfer_arrived(d),
+                )
+            else:
+                self._transfer_arrived(consumer)
+
+    # ------------------------------------------------------------------ churn
+    def kill_node(self, nid: int) -> None:
+        """Disconnect a volatile node.
+
+        ``suspend`` churn mode (default): the node goes offline with its
+        tasks — the running task's remaining execution time is frozen, the
+        ready set is kept, and everything resumes on rejoin.  Workflows with
+        tasks here simply stall (the paper's "large-load tasks which cannot
+        be finished quickly").
+
+        ``fail`` churn mode: resident tasks are lost; owning workflows fail
+        (or, with the ``reschedule_failed`` extension, their lost tasks
+        become schedule points again).
+        """
+        node = self.nodes[nid]
+        if not node.alive:
+            return
+        node.alive = False
+        if self.config.churn_mode == "suspend":
+            if node.completion_event is not None:
+                node.suspended_remaining = max(
+                    0.0, node.completion_event.time - self.sim.now
+                )
+                node.completion_event.cancel()
+                node.completion_event = None
+            # Overlay/gossip state dies with the connection; in-flight
+            # inbound transfers are assumed buffered at the (returning)
+            # node's NIC and complete normally.
+            self.overlay.remove_node(nid)
+            self.epidemic.remove_node(nid)
+            self.aggregation.remove_node(nid)
+            return
+
+        if node.completion_event is not None:
+            node.completion_event.cancel()
+        lost = list(node.ready)
+        if node.running is not None:
+            lost.append(node.running)
+        node.ready.clear()
+        node.running = None
+        node.completion_event = None
+        self.transfers.cancel_inbound(nid)
+        self.overlay.remove_node(nid)
+        self.epidemic.remove_node(nid)
+        self.aggregation.remove_node(nid)
+        for dispatch in lost:
+            if dispatch.cancelled:
+                continue
+            dispatch.cancelled = True
+            self.dispatch_index.pop(dispatch.key(), None)
+            wx = self.executions[dispatch.wid]
+            if wx.status is not WorkflowStatus.RUNNING:
+                continue
+            if self.config.reschedule_failed:
+                self._reschedule_lost(wx, dispatch.tid, nid)
+            else:
+                self._fail_workflow(wx, reason=f"task lost on churned node {nid}")
+
+    def revive_node(self, nid: int) -> None:
+        """A departed node rejoins.
+
+        ``suspend`` mode: picks up exactly where it left off (the frozen
+        running task is re-armed, queued tasks become eligible again).
+        ``fail`` mode: returns fresh and empty.
+        """
+        node = self.nodes[nid]
+        if node.alive:
+            return
+        if self.config.churn_mode == "suspend":
+            node.alive = True
+            node.epoch += 1
+            if node.running is not None:
+                remaining = node.suspended_remaining or 0.0
+                node.suspended_remaining = None
+                node.completion_event = self.sim.schedule(
+                    remaining, lambda n=node: self._on_cpu_complete(n), label="exec"
+                )
+            else:
+                self._try_start(node)
+        else:
+            node.reset_for_rejoin(node.epoch + 1)
+        self.overlay.add_node(nid, self.sim.now)
+        self.epidemic.add_node(nid)
+        self.aggregation.add_node(nid)
+
+    def _reschedule_lost(self, wx, tid: int, dead_node: int) -> None:
+        """Extension (paper's future work): restore lost tasks as schedule
+        points, invalidating finished tasks whose output data died with the
+        node and is still needed."""
+        wx.invalidate_task(tid)
+        for ftid, (fnode, _) in list(wx.finished.items()):
+            if fnode != dead_node:
+                continue
+            needed = any(
+                s not in wx.finished and s not in wx.dispatched
+                for s in wx.wf.successors[ftid]
+            )
+            if needed:
+                wx.invalidate_task(ftid)
+
+    def _fail_workflow(self, wx, reason: str) -> None:
+        wx.status = WorkflowStatus.FAILED
+        wx.failure_reason = reason
+        # Cancel sibling dispatches still queued anywhere (running tasks
+        # are non-preemptive and run to completion; their results are
+        # simply discarded).
+        for tid in wx.wf.tasks:
+            dispatch = self.dispatch_index.pop((wx.wf.wid, tid), None)
+            if dispatch is not None and dispatch.start_time is None:
+                dispatch.cancelled = True
+                self.nodes[dispatch.target_id].remove(dispatch)
+        self.collector.workflow_failed(self._record(wx))
+
+    # ---------------------------------------------------------------- records
+    def _record(self, wx) -> WorkflowRecord:
+        return WorkflowRecord(
+            wid=wx.wf.wid,
+            home_id=wx.home_id,
+            n_tasks=wx.wf.n_tasks,
+            eft=wx.eft,
+            submit_time=wx.submit_time,
+            status=wx.status.value,
+            completion_time=wx.completion_time,
+            failure_reason=wx.failure_reason,
+        )
+
+    def _finalize_records(self) -> None:
+        """Workflows still running at the horizon are recorded as such."""
+        for wx in self.executions.values():
+            if wx.status is WorkflowStatus.RUNNING:
+                self.collector.records.append(self._record(wx))

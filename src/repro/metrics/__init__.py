@@ -1,0 +1,5 @@
+"""Evaluation metrics (substrate S17): Eq. (2) ACT, Eq. (3) AE, throughput."""
+
+from repro.metrics.collectors import MetricsCollector, RunResult, WorkflowRecord
+
+__all__ = ["MetricsCollector", "RunResult", "WorkflowRecord"]

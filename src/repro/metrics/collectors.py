@@ -1,0 +1,166 @@
+"""Metric collection: per-workflow records and hourly time series.
+
+The paper's figures plot, against simulated time, the cumulative
+
+* **throughput** — number of workflows finished so far (Fig. 4/12),
+* **ACT** — average completion time over finished workflows, Eq. (2)
+  (Fig. 5/7/9/11c/13), and
+* **AE** — average execution efficiency eft/ct over finished workflows,
+  Eq. (3) (Fig. 6/8/10/11b/14).
+
+:class:`MetricsCollector` accumulates those incrementally (O(1) per
+completion); :class:`RunResult` is the detached, pickle-friendly outcome
+object the experiment harness and the public API return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["MetricsCollector", "RunResult", "WorkflowRecord"]
+
+
+@dataclass(frozen=True)
+class WorkflowRecord:
+    """Final fate of one submitted workflow."""
+
+    wid: str
+    home_id: int
+    n_tasks: int
+    eft: float
+    submit_time: float
+    status: str
+    completion_time: Optional[float] = None
+    failure_reason: str = ""
+
+    @property
+    def ct(self) -> Optional[float]:
+        """Response time ct(f) (None unless finished)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.submit_time
+
+    @property
+    def efficiency(self) -> Optional[float]:
+        """e(f) = eft / ct (None unless finished)."""
+        ct = self.ct
+        if ct is None or ct <= 0:
+            return None
+        return self.eft / ct
+
+
+@dataclass
+class Sample:
+    """One time-series point (hourly by default)."""
+
+    time: float
+    throughput: int
+    act: float
+    ae: float
+    rss_mean: float = 0.0
+    alive_nodes: int = 0
+
+
+class MetricsCollector:
+    """Incremental accumulation of the paper's three headline metrics."""
+
+    def __init__(self) -> None:
+        self.records: list[WorkflowRecord] = []
+        self.samples: list[Sample] = []
+        self._n_done = 0
+        self._sum_ct = 0.0
+        self._sum_eff = 0.0
+        self._n_failed = 0
+
+    # --------------------------------------------------------------- events
+    def workflow_done(self, record: WorkflowRecord) -> None:
+        """Register a completed workflow."""
+        self.records.append(record)
+        ct = record.ct
+        eff = record.efficiency
+        assert ct is not None and eff is not None
+        self._n_done += 1
+        self._sum_ct += ct
+        self._sum_eff += eff
+
+    def workflow_failed(self, record: WorkflowRecord) -> None:
+        """Register a failed workflow (churn loss; excluded from ACT/AE)."""
+        self.records.append(record)
+        self._n_failed += 1
+
+    def sample(self, time: float, rss_mean: float = 0.0, alive_nodes: int = 0) -> None:
+        """Record the cumulative metrics at ``time``."""
+        self.samples.append(
+            Sample(
+                time=time,
+                throughput=self._n_done,
+                act=self.act,
+                ae=self.ae,
+                rss_mean=rss_mean,
+                alive_nodes=alive_nodes,
+            )
+        )
+
+    # -------------------------------------------------------------- queries
+    @property
+    def n_done(self) -> int:
+        return self._n_done
+
+    @property
+    def n_failed(self) -> int:
+        return self._n_failed
+
+    @property
+    def act(self) -> float:
+        """Average completion time (Eq. 2) over finished workflows."""
+        return self._sum_ct / self._n_done if self._n_done else 0.0
+
+    @property
+    def ae(self) -> float:
+        """Average efficiency (Eq. 3) over finished workflows."""
+        return self._sum_eff / self._n_done if self._n_done else 0.0
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs to know about one finished run."""
+
+    algorithm: str
+    seed: int
+    n_nodes: int
+    n_workflows: int
+    total_time: float
+    act: float
+    ae: float
+    n_done: int
+    n_failed: int
+    events_executed: int
+    wall_seconds: float
+    rss_mean: float
+    records: list[WorkflowRecord] = field(default_factory=list)
+    samples: list[Sample] = field(default_factory=list)
+    config: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------- series
+    def series(self, metric: str) -> tuple[list[float], list[float]]:
+        """``(times_hours, values)`` for ``metric`` in
+        {'throughput', 'act', 'ae'} — the paper's x-axes are hours."""
+        times = [s.time / 3600.0 for s in self.samples]
+        values = [float(getattr(s, metric)) for s in self.samples]
+        return times, values
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of submitted workflows that finished."""
+        return self.n_done / self.n_workflows if self.n_workflows else 0.0
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        return (
+            f"[{self.algorithm}] {self.n_done}/{self.n_workflows} workflows "
+            f"finished ({self.n_failed} failed) on {self.n_nodes} nodes in "
+            f"{self.total_time / 3600.0:.0f} simulated hours | "
+            f"ACT={self.act:.0f}s AE={self.ae:.3f} | "
+            f"{self.events_executed} events in {self.wall_seconds:.1f}s wall"
+        )

@@ -1,0 +1,85 @@
+"""All-pairs bottleneck (widest-path) bandwidth (substrate S3).
+
+The available end-to-end bandwidth between two peers is the minimum link
+bandwidth along the best path — the classic *widest path* (maximum-capacity
+path) value.  Computing it pairwise with n Dijkstra runs is O(n·E log n); we
+instead use the maximum-spanning-tree property: processing edges in
+*descending* bandwidth order with a union-find, the edge that first merges
+the components of ``u`` and ``v`` has exactly the widest-path bottleneck
+bandwidth for every such pair.  One descending-Kruskal sweep therefore fills
+the whole n x n matrix, with NumPy block assignments doing the O(n^2) writes.
+
+This is the "algorithmic optimization first" rule from the hpc-parallel
+guides applied to the topology substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["all_pairs_bottleneck"]
+
+
+def all_pairs_bottleneck(
+    n: int, edges: np.ndarray, widths: np.ndarray
+) -> np.ndarray:
+    """Return the ``(n, n)`` matrix of widest-path bottleneck widths.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    edges:
+        ``(m, 2)`` undirected edge index array.
+    widths:
+        ``(m,)`` per-edge width (bandwidth).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``B[u, v]`` = bottleneck width of the widest ``u``–``v`` path;
+        ``inf`` on the diagonal; ``0`` for disconnected pairs.
+    """
+    if len(edges) != len(widths):
+        raise ValueError("edges and widths must have the same length")
+    bott = np.zeros((n, n))
+    np.fill_diagonal(bott, np.inf)
+    if n <= 1 or len(edges) == 0:
+        return bott
+
+    order = np.argsort(widths)[::-1]  # descending width
+    # Union-find with explicit member lists so merges can bulk-assign.
+    parent = np.arange(n, dtype=np.int64)
+    members: list[list[int] | None] = [[i] for i in range(n)]
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for idx in order:
+        u, v = int(edges[idx, 0]), int(edges[idx, 1])
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            continue
+        mu, mv = members[ru], members[rv]
+        assert mu is not None and mv is not None
+        # Every pair across the two components has this edge's width as its
+        # bottleneck (all earlier edges were wider and failed to connect them).
+        au = np.asarray(mu, dtype=np.int64)
+        av = np.asarray(mv, dtype=np.int64)
+        w = widths[idx]
+        bott[np.ix_(au, av)] = w
+        bott[np.ix_(av, au)] = w
+        # Union by size.
+        if len(mu) < len(mv):
+            ru, rv = rv, ru
+            mu, mv = mv, mu
+        parent[rv] = ru
+        mu.extend(mv)
+        members[rv] = None
+
+    return bott

@@ -1,0 +1,147 @@
+"""Topology facade: link properties and end-to-end path metrics (S2+S3).
+
+A :class:`Topology` owns a generated Waxman graph, assigns per-link
+bandwidth (Table I: 0.1–10 Mb/s) and distance-derived latency, and exposes
+the two end-to-end quantities the grid runtime needs:
+
+* ``bandwidth(u, v)`` — bottleneck bandwidth of the widest path (Mb/s), and
+* ``latency(u, v)``  — propagation delay of the shortest path (s).
+
+``transfer_time(u, v, megabits)`` combines them the way the paper's cost
+model does (``datasize / bandwidth``), plus the propagation term which is
+negligible for the paper's data sizes but keeps the model physical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from repro.net.bottleneck import all_pairs_bottleneck
+from repro.net.waxman import WaxmanGraph, generate_waxman
+
+__all__ = ["Topology"]
+
+#: Speed of signal propagation used to turn plane distance into latency.
+#: The plane is unit-less; this constant maps the default 1000-unit plane to
+#: a ~60 ms coast-to-coast one-way delay, a typical WAN figure.
+_PROPAGATION_UNITS_PER_SECOND = 25_000.0
+
+
+class Topology:
+    """End-to-end network model for ``n`` peers.
+
+    Parameters
+    ----------
+    graph:
+        The underlying Waxman graph.
+    bw_min, bw_max:
+        Uniform per-link bandwidth range in Mb/s (Table I: 0.1–10).
+    rng:
+        Generator for the bandwidth draw.
+
+    Notes
+    -----
+    End-to-end matrices are computed eagerly: all-pairs bottleneck bandwidth
+    via one descending-Kruskal sweep and all-pairs latency via scipy's
+    multi-source Dijkstra.  For the paper's largest scale (n=2000) each
+    matrix is 32 MB — fine on a laptop, and lookups on the hot scheduling
+    path become O(1) array reads.
+    """
+
+    def __init__(
+        self,
+        graph: WaxmanGraph,
+        bw_min: float = 0.1,
+        bw_max: float = 10.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if bw_min <= 0 or bw_max < bw_min:
+            raise ValueError(f"invalid bandwidth range [{bw_min}, {bw_max}]")
+        self.graph = graph
+        self.n = graph.n
+        if rng is None:
+            rng = np.random.default_rng(0)
+        self.link_bandwidth = rng.uniform(bw_min, bw_max, size=graph.m)
+        self.link_latency = graph.distances / _PROPAGATION_UNITS_PER_SECOND
+
+        self._bandwidth = all_pairs_bottleneck(self.n, graph.edges, self.link_bandwidth)
+        self._latency = self._all_pairs_latency()
+
+    # ------------------------------------------------------------ internals
+    def _all_pairs_latency(self) -> np.ndarray:
+        n = self.n
+        if n == 1 or self.graph.m == 0:
+            lat = np.zeros((n, n))
+            return lat
+        e = self.graph.edges
+        w = self.link_latency
+        rows = np.concatenate([e[:, 0], e[:, 1]])
+        cols = np.concatenate([e[:, 1], e[:, 0]])
+        data = np.concatenate([w, w])
+        adj = csr_matrix((data, (rows, cols)), shape=(n, n))
+        lat = dijkstra(adj, directed=False)
+        return lat
+
+    # ------------------------------------------------------------------ API
+    def bandwidth(self, u: int, v: int) -> float:
+        """End-to-end bandwidth between peers ``u`` and ``v`` in Mb/s.
+
+        ``inf`` for ``u == v`` (local transfers are free).
+        """
+        return float(self._bandwidth[u, v])
+
+    def latency(self, u: int, v: int) -> float:
+        """One-way end-to-end propagation delay in seconds."""
+        return float(self._latency[u, v])
+
+    def bandwidth_row(self, u: int) -> np.ndarray:
+        """Bandwidth from ``u`` to every peer (vectorized scheduling path)."""
+        return self._bandwidth[u]
+
+    def latency_row(self, u: int) -> np.ndarray:
+        """Latency from ``u`` to every peer."""
+        return self._latency[u]
+
+    def transfer_time(self, u: int, v: int, megabits: float) -> float:
+        """Seconds to ship ``megabits`` of data from ``u`` to ``v``.
+
+        Local transfers (``u == v``) are instantaneous, matching the paper's
+        model where only *remote* dependent data incurs aggregation cost.
+        """
+        if u == v or megabits <= 0.0:
+            return 0.0
+        return megabits / self._bandwidth[u, v] + self._latency[u, v]
+
+    def mean_bandwidth(self) -> float:
+        """System-wide average end-to-end bandwidth (ground truth).
+
+        This is the quantity the aggregation gossip protocol estimates in a
+        decentralized way; experiments can use either.
+        """
+        n = self.n
+        if n < 2:
+            return float("inf")
+        off = ~np.eye(n, dtype=bool)
+        vals = self._bandwidth[off]
+        finite = vals[np.isfinite(vals) & (vals > 0)]
+        return float(finite.mean()) if len(finite) else 0.0
+
+    # ------------------------------------------------------------- factory
+    @classmethod
+    def waxman(
+        cls,
+        n: int,
+        rng: np.random.Generator,
+        alpha: float = 0.15,
+        beta: float = 0.2,
+        bw_min: float = 0.1,
+        bw_max: float = 10.0,
+        plane_size: float = 1000.0,
+    ) -> "Topology":
+        """Generate a Waxman graph and wrap it in a :class:`Topology`."""
+        graph = generate_waxman(n, rng, alpha=alpha, beta=beta, plane_size=plane_size)
+        return cls(graph, bw_min=bw_min, bw_max=bw_max, rng=rng)

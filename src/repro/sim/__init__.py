@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel (substrate S1, replaces PeerSim).
+
+The kernel is a classic heap-driven event loop with deterministic
+tie-breaking.  Two usage styles are supported, mirroring PeerSim:
+
+* **event-driven** — arbitrary callbacks scheduled at absolute or relative
+  simulated times (used for task execution, data transfers, churn), and
+* **cycle-driven** — :class:`~repro.sim.periodic.PeriodicActivity` fires a
+  callback every fixed period (used for gossip cycles and the scheduling
+  interval).
+"""
+
+from repro.sim.engine import Event, Simulator, SimulatorError
+from repro.sim.periodic import PeriodicActivity
+from repro.sim.rng import RngHub, spawn_generator
+
+__all__ = [
+    "Event",
+    "PeriodicActivity",
+    "RngHub",
+    "Simulator",
+    "SimulatorError",
+    "spawn_generator",
+]

@@ -1,0 +1,78 @@
+"""Schedule analysis over recorded traces: utilization, waits, Gantt."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.trace.recorder import TraceRecorder
+
+__all__ = ["node_utilization", "waiting_time_breakdown", "gantt_ascii"]
+
+
+def node_utilization(recorder: TraceRecorder, horizon: float) -> dict[int, float]:
+    """Fraction of ``[0, horizon]`` each node's CPU was busy."""
+    busy: dict[int, float] = defaultdict(float)
+    for node, _, _, start, finish in recorder.task_intervals():
+        busy[node] += finish - start
+    return {n: t / horizon for n, t in sorted(busy.items())}
+
+
+def waiting_time_breakdown(recorder: TraceRecorder) -> dict[str, float]:
+    """Mean per-task delay split into *dispatch→start* (ready-set wait +
+    data transfers) and *start→finish* (execution)."""
+    dispatches: dict[tuple[str, int], float] = {}
+    starts: dict[tuple[str, int], float] = {}
+    wait_total = exec_total = 0.0
+    n = 0
+    for e in recorder.events:
+        key = (e.wid, e.tid)
+        if e.kind == "dispatch":
+            dispatches[key] = e.time
+        elif e.kind == "start":
+            starts[key] = e.time
+        elif e.kind == "finish" and key in starts:
+            start = starts.pop(key)
+            disp = dispatches.pop(key, start)
+            wait_total += start - disp
+            exec_total += e.time - start
+            n += 1
+    if n == 0:
+        return {"mean_wait": 0.0, "mean_exec": 0.0, "tasks": 0.0}
+    return {"mean_wait": wait_total / n, "mean_exec": exec_total / n, "tasks": float(n)}
+
+
+def gantt_ascii(
+    recorder: TraceRecorder,
+    nodes: list[int] | None = None,
+    horizon: float | None = None,
+    width: int = 72,
+) -> str:
+    """Render per-node CPU occupation as an ASCII Gantt chart.
+
+    Each row is one node; distinct workflows cycle through marker
+    characters.  Intended for small scenarios (examples, debugging).
+    """
+    intervals = recorder.task_intervals()
+    if not intervals:
+        return "(no executed tasks)"
+    if horizon is None:
+        horizon = max(f for _, _, _, _, f in intervals)
+    if nodes is None:
+        nodes = sorted({n for n, _, _, _, _ in intervals})
+    markers = "abcdefghijklmnopqrstuvwxyz0123456789"
+    wid_marker: dict[str, str] = {}
+    rows = []
+    for node in nodes:
+        line = [" "] * width
+        for n, wid, _, start, finish in intervals:
+            if n != node:
+                continue
+            m = wid_marker.setdefault(wid, markers[len(wid_marker) % len(markers)])
+            a = int(start / horizon * (width - 1))
+            b = max(a + 1, int(finish / horizon * (width - 1)))
+            for k in range(a, min(b, width)):
+                line[k] = m
+        rows.append(f"node {node:>4} |{''.join(line)}|")
+    legend = "  ".join(f"{m}={w}" for w, m in list(wid_marker.items())[:12])
+    out = "\n".join(rows)
+    return f"{out}\n  t=0 {'-' * (width - 12)} t={horizon:.0f}s\n  {legend}"

@@ -1,0 +1,155 @@
+"""Event recording hooks for the grid system.
+
+The recorder monkey-patches nothing: :meth:`TraceRecorder.attach` wraps the
+handful of system callbacks (dispatch execution, CPU start/finish, node
+kill/revive) with thin recording shims.  Overhead is one list append per
+event; recording 100k events costs a few milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.grid.system import P2PGridSystem
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence.
+
+    ``kind`` is one of ``dispatch``, ``start``, ``finish``, ``workflow_done``,
+    ``workflow_failed``, ``node_down``, ``node_up``.
+    """
+
+    time: float
+    kind: str
+    node: int
+    wid: str = ""
+    tid: int = -1
+    detail: str = ""
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects from a running system."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._attached = False
+
+    # ------------------------------------------------------------------ API
+    def attach(self, system: "P2PGridSystem") -> "TraceRecorder":
+        """Instrument ``system``; call before ``system.run()``."""
+        if self._attached:
+            raise RuntimeError("recorder already attached")
+        self._attached = True
+        rec = self.events
+
+        orig_execute = system.execute_decision
+
+        def execute_decision(decision):
+            ok = orig_execute(decision)
+            if ok:
+                rec.append(
+                    TraceEvent(
+                        time=system.sim.now,
+                        kind="dispatch",
+                        node=decision.target,
+                        wid=decision.wx.wf.wid,
+                        tid=decision.tid,
+                    )
+                )
+            return ok
+
+        system.execute_decision = execute_decision  # type: ignore[method-assign]
+
+        orig_try_start = system._try_start
+
+        def try_start(node):
+            was = node.running
+            orig_try_start(node)
+            if node.running is not None and node.running is not was:
+                d = node.running
+                rec.append(
+                    TraceEvent(
+                        time=system.sim.now,
+                        kind="start",
+                        node=node.nid,
+                        wid=d.wid,
+                        tid=d.tid,
+                    )
+                )
+
+        system._try_start = try_start  # type: ignore[method-assign]
+
+        orig_finished = system._task_finished
+
+        def task_finished(dispatch, node):
+            rec.append(
+                TraceEvent(
+                    time=system.sim.now,
+                    kind="finish",
+                    node=node.nid,
+                    wid=dispatch.wid,
+                    tid=dispatch.tid,
+                )
+            )
+            orig_finished(dispatch, node)
+
+        system._task_finished = task_finished  # type: ignore[method-assign]
+
+        orig_kill = system.kill_node
+
+        def kill_node(nid):
+            alive_before = system.nodes[nid].alive
+            orig_kill(nid)
+            if alive_before:
+                rec.append(TraceEvent(time=system.sim.now, kind="node_down", node=nid))
+
+        system.kill_node = kill_node  # type: ignore[method-assign]
+
+        orig_revive = system.revive_node
+
+        def revive_node(nid):
+            dead_before = not system.nodes[nid].alive
+            orig_revive(nid)
+            if dead_before:
+                rec.append(TraceEvent(time=system.sim.now, kind="node_up", node=nid))
+
+        system.revive_node = revive_node  # type: ignore[method-assign]
+        return self
+
+    # -------------------------------------------------------------- queries
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """Events of one kind, in time order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def for_workflow(self, wid: str) -> list[TraceEvent]:
+        """Events belonging to one workflow."""
+        return [e for e in self.events if e.wid == wid]
+
+    def for_node(self, node: int) -> list[TraceEvent]:
+        """Events at one node."""
+        return [e for e in self.events if e.node == node]
+
+    def task_intervals(self) -> list[tuple[int, str, int, float, float]]:
+        """``(node, wid, tid, start, finish)`` per executed task."""
+        starts: dict[tuple[str, int], TraceEvent] = {}
+        out: list[tuple[int, str, int, float, float]] = []
+        for e in self.events:
+            if e.kind == "start":
+                starts[(e.wid, e.tid)] = e
+            elif e.kind == "finish":
+                s = starts.pop((e.wid, e.tid), None)
+                if s is not None:
+                    out.append((e.node, e.wid, e.tid, s.time, e.time))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterable[TraceEvent]:
+        return iter(self.events)

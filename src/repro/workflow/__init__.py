@@ -1,0 +1,43 @@
+"""Scientific-workflow substrate (S7–S9, paper §II.A and §IV.A).
+
+* :mod:`repro.workflow.task` / :mod:`repro.workflow.dag` — the DAG model:
+  tasks with computational load (MI) and image size (Mb), edges carrying
+  dependent-data sizes (Mb), normalized to a unique entry and exit task.
+* :mod:`repro.workflow.generator` — the paper's random workflow generator
+  (2–30 tasks, fan-out 1–5) plus structured families used by the examples.
+* :mod:`repro.workflow.analysis` — critical path, expected finish time
+  eft(f) (Eq. 1) and the rest-path-makespan (RPM) backward pass (Eq. 7).
+"""
+
+from repro.workflow.analysis import (
+    critical_path,
+    expected_finish_time,
+    rest_path_after,
+    upward_rank,
+)
+from repro.workflow.dag import Workflow, WorkflowError
+from repro.workflow.generator import (
+    WorkflowParams,
+    chain_workflow,
+    diamond_workflow,
+    fork_join_workflow,
+    montage_like_workflow,
+    random_workflow,
+)
+from repro.workflow.task import Task
+
+__all__ = [
+    "Task",
+    "Workflow",
+    "WorkflowError",
+    "WorkflowParams",
+    "chain_workflow",
+    "critical_path",
+    "diamond_workflow",
+    "expected_finish_time",
+    "fork_join_workflow",
+    "montage_like_workflow",
+    "random_workflow",
+    "rest_path_after",
+    "upward_rank",
+]

@@ -1,0 +1,89 @@
+"""Workflow serialization (extension): JSON round-trip and DOT export.
+
+Scientific-workflow systems exchange DAGs in Pegasus' DAX or similar
+formats; this module provides an equivalent JSON schema for the
+reproduction's :class:`~repro.workflow.dag.Workflow` so external workloads
+can be imported and generated ones archived::
+
+    {"wid": "...", "tasks": [{"tid": 0, "load": ..., "image_size": ...,
+                               "virtual": false, "name": "..."}, ...],
+     "edges": [{"src": 0, "dst": 1, "data": 42.0}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.workflow.dag import Workflow
+from repro.workflow.task import Task
+
+__all__ = ["workflow_to_dict", "workflow_from_dict", "save_workflow",
+           "load_workflow", "workflow_to_dot"]
+
+
+def workflow_to_dict(wf: Workflow) -> dict:
+    """Plain-dict representation (JSON-safe)."""
+    return {
+        "wid": wf.wid,
+        "tasks": [
+            {
+                "tid": t.tid,
+                "load": t.load,
+                "image_size": t.image_size,
+                "virtual": t.virtual,
+                "name": t.name,
+            }
+            for t in wf.tasks.values()
+        ],
+        "edges": [
+            {"src": u, "dst": v, "data": d} for (u, v), d in sorted(wf.edges.items())
+        ],
+    }
+
+
+def workflow_from_dict(payload: dict) -> Workflow:
+    """Inverse of :func:`workflow_to_dict` (validates the DAG)."""
+    tasks = [
+        Task(
+            tid=int(t["tid"]),
+            load=float(t["load"]),
+            image_size=float(t.get("image_size", 0.0)),
+            virtual=bool(t.get("virtual", False)),
+            name=str(t.get("name", "")),
+        )
+        for t in payload["tasks"]
+    ]
+    edges = {
+        (int(e["src"]), int(e["dst"])): float(e["data"]) for e in payload["edges"]
+    }
+    return Workflow(str(payload["wid"]), tasks, edges)
+
+
+def save_workflow(wf: Workflow, path: str | Path) -> Path:
+    """Write the workflow as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(workflow_to_dict(wf), indent=1))
+    return path
+
+
+def load_workflow(path: str | Path) -> Workflow:
+    """Read a workflow previously saved with :func:`save_workflow`."""
+    return workflow_from_dict(json.loads(Path(path).read_text()))
+
+
+def workflow_to_dot(wf: Workflow) -> str:
+    """GraphViz DOT text (tasks labelled with load, edges with data size)."""
+    lines = [f'digraph "{wf.wid}" {{', "  rankdir=TB;"]
+    for t in wf.tasks.values():
+        shape = "ellipse" if not t.virtual else "point"
+        label = t.name or f"t{t.tid}"
+        lines.append(
+            f'  t{t.tid} [label="{label}\\n{t.load:g} MI", shape={shape}];'
+        )
+    for (u, v), d in sorted(wf.edges.items()):
+        label = f' [label="{d:g} Mb"]' if d > 0 else ""
+        lines.append(f"  t{u} -> t{v}{label};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Task model (paper §II.A / Table I).
+
+A task ``t_k`` is characterized by its computational load ``l_k`` in million
+instructions (MI) and the size of its program image in megabits; dependent
+data sizes live on the DAG edges (:class:`repro.workflow.dag.Workflow`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Task"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """A workflow task (DAG vertex).
+
+    Attributes
+    ----------
+    tid:
+        Identifier, unique within the owning workflow.
+    load:
+        Computational amount in MI (Table I: 100–10000).  A node with
+        capacity ``c`` MIPS executes the task in ``load / c`` seconds.
+    image_size:
+        Program image in Mb (Table I: 10–100), shipped from the home node to
+        the selected resource node at dispatch time.
+    virtual:
+        True for the zero-cost entry/exit tasks added to normalize
+        workflows with several entry or exit tasks (§II.A).  Virtual tasks
+        complete instantaneously at the home node and are never dispatched.
+    name:
+        Optional human label (used by the structured families / examples).
+    """
+
+    tid: int
+    load: float
+    image_size: float = 0.0
+    virtual: bool = False
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.load < 0:
+            raise ValueError(f"task load must be non-negative, got {self.load}")
+        if self.image_size < 0:
+            raise ValueError(f"image size must be non-negative, got {self.image_size}")
+        if self.virtual and (self.load != 0 or self.image_size != 0):
+            raise ValueError("virtual tasks must have zero load and image size")
+
+    def execution_time(self, capacity: float) -> float:
+        """Seconds to run on a node with ``capacity`` MIPS (``et`` of Eq. 6)."""
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        return self.load / capacity

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite.
+
+Simulation fixtures are deliberately tiny (tens of nodes, a few simulated
+hours) so the whole suite stays fast; the paper-scale runs live in
+``benchmarks/`` and the CLI harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.net.topology import Topology
+from repro.sim.rng import RngHub
+
+
+@pytest.fixture
+def hub() -> RngHub:
+    return RngHub(seed=1234)
+
+
+@pytest.fixture
+def rng(hub) -> np.random.Generator:
+    return hub.stream("test")
+
+
+@pytest.fixture(scope="session")
+def small_topology() -> Topology:
+    """A 30-node Waxman topology shared across tests (construction is the
+    expensive part; the object is treated as read-only)."""
+    return Topology.waxman(30, RngHub(seed=99).stream("topology"))
+
+
+@pytest.fixture
+def tiny_config() -> ExperimentConfig:
+    """A config small enough for sub-second end-to-end runs."""
+    return ExperimentConfig(
+        algorithm="dsmf",
+        n_nodes=24,
+        load_factor=1,
+        total_time=6 * 3600.0,
+        seed=5,
+        task_range=(2, 10),
+    )

@@ -1,0 +1,135 @@
+"""Tests for Eq. (4)-(6) estimation and the ResourceView."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimates import ResourceView
+
+
+class FlatBandwidth:
+    """Uniform test bandwidth: ``bw`` Mb/s everywhere, zero latency."""
+
+    def __init__(self, bw=10.0):
+        self.bw = bw
+
+    def bw_between(self, src, targets):
+        return np.full(len(targets), self.bw)
+
+    def latency_between(self, src, targets):
+        return np.zeros(len(targets))
+
+
+def _view(ids=(0, 1, 2), caps=(1.0, 2.0, 4.0), loads=(0.0, 0.0, 0.0), bw=10.0, home=0):
+    return ResourceView(list(ids), list(caps), list(loads), FlatBandwidth(bw), home)
+
+
+class TestQueueDelay:
+    def test_r_is_load_over_capacity(self):
+        v = _view(loads=(100.0, 100.0, 100.0))
+        assert np.allclose(v.queue_delays(), [100.0, 50.0, 25.0])
+
+    def test_idle_nodes_zero_delay(self):
+        assert np.allclose(_view().queue_delays(), 0.0)
+
+
+class TestLtd:
+    def test_no_inputs_no_image_is_zero(self):
+        assert np.allclose(_view().ltd_vector(0.0, []), 0.0)
+
+    def test_image_from_home_free_on_home(self):
+        v = _view(home=0)
+        ltd = v.ltd_vector(50.0, [])
+        assert ltd[0] == 0.0          # local to home
+        assert ltd[1] == pytest.approx(5.0)
+
+    def test_input_free_on_source_node(self):
+        v = _view()
+        ltd = v.ltd_vector(0.0, [(1, 100.0)])
+        assert ltd[1] == 0.0
+        assert ltd[0] == pytest.approx(10.0)
+
+    def test_ltd_is_max_over_inputs(self):
+        v = _view()
+        ltd = v.ltd_vector(0.0, [(1, 100.0), (2, 300.0)])
+        assert ltd[0] == pytest.approx(30.0)  # slowest transfer dominates
+
+    def test_zero_size_inputs_ignored(self):
+        v = _view()
+        assert np.allclose(v.ltd_vector(0.0, [(1, 0.0)]), 0.0)
+
+
+class TestFt:
+    def test_ft_combines_queue_and_execution(self):
+        v = _view(loads=(100.0, 0.0, 0.0))
+        ft = v.ft_vector(200.0, 0.0, [])
+        # node 0: R=100, et=200 -> 300; node 1: et=100; node 2: et=50.
+        assert np.allclose(ft, [300.0, 100.0, 50.0])
+
+    def test_st_is_max_of_r_and_ltd(self):
+        # Big transfer: LTD dominates R on idle nodes.
+        v = _view()
+        ft = v.ft_vector(100.0, 0.0, [(0, 1000.0)])
+        assert ft[0] == pytest.approx(100.0)        # local data
+        assert ft[1] == pytest.approx(100.0 + 50.0)  # 100s transfer > R=0
+        assert ft[2] == pytest.approx(100.0 + 25.0)
+
+    def test_best_picks_argmin(self):
+        v = _view(loads=(100.0, 0.0, 0.0))
+        node, ft = v.best(200.0, 0.0, [])
+        assert node == 2
+        assert ft == pytest.approx(50.0)
+
+    def test_best_ft_matches_vector_min(self):
+        v = _view(loads=(10.0, 20.0, 30.0))
+        assert v.best_ft(50.0, 10.0, [(1, 40.0)]) == pytest.approx(
+            v.ft_vector(50.0, 10.0, [(1, 40.0)]).min()
+        )
+
+
+class TestMutation:
+    def test_add_load_raises_queue_delay(self):
+        v = _view()
+        before = v.ft_vector(100.0, 0.0, []).copy()
+        v.add_load(2, 400.0)
+        after = v.ft_vector(100.0, 0.0, [])
+        assert after[2] == pytest.approx(before[2] + 100.0)
+        assert after[0] == before[0]
+
+    def test_add_load_invokes_writeback(self):
+        v = _view()
+        seen = []
+        v.add_load(1, 50.0, on_update=lambda nid, load: seen.append((nid, load)))
+        assert seen == [(1, 50.0)]
+
+    def test_add_load_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            _view().add_load(99, 1.0)
+
+    def test_repeated_picks_spread_load(self):
+        """Charging the chosen node steers later picks elsewhere (line 15)."""
+        v = _view(caps=(4.0, 4.0, 4.0))
+        picks = []
+        for _ in range(3):
+            node, _ = v.best(100.0, 0.0, [])
+            picks.append(node)
+            v.add_load(node, 100.0)
+        assert set(picks) == {0, 1, 2}
+
+
+class TestValidation:
+    def test_empty_view_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceView([], [], [], FlatBandwidth(), 0)
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceView([0, 1], [1.0], [0.0, 0.0], FlatBandwidth(), 0)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceView([0], [0.0], [0.0], FlatBandwidth(), 0)
+
+    def test_len(self):
+        assert len(_view()) == 3

@@ -1,0 +1,200 @@
+"""The paper's Fig. 3 worked example, reproduced end to end.
+
+Two workflows A and B are submitted to one scheduler node; A2, A3, B2, B3
+are the schedule points and three resources X, Y, Z are known.  The paper
+states the estimated finish-time matrix::
+
+            X   Y   Z
+    A2     15  10  30
+    A3     30  50  40
+    B2     50  60  40
+    B3     40  20  30
+
+and derives RPM(A2)=80, RPM(A3)=115, RPM(B2)=65, RPM(B3)=60, hence
+makespans ms(A)=115 and ms(B)=65; DSMF therefore dispatches B2, B3, A3, A2,
+HEFT (decreasing RPM) chooses A3, A2, B2, B3, min-min selects A2 first and
+max-min selects B2 first.
+
+The published figure does not fully specify the DAG weights, so we build
+DAGs whose offspring rest paths equal the implied values
+(RPM − min FT: 70, 85, 25, 40) and drive the policies through a stub view
+that returns exactly the published FT matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.heuristics.base import SchedulingContext
+from repro.core.heuristics.dheft import DheftPhase1
+from repro.core.heuristics.dsmf import DsmfPhase1
+from repro.core.heuristics.listfree import MaxMinPhase1, MinMinPhase1
+from repro.core.rpm import compute_priorities
+from repro.grid.state import WorkflowExecution
+from repro.workflow.dag import Workflow
+from repro.workflow.task import Task
+
+# Schedule-point loads double as lookup keys into the FT matrix.
+A2, A3, B2, B3 = 1001.0, 1002.0, 1003.0, 1004.0
+
+FT_MATRIX = {
+    A2: [15.0, 10.0, 30.0],
+    A3: [30.0, 50.0, 40.0],
+    B2: [50.0, 60.0, 40.0],
+    B3: [40.0, 20.0, 30.0],
+}
+NODES = [10, 11, 12]  # X, Y, Z
+
+
+class PaperMatrixView:
+    """Stub resource view returning the published finish-time matrix."""
+
+    def __init__(self):
+        self.ids = np.asarray(NODES, dtype=np.int64)
+        self.charged: list[tuple[int, float]] = []
+
+    def ft_vector(self, load, image, inputs):
+        return np.asarray(FT_MATRIX[load])
+
+    def best_ft(self, load, image, inputs):
+        return float(self.ft_vector(load, image, inputs).min())
+
+    def best(self, load, image, inputs):
+        ft = self.ft_vector(load, image, inputs)
+        k = int(np.argmin(ft))
+        return int(self.ids[k]), float(ft[k])
+
+    def add_load(self, node_id, load, on_update=None):
+        # The worked example does not evolve the matrix between picks.
+        self.charged.append((node_id, load))
+
+
+def _workflow_a() -> WorkflowExecution:
+    """A1 -> {A2, A3}; rest path after A2 = 70, after A3 = 85.
+
+    With avg capacity = avg bandwidth = 1, time values equal load/data:
+    A2 -> A4(20) via edge 30, A4 -> A6(5) via edge 15   => 30+20+15+5 = 70
+    A3 -> A5(20) via edge 40, A5 -> A6(5) via edge 20   => 40+20+20+5 = 85
+    """
+    tasks = [
+        Task(tid=1, load=5.0, name="A1"),
+        Task(tid=2, load=A2, name="A2"),
+        Task(tid=3, load=A3, name="A3"),
+        Task(tid=4, load=20.0, name="A4"),
+        Task(tid=5, load=20.0, name="A5"),
+        Task(tid=6, load=5.0, name="A6"),
+    ]
+    edges = {
+        (1, 2): 0.0,
+        (1, 3): 0.0,
+        (2, 4): 30.0,
+        (3, 5): 40.0,
+        (4, 6): 15.0,
+        (5, 6): 20.0,
+    }
+    wf = Workflow("A", tasks, edges)
+    wx = WorkflowExecution(wf, home_id=0, submit_time=0.0, eft=1.0)
+    wx.mark_finished(1, 0, 0.0)  # A1 done -> A2, A3 are schedule points
+    return wx
+
+
+def _workflow_b() -> WorkflowExecution:
+    """B1 -> {B2, B3}; rest path after B2 = 25, after B3 = 40.
+
+    B2 -> B4(10) via edge 10, B4 -> B5(5) via edge 0    => 10+10+0+5 = 25
+    B3 -> B4     via edge 25                            => 25+10+0+5 = 40
+    """
+    tasks = [
+        Task(tid=1, load=20.0, name="B1"),
+        Task(tid=2, load=B2, name="B2"),
+        Task(tid=3, load=B3, name="B3"),
+        Task(tid=4, load=10.0, name="B4"),
+        Task(tid=5, load=5.0, name="B5"),
+    ]
+    edges = {
+        (1, 2): 0.0,
+        (1, 3): 0.0,
+        (2, 4): 10.0,
+        (3, 4): 25.0,
+        (4, 5): 0.0,
+    }
+    wf = Workflow("B", tasks, edges)
+    wx = WorkflowExecution(wf, home_id=0, submit_time=0.0, eft=1.0)
+    wx.mark_finished(1, 0, 0.0)
+    return wx
+
+
+@pytest.fixture
+def ctx():
+    return SchedulingContext(
+        home_id=0,
+        now=0.0,
+        workflows=[_workflow_a(), _workflow_b()],
+        view=PaperMatrixView(),
+        avg_capacity=1.0,
+        avg_bandwidth=1.0,
+    )
+
+
+class TestRpmValues:
+    def test_rpm_a2_is_80(self, ctx):
+        prio = compute_priorities(ctx.workflows[0], ctx.view, 1.0, 1.0)
+        assert prio.rpm[2] == pytest.approx(80.0)
+
+    def test_rpm_a3_is_115(self, ctx):
+        prio = compute_priorities(ctx.workflows[0], ctx.view, 1.0, 1.0)
+        assert prio.rpm[3] == pytest.approx(115.0)
+
+    def test_rpm_b2_is_65_and_b3_is_60(self, ctx):
+        prio = compute_priorities(ctx.workflows[1], ctx.view, 1.0, 1.0)
+        assert prio.rpm[2] == pytest.approx(65.0)
+        assert prio.rpm[3] == pytest.approx(60.0)
+
+    def test_makespans(self, ctx):
+        pa = compute_priorities(ctx.workflows[0], ctx.view, 1.0, 1.0)
+        pb = compute_priorities(ctx.workflows[1], ctx.view, 1.0, 1.0)
+        assert pa.makespan == pytest.approx(115.0)
+        assert pb.makespan == pytest.approx(65.0)
+
+
+class TestSchedulingOrders:
+    def test_dsmf_order_is_b2_b3_a3_a2(self, ctx):
+        decisions = DsmfPhase1().plan(ctx)
+        order = [(d.wx.wf.wid, d.wx.wf.tasks[d.tid].name) for d in decisions]
+        assert order == [("B", "B2"), ("B", "B3"), ("A", "A3"), ("A", "A2")]
+
+    def test_heft_order_is_a3_a2_b2_b3(self, ctx):
+        """The paper: 'The HEFT algorithm will choose A3, A2, B2, and B3 one
+        by one, due to their decreasing order of RPM' — our DHEFT phase 1
+        applies exactly that rule."""
+        decisions = DheftPhase1().plan(ctx)
+        names = [d.wx.wf.tasks[d.tid].name for d in decisions]
+        assert names == ["A3", "A2", "B2", "B3"]
+
+    def test_minmin_selects_a2_first(self, ctx):
+        decisions = MinMinPhase1().plan(ctx)
+        assert decisions[0].wx.wf.tasks[decisions[0].tid].name == "A2"
+        # ... and onto node Y, its earliest-finish resource.
+        assert decisions[0].target == NODES[1]
+
+    def test_maxmin_selects_b2_first(self, ctx):
+        decisions = MaxMinPhase1().plan(ctx)
+        assert decisions[0].wx.wf.tasks[decisions[0].tid].name == "B2"
+        assert decisions[0].target == NODES[2]  # Z, B2's earliest finish
+
+    def test_dsmf_targets_follow_formula_9(self, ctx):
+        decisions = DsmfPhase1().plan(ctx)
+        by_name = {d.wx.wf.tasks[d.tid].name: d.target for d in decisions}
+        assert by_name == {
+            "A2": NODES[1],  # min of [15,10,30] -> Y
+            "A3": NODES[0],  # min of [30,50,40] -> X
+            "B2": NODES[2],  # min of [50,60,40] -> Z
+            "B3": NODES[1],  # min of [40,20,30] -> Y
+        }
+
+    def test_dsmf_stamps_ms_and_rpm(self, ctx):
+        decisions = DsmfPhase1().plan(ctx)
+        first = decisions[0]  # B2
+        assert first.stamps["ms"] == pytest.approx(65.0)
+        assert first.stamps["rpm"] == pytest.approx(65.0)

@@ -1,0 +1,61 @@
+"""Tests for the algorithm bundle registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristics.registry import (
+    PAPER_ALGORITHMS,
+    AlgorithmBundle,
+    algorithm_names,
+    get_bundle,
+)
+from repro.core.heuristics.phase2 import FcfsPhase2
+
+
+def test_all_paper_algorithms_registered():
+    names = set(algorithm_names())
+    assert set(PAPER_ALGORITHMS) <= names
+    assert len(PAPER_ALGORITHMS) == 8
+
+
+def test_fullahead_flag():
+    assert get_bundle("heft").full_ahead
+    assert get_bundle("smf").full_ahead
+    assert not get_bundle("dsmf").full_ahead
+    assert not get_bundle("min-min").full_ahead
+
+
+def test_fullahead_bundles_use_fcfs():
+    for name in ("heft", "smf"):
+        assert isinstance(get_bundle(name).phase2, FcfsPhase2)
+
+
+def test_fcfs_ablation_bundles_exist():
+    for base in ("min-min", "max-min", "sufferage", "dheft", "dsmf"):
+        b = get_bundle(f"{base}-fcfs")
+        assert isinstance(b.phase2, FcfsPhase2)
+        assert type(b.phase1) is type(get_bundle(base).phase1)
+
+
+def test_unknown_name_lists_alternatives():
+    with pytest.raises(KeyError, match="dsmf"):
+        get_bundle("nope")
+
+
+def test_fresh_instances_per_call():
+    assert get_bundle("dsmf").phase1 is not get_bundle("dsmf").phase1
+
+
+def test_bundle_requires_exactly_one_engine():
+    from repro.core.heuristics.dsmf import DsmfPhase1
+
+    with pytest.raises(ValueError):
+        AlgorithmBundle("bad", FcfsPhase2())
+    with pytest.raises(ValueError):
+        AlgorithmBundle(
+            "bad",
+            FcfsPhase2(),
+            phase1=DsmfPhase1(),
+            planner=get_bundle("heft").planner,
+        )

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+def test_list_prints_algorithms(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "dsmf" in out
+    assert "heft" in out
+
+
+def test_table1(capsys):
+    assert main(["table", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "node capacity" in out
+
+
+def test_run_small(capsys):
+    rc = main(
+        ["run", "-a", "dsmf", "-n", "24", "-l", "1", "--hours", "4", "--seed", "2"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "[dsmf]" in out
+    assert "ACT" in out
+
+
+def test_run_rejects_unknown_algorithm():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "-a", "bogus"])
+
+
+def test_figure_requires_known_figure():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "99"])
+
+
+def test_parser_profile_choices():
+    args = build_parser().parse_args(["figure", "4", "--profile", "paper"])
+    assert args.profile == "paper"
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

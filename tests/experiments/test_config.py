@@ -1,0 +1,100 @@
+"""Tests for ExperimentConfig validation and profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import (
+    PROFILE_OVERRIDES,
+    ExperimentConfig,
+    ScaleProfile,
+    apply_profile,
+)
+
+
+def test_defaults_match_table1():
+    cfg = ExperimentConfig()
+    assert cfg.n_nodes == 1000
+    assert cfg.load_factor == 3
+    assert cfg.total_time == 36 * 3600.0
+    assert cfg.schedule_interval == 900.0
+    assert cfg.gossip_interval == 300.0
+    assert cfg.task_range == (2, 30)
+    assert cfg.fanout_range == (1, 5)
+    assert cfg.load_range == (100.0, 10_000.0)
+    assert cfg.image_range == (10.0, 100.0)
+    assert cfg.capacities == (1.0, 2.0, 4.0, 8.0, 16.0)
+    assert cfg.bw_min == 0.1 and cfg.bw_max == 10.0
+    assert cfg.gossip_ttl == 4
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("n_nodes", 1),
+        ("load_factor", 0),
+        ("total_time", 0.0),
+        ("schedule_interval", -1.0),
+        ("gossip_interval", 0.0),
+        ("dynamic_factor", 1.5),
+        ("dynamic_factor", -0.1),
+        ("permanent_fraction", 0.0),
+        ("rss_mode", "psychic"),
+        ("churn_mode", "explode"),
+        ("algorithm", "not-an-algorithm"),
+        ("capacities", (0.0, 1.0)),
+    ],
+)
+def test_invalid_values_rejected(field, value):
+    with pytest.raises(ValueError):
+        ExperimentConfig(**{field: value})
+
+
+def test_with_returns_modified_copy():
+    a = ExperimentConfig()
+    b = a.with_(n_nodes=50)
+    assert b.n_nodes == 50
+    assert a.n_nodes == 1000
+
+
+def test_with_validates_too():
+    with pytest.raises(ValueError):
+        ExperimentConfig().with_(algorithm="bogus")
+
+
+def test_describe_roundtrip():
+    d = ExperimentConfig().describe()
+    assert d["algorithm"] == "dsmf"
+    assert d["n_nodes"] == 1000
+
+
+def test_expected_ccr_base_setting():
+    """Fig. 4-6 setting lands near the paper's quoted CCR of 0.16."""
+    ccr = ExperimentConfig().expected_ccr()
+    assert 0.05 < ccr < 0.3
+
+
+def test_expected_ccr_heavy_data():
+    ccr = ExperimentConfig(
+        load_range=(10.0, 1000.0), data_range=(100.0, 10_000.0)
+    ).expected_ccr()
+    assert ccr > 5.0
+
+
+def test_profiles_only_shrink_scale():
+    base = ExperimentConfig()
+    for profile in ScaleProfile:
+        cfg = apply_profile(base, profile)
+        assert cfg.load_range == base.load_range
+        assert cfg.schedule_interval == base.schedule_interval
+        if profile is not ScaleProfile.PAPER:
+            assert cfg.n_nodes < base.n_nodes
+
+
+def test_paper_profile_is_identity():
+    base = ExperimentConfig()
+    assert apply_profile(base, ScaleProfile.PAPER) == base
+
+
+def test_profile_overrides_known_for_all_profiles():
+    assert set(PROFILE_OVERRIDES) == set(ScaleProfile)

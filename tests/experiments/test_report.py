@@ -1,0 +1,66 @@
+"""Tests for ASCII rendering and CSV export."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.experiments.report import (
+    ascii_plot,
+    ascii_table,
+    write_series_csv,
+    write_table_csv,
+)
+
+
+def test_ascii_table_alignment():
+    out = ascii_table(["name", "value"], [["a", 1.0], ["bb", 20.5]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "name" in lines[0] and "value" in lines[0]
+    assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+
+def test_ascii_table_empty_rows():
+    out = ascii_table(["a", "b"], [])
+    assert "a" in out
+
+
+def test_ascii_plot_contains_markers_and_legend():
+    series = {
+        "up": ([0.0, 1.0, 2.0], [0.0, 1.0, 2.0]),
+        "down": ([0.0, 1.0, 2.0], [2.0, 1.0, 0.0]),
+    }
+    out = ascii_plot(series, width=40, height=10)
+    assert "o=up" in out
+    assert "x=down" in out
+    assert "o" in out.splitlines()[0] + out.splitlines()[-3]
+
+
+def test_ascii_plot_no_data():
+    assert ascii_plot({}) == "(no data)"
+
+
+def test_ascii_plot_constant_series():
+    out = ascii_plot({"flat": ([0.0, 1.0], [5.0, 5.0])})
+    assert "flat" in out
+
+
+def test_write_series_csv(tmp_path):
+    path = write_series_csv(
+        tmp_path / "s.csv", {"a": ([1.0, 2.0], [10.0, 20.0])}, xname="hour"
+    )
+    rows = list(csv.reader(path.open()))
+    assert rows[0] == ["series", "hour", "value"]
+    assert rows[1] == ["a", "1.0", "10.0"]
+    assert len(rows) == 3
+
+
+def test_write_table_csv(tmp_path):
+    path = write_table_csv(tmp_path / "t.csv", ["x", "y"], [[1, 2], [3, 4]])
+    rows = list(csv.reader(path.open()))
+    assert rows == [["x", "y"], ["1", "2"], ["3", "4"]]
+
+
+def test_csv_creates_parent_dirs(tmp_path):
+    path = write_series_csv(tmp_path / "deep" / "dir" / "s.csv", {"a": ([1.0], [1.0])})
+    assert path.exists()

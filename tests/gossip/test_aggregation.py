@@ -1,0 +1,101 @@
+"""Tests for aggregation (averaging) gossip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gossip.aggregation import AggregationGossip
+from repro.gossip.newscast import NewscastOverlay
+from repro.sim.rng import spawn_generator
+
+
+def _setup(n=40, seed=0, restart=None):
+    ov = NewscastOverlay(list(range(n)), spawn_generator(seed, "nc"))
+    ag = AggregationGossip(ov, spawn_generator(seed, "ag"), restart_cycles=restart)
+    return ov, ag
+
+
+def _cycles(ov, ag, k):
+    for c in range(k):
+        ov.run_cycle(float(c))
+        ag.run_cycle(float(c))
+
+
+def test_estimates_converge_to_true_mean():
+    ov, ag = _setup(50, seed=1)
+    ag.register_metric("cap", lambda i: float(i % 5))
+    _cycles(ov, ag, 25)
+    true = ag.true_mean("cap")
+    for i in range(50):
+        assert ag.estimate("cap", i) == pytest.approx(true, rel=0.05)
+
+
+def test_spread_decreases_monotonically_in_expectation():
+    ov, ag = _setup(60, seed=2)
+    ag.register_metric("x", lambda i: float(i))
+    s0 = ag.estimate_spread("x")
+    _cycles(ov, ag, 10)
+    s1 = ag.estimate_spread("x")
+    _cycles(ov, ag, 10)
+    s2 = ag.estimate_spread("x")
+    assert s1 < s0
+    assert s2 < s1
+
+
+def test_mean_is_invariant_under_cycles():
+    """Push-pull averaging conserves the sum of estimates."""
+    ov, ag = _setup(30, seed=3)
+    ag.register_metric("x", lambda i: float(i))
+    before = np.mean([ag.estimate("x", i) for i in range(30)])
+    _cycles(ov, ag, 15)
+    after = np.mean([ag.estimate("x", i) for i in range(30)])
+    assert after == pytest.approx(before, rel=1e-9)
+
+
+def test_multiple_metrics_tracked_independently():
+    ov, ag = _setup(40, seed=4)
+    ag.register_metric("a", lambda i: 10.0)
+    ag.register_metric("b", lambda i: float(i % 2))
+    _cycles(ov, ag, 20)
+    assert ag.estimate("a", 0) == pytest.approx(10.0)
+    assert ag.estimate("b", 0) == pytest.approx(0.5, rel=0.2)
+
+
+def test_unknown_node_estimate_falls_back_to_truth():
+    ov, ag = _setup(10, seed=5)
+    ag.register_metric("x", lambda i: 7.0)
+    assert ag.estimate("x", 999) == 7.0
+
+
+def test_restart_reseeds_from_truth():
+    values = {i: float(i) for i in range(20)}
+    ov = NewscastOverlay(list(range(20)), spawn_generator(6, "nc"))
+    ag = AggregationGossip(ov, spawn_generator(6, "ag"), restart_cycles=5)
+    ag.register_metric("x", lambda i: values[i])
+    _cycles(ov, ag, 4)
+    # Change the ground truth; the epoch restart should pick it up.
+    for i in values:
+        values[i] = 100.0
+    _cycles(ov, ag, 2)  # cycle 5 triggers the restart
+    assert ag.estimate("x", 3) == pytest.approx(100.0)
+
+
+def test_churn_add_remove_nodes():
+    ov, ag = _setup(30, seed=7, restart=8)
+    ag.register_metric("x", lambda i: float(i % 3))
+    _cycles(ov, ag, 5)
+    ov.remove_node(4)
+    ag.remove_node(4)
+    ov.add_node(4, 5.0)
+    ag.add_node(4)
+    _cycles(ov, ag, 10)
+    assert ag.estimate("x", 4) == pytest.approx(ag.true_mean("x"), rel=0.3)
+
+
+def test_empty_overlay_true_mean_zero():
+    ov = NewscastOverlay([], spawn_generator(8, "nc"))
+    ag = AggregationGossip(ov, spawn_generator(8, "ag"))
+    ag.register_metric("x", lambda i: 1.0)
+    assert ag.true_mean("x") == 0.0
+    assert ag.estimate_spread("x") == 0.0

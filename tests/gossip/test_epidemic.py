@@ -1,0 +1,123 @@
+"""Tests for epidemic state dissemination."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gossip.epidemic import EpidemicGossip
+from repro.gossip.messages import NodeStateRecord
+from repro.gossip.newscast import NewscastOverlay
+from repro.sim.rng import spawn_generator
+
+
+def _setup(n=40, loads=None, seed=0, **kw):
+    ov = NewscastOverlay(list(range(n)), spawn_generator(seed, "nc"))
+    loads = loads or {}
+
+    def provider(i):
+        return float(loads.get(i, 0.0)), float(1 + i % 5)
+
+    ep = EpidemicGossip(ov, provider, spawn_generator(seed, "ep"), **kw)
+    return ov, ep, loads
+
+
+def _cycles(ov, ep, k, t0=0.0, dt=300.0):
+    for c in range(k):
+        now = t0 + c * dt
+        ov.run_cycle(now)
+        ep.run_cycle(now)
+
+
+def test_rss_fills_up_to_capacity():
+    ov, ep, _ = _setup(50)
+    _cycles(ov, ep, 10)
+    sizes = [len(ep.rss_view(i)) for i in range(50)]
+    assert min(sizes) > 0
+    assert max(sizes) <= ep.rss_capacity
+
+
+def test_rss_never_contains_self():
+    ov, ep, _ = _setup(30)
+    _cycles(ov, ep, 8)
+    for i in range(30):
+        assert i not in ep.rss_view(i)
+
+
+def test_records_carry_capacity_and_load():
+    loads = {3: 1234.0}
+    ov, ep, _ = _setup(20, loads=loads, seed=2)
+    _cycles(ov, ep, 10)
+    found = 0
+    for i in range(20):
+        rec = ep.rss_view(i).get(3)
+        if rec is not None:
+            found += 1
+            assert rec.total_load == 1234.0
+            assert rec.capacity == 1 + 3 % 5
+    assert found > 0
+
+
+def test_fresher_records_replace_staler():
+    loads = {5: 0.0}
+    ov, ep, _ = _setup(20, loads=loads, seed=3)
+    _cycles(ov, ep, 6)
+    loads[5] = 999.0
+    _cycles(ov, ep, 8, t0=6 * 300.0)
+    stale = [
+        i
+        for i in range(20)
+        if (r := ep.rss_view(i).get(5)) is not None and r.total_load != 999.0
+    ]
+    # Everyone holding a record of node 5 should have converged to the new
+    # load after several cycles.
+    assert stale == []
+
+
+def test_expiry_evicts_old_records():
+    ov, ep, _ = _setup(20, seed=4, expiry=600.0)
+    _cycles(ov, ep, 4)
+    ov.remove_node(7)
+    ep.remove_node(7)
+    # After expiry horizon passes, node 7 vanishes from every RSS.
+    _cycles(ov, ep, 6, t0=4 * 300.0)
+    for i in ep.rss.keys():
+        assert 7 not in ep.rss_view(i)
+
+
+def test_apply_local_update_overwrites_load():
+    ov, ep, _ = _setup(20, seed=5)
+    _cycles(ov, ep, 6)
+    home = next(i for i in range(20) if len(ep.rss_view(i)) > 0)
+    target = next(iter(ep.rss_view(home)))
+    ep.apply_local_update(home, target, 777.0, now=2000.0)
+    assert ep.rss_view(home)[target].total_load == 777.0
+
+
+def test_apply_local_update_ignores_unknown_target():
+    ov, ep, _ = _setup(10, seed=6)
+    ep.apply_local_update(0, 99, 5.0, now=0.0)  # no crash
+
+
+def test_ttl_limits_forwarding():
+    rec = NodeStateRecord(node_id=1, capacity=2.0, total_load=0.0, timestamp=0.0, ttl=1)
+    assert rec.aged().ttl == 0
+
+
+def test_mean_known_nodes_bounded_by_capacity():
+    ov, ep, _ = _setup(60, seed=7)
+    _cycles(ov, ep, 12)
+    assert 0 < ep.mean_known_nodes() <= ep.rss_capacity
+
+
+def test_rss_capacity_scales_with_log_n():
+    _, ep_small, _ = _setup(16)
+    _, ep_big, _ = _setup(256)
+    assert ep_small.rss_capacity == 2 * 4
+    assert ep_big.rss_capacity == 2 * 8
+
+
+def test_message_counters_advance():
+    ov, ep, _ = _setup(20, seed=8)
+    _cycles(ov, ep, 3)
+    assert ep.messages_sent > 0
+    assert ep.records_shipped >= ep.messages_sent

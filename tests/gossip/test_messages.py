@@ -1,0 +1,50 @@
+"""Tests for gossip message payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gossip.messages import (
+    MESSAGE_HEADER_BYTES,
+    MESSAGE_PAYLOAD_BYTES,
+    NodeStateRecord,
+)
+
+
+def _rec(**kw):
+    base = dict(node_id=1, capacity=4.0, total_load=100.0, timestamp=10.0, ttl=4)
+    base.update(kw)
+    return NodeStateRecord(**base)
+
+
+def test_aged_decrements_ttl_only():
+    rec = _rec()
+    aged = rec.aged()
+    assert aged.ttl == 3
+    assert aged.node_id == rec.node_id
+    assert aged.total_load == rec.total_load
+    assert aged.timestamp == rec.timestamp
+
+
+def test_aged_returns_new_record():
+    rec = _rec()
+    assert rec.aged() is not rec
+    assert rec.ttl == 4  # frozen original untouched
+
+
+def test_fresher_than_compares_timestamps():
+    old = _rec(timestamp=5.0)
+    new = _rec(timestamp=9.0)
+    assert new.fresher_than(old)
+    assert not old.fresher_than(new)
+    assert not old.fresher_than(old)
+
+
+def test_records_hashable_and_equal_by_value():
+    assert _rec() == _rec()
+    assert hash(_rec()) == hash(_rec())
+
+
+def test_paper_message_size_accounting():
+    """§IV.A sizes each message at ~100 bytes total."""
+    assert MESSAGE_PAYLOAD_BYTES + MESSAGE_HEADER_BYTES == 100

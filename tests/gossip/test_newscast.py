@@ -1,0 +1,91 @@
+"""Tests for the Newscast membership overlay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gossip.newscast import NewscastOverlay
+from repro.sim.rng import spawn_generator
+
+
+def _overlay(n=40, cache=None, seed=0):
+    return NewscastOverlay(list(range(n)), spawn_generator(seed, "nc"), cache_size=cache)
+
+
+def test_cache_size_default_is_logarithmic():
+    ov = _overlay(64)
+    assert ov.cache_size == max(8, 2 * int(np.ceil(np.log2(64))))
+
+
+def test_bootstrap_fills_caches():
+    ov = _overlay(40)
+    for i in range(40):
+        assert 0 < len(ov.cache[i]) <= ov.cache_size
+        assert i not in ov.cache[i]
+
+
+def test_cache_bounded_after_cycles():
+    ov = _overlay(50)
+    for c in range(20):
+        ov.run_cycle(float(c))
+    for i in range(50):
+        assert len(ov.cache[i]) <= ov.cache_size
+        assert i not in ov.cache[i]
+
+
+def test_sample_returns_live_distinct_peers():
+    ov = _overlay(40)
+    for c in range(5):
+        ov.run_cycle(float(c))
+    s = ov.sample(0, 5)
+    assert len(s) == len(set(s)) <= 5
+    assert all(p in ov.live and p != 0 for p in s)
+
+
+def test_sample_from_unknown_node_is_empty():
+    ov = _overlay(10)
+    assert ov.sample(999, 3) == []
+
+
+def test_remove_node_stops_sampling_it():
+    ov = _overlay(30, seed=3)
+    ov.remove_node(7)
+    for c in range(10):
+        ov.run_cycle(float(c))
+    for i in ov.live:
+        assert 7 not in ov.sample(i, 30)
+
+
+def test_add_node_rejoins_overlay():
+    ov = _overlay(30, seed=4)
+    ov.remove_node(5)
+    for c in range(3):
+        ov.run_cycle(float(c))
+    ov.add_node(5, 3.0)
+    assert 5 in ov.live
+    assert len(ov.cache[5]) > 0
+    # After a few cycles the rejoined node spreads back into caches.
+    for c in range(4, 14):
+        ov.run_cycle(float(c))
+    known_by = sum(1 for i in ov.live if 5 in ov.cache.get(i, {}))
+    assert known_by > 0
+
+
+def test_overlay_connects_everyone_over_time():
+    """Random shuffles mix descriptors: every node gets sampled eventually."""
+    ov = _overlay(25, seed=5)
+    seen: set[int] = set()
+    for c in range(30):
+        ov.run_cycle(float(c))
+        for i in ov.live:
+            seen.update(ov.sample(i, 3))
+    assert seen == set(range(25))
+
+
+def test_known_live_excludes_dead():
+    ov = _overlay(20, seed=6)
+    for c in range(5):
+        ov.run_cycle(float(c))
+    ov.remove_node(3)
+    for i in ov.live:
+        assert 3 not in ov.known_live(i)

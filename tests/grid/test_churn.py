@@ -1,0 +1,146 @@
+"""Unit tests for the churn process and node suspend/resume mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.grid.churn import ChurnProcess
+from repro.grid.system import P2PGridSystem
+
+
+def _system(**kw):
+    base = dict(
+        algorithm="dsmf",
+        n_nodes=30,
+        load_factor=1,
+        total_time=6 * 3600.0,
+        seed=11,
+        dynamic_factor=0.2,
+        task_range=(2, 6),
+    )
+    base.update(kw)
+    return P2PGridSystem(ExperimentConfig(**base))
+
+
+class TestChurnProcess:
+    def test_batch_size_follows_dynamic_factor(self):
+        system = _system(dynamic_factor=0.2)
+        assert system.churn is not None
+        assert system.churn.batch == 6  # 0.2 * 30
+
+    def test_volatile_population_excludes_homes(self):
+        system = _system(permanent_fraction=0.5)
+        assert system.churn is not None
+        homes = {n.nid for n in system.home_nodes}
+        assert not set(system.churn.volatile_ids) & homes
+
+    def test_tick_kills_then_revives(self):
+        system = _system()
+        churn = system.churn
+        churn.tick(0)
+        dead_after_first = [nid for nid in churn.volatile_ids
+                            if not system.nodes[nid].alive]
+        assert len(dead_after_first) == churn.batch
+        churn.tick(1)
+        # First batch revived; a new batch is down.
+        assert churn.total_joins == churn.batch
+        assert churn.total_departures == 2 * churn.batch
+
+    def test_zero_dynamic_factor_means_no_churn_process(self):
+        system = _system(dynamic_factor=0.0)
+        assert system.churn is None
+
+    def test_permanent_nodes_never_victims(self):
+        system = _system(dynamic_factor=0.4)
+        for c in range(5):
+            system.churn.tick(c)
+        for node in system.home_nodes:
+            assert node.alive
+
+
+class TestSuspendSemantics:
+    def test_kill_preserves_ready_set(self):
+        system = _system(churn_mode="suspend")
+        node = next(n for n in system.nodes if n.volatile)
+        from repro.grid.state import TaskDispatch
+
+        d = TaskDispatch(wid=list(system.executions)[0], tid=0, load=10.0,
+                         image_size=0.0, home_id=0, target_id=node.nid,
+                         dispatch_time=0.0, seq=1)
+        node.enqueue(d)
+        system.kill_node(node.nid)
+        assert not node.alive
+        assert node.ready == [d]  # kept, not lost
+
+    def test_revive_restores_alive_and_overlay(self):
+        system = _system(churn_mode="suspend")
+        node = next(n for n in system.nodes if n.volatile)
+        system.kill_node(node.nid)
+        assert node.nid not in system.overlay.live
+        system.revive_node(node.nid)
+        assert node.alive
+        assert node.nid in system.overlay.live
+
+    def test_suspended_running_task_resumes_with_remaining_time(self):
+        system = _system(churn_mode="suspend")
+        sim = system.sim
+        node = next(n for n in system.nodes if n.volatile)
+        from repro.grid.state import TaskDispatch
+
+        wid = list(system.executions)[0]
+        d = TaskDispatch(wid=wid, tid=0, load=node.capacity * 1000.0,
+                         image_size=0.0, home_id=0, target_id=node.nid,
+                         dispatch_time=0.0, seq=1)
+        node.enqueue(d)
+        node.start(d, now=0.0)
+        node.completion_event = sim.schedule(1000.0, lambda: None)
+        sim.run(until=400.0)
+        system.kill_node(node.nid)
+        assert node.suspended_remaining == pytest.approx(600.0)
+        system.revive_node(node.nid)
+        assert node.running is d
+        assert node.completion_event is not None
+        assert node.completion_event.time == pytest.approx(1000.0)
+
+
+class TestFailSemantics:
+    def test_kill_clears_tasks_and_fails_workflows(self):
+        system = _system(churn_mode="fail")
+        node = next(n for n in system.nodes if n.volatile)
+        wid = list(system.executions)[0]
+        wx = system.executions[wid]
+        from repro.grid.state import TaskDispatch
+
+        tid = next(iter(wx.schedule_points))
+        wx.mark_dispatched(tid)
+        d = TaskDispatch(wid=wid, tid=tid, load=10.0, image_size=0.0,
+                         home_id=wx.home_id, target_id=node.nid,
+                         dispatch_time=0.0, seq=1)
+        system.dispatch_index[d.key()] = d
+        node.enqueue(d)
+        system.kill_node(node.nid)
+        assert node.ready == []
+        assert wx.status.value == "failed"
+
+    def test_revive_after_fail_resets_node(self):
+        system = _system(churn_mode="fail")
+        node = next(n for n in system.nodes if n.volatile)
+        system.kill_node(node.nid)
+        system.revive_node(node.nid)
+        assert node.alive
+        assert node.ready == []
+        assert node.running is None
+
+
+class TestChurnEndToEnd:
+    def test_alive_count_stays_near_n(self):
+        system = _system(dynamic_factor=0.2, total_time=8 * 3600.0)
+        result = system.run()
+        alive_series = [s.alive_nodes for s in result.samples if s.alive_nodes]
+        n = system.config.n_nodes
+        assert all(n - 2 * system.churn.batch <= a <= n for a in alive_series)
+
+    def test_suspend_runs_have_no_failures(self):
+        result = _system(dynamic_factor=0.3).run()
+        assert result.n_failed == 0

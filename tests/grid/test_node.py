@@ -1,0 +1,101 @@
+"""Tests for the PeerNode CPU / ready-set mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.node import PeerNode
+from repro.grid.state import TaskDispatch
+
+
+def _dispatch(tid=0, load=100.0, pending=0, seq=0):
+    d = TaskDispatch(
+        wid="w", tid=tid, load=load, image_size=0.0, home_id=0, target_id=1,
+        dispatch_time=0.0, seq=seq,
+    )
+    d.pending_inputs = pending
+    return d
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        PeerNode(0, capacity=0.0)
+
+
+def test_total_load_sums_ready_and_running():
+    node = PeerNode(0, capacity=2.0)
+    node.enqueue(_dispatch(tid=0, load=100.0))
+    node.enqueue(_dispatch(tid=1, load=50.0, seq=1))
+    assert node.total_load() == 150.0
+    node.start(node.ready[0], now=0.0)
+    assert node.total_load() == 150.0  # running task still counts (paper)
+
+
+def test_runnable_excludes_pending_inputs():
+    node = PeerNode(0, capacity=2.0)
+    a = _dispatch(tid=0, pending=1)
+    b = _dispatch(tid=1, seq=1)
+    node.enqueue(a)
+    node.enqueue(b)
+    assert node.runnable_tasks() == [b]
+
+
+def test_start_computes_execution_time():
+    node = PeerNode(0, capacity=4.0)
+    d = _dispatch(load=100.0)
+    node.enqueue(d)
+    et = node.start(d, now=10.0)
+    assert et == 25.0
+    assert node.busy
+    assert d.start_time == 10.0
+
+
+def test_start_busy_cpu_rejected():
+    node = PeerNode(0, capacity=1.0)
+    a, b = _dispatch(tid=0), _dispatch(tid=1, seq=1)
+    node.enqueue(a)
+    node.enqueue(b)
+    node.start(a, 0.0)
+    with pytest.raises(RuntimeError):
+        node.start(b, 0.0)
+
+
+def test_start_nonrunnable_rejected():
+    node = PeerNode(0, capacity=1.0)
+    d = _dispatch(pending=1)
+    node.enqueue(d)
+    with pytest.raises(RuntimeError):
+        node.start(d, 0.0)
+
+
+def test_finish_running_frees_cpu():
+    node = PeerNode(0, capacity=1.0)
+    d = _dispatch()
+    node.enqueue(d)
+    node.start(d, 0.0)
+    out = node.finish_running(now=100.0)
+    assert out is d
+    assert d.finish_time == 100.0
+    assert not node.busy
+    assert node.tasks_executed == 1
+
+
+def test_finish_idle_cpu_rejected():
+    with pytest.raises(RuntimeError):
+        PeerNode(0, capacity=1.0).finish_running(0.0)
+
+
+def test_remove_tolerates_absent_dispatch():
+    node = PeerNode(0, capacity=1.0)
+    node.remove(_dispatch())  # no error
+
+
+def test_reset_for_rejoin_wipes_state():
+    node = PeerNode(0, capacity=1.0)
+    node.enqueue(_dispatch())
+    node.alive = False
+    node.reset_for_rejoin(epoch=3)
+    assert node.alive
+    assert node.epoch == 3
+    assert node.ready == []
+    assert node.running is None

@@ -1,0 +1,145 @@
+"""Tests for WorkflowExecution / TaskDispatch runtime state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.state import TaskDispatch, WorkflowExecution, WorkflowStatus
+from repro.workflow.generator import chain_workflow, diamond_workflow
+
+
+def _wx(wf=None):
+    wf = wf or diamond_workflow("d")
+    return WorkflowExecution(wf, home_id=0, submit_time=0.0, eft=500.0)
+
+
+class TestScheduleFlow:
+    def test_initial_schedule_point_is_entry(self):
+        wx = _wx()
+        assert wx.schedule_points == {0}
+
+    def test_dispatch_removes_schedule_point(self):
+        wx = _wx()
+        wx.mark_dispatched(0)
+        assert wx.schedule_points == set()
+        assert 0 in wx.dispatched
+
+    def test_dispatch_non_schedule_point_rejected(self):
+        wx = _wx()
+        with pytest.raises(ValueError):
+            wx.mark_dispatched(3)
+
+    def test_finish_unlocks_successors(self):
+        wx = _wx()
+        wx.mark_dispatched(0)
+        newly = wx.mark_finished(0, node_id=5, time=10.0)
+        assert set(newly) == {1, 2}
+        assert wx.schedule_points == {1, 2}
+
+    def test_join_waits_for_all_precedents(self):
+        wx = _wx()
+        wx.mark_finished(0, 1, 1.0)
+        wx.mark_dispatched(1)
+        wx.mark_dispatched(2)
+        assert wx.mark_finished(1, 2, 5.0) == []
+        assert wx.mark_finished(2, 3, 6.0) == [3]
+
+    def test_double_finish_rejected(self):
+        wx = _wx()
+        wx.mark_finished(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            wx.mark_finished(0, 1, 2.0)
+
+    def test_dispatched_successor_not_readded(self):
+        """After an invalidation cascade a dispatched task must not become a
+        schedule point again (double-execution guard)."""
+        wx = _wx()
+        wx.mark_finished(0, 1, 1.0)
+        wx.mark_dispatched(1)
+        wx.mark_dispatched(2)
+        wx.invalidate_task(0)  # node 1 churned out with 0's data
+        assert wx.schedule_points == {0}
+        wx.mark_finished(0, 4, 20.0)  # re-executed elsewhere
+        assert wx.schedule_points == set()  # 1, 2 still dispatched
+
+    def test_is_complete(self):
+        wf = chain_workflow("c", 2, data=0.0)
+        wx = _wx(wf)
+        wx.mark_finished(0, 1, 1.0)
+        assert not wx.is_complete
+        wx.mark_finished(1, 1, 2.0)
+        assert wx.is_complete
+
+
+class TestInvalidation:
+    def test_invalidate_finished_restores_pending(self):
+        wx = _wx()
+        wx.mark_finished(0, 1, 1.0)
+        assert wx.schedule_points == {1, 2}
+        wx.invalidate_task(0)
+        assert wx.schedule_points == {0}
+        assert 0 not in wx.finished
+
+    def test_invalidate_dispatched_returns_to_schedule_point(self):
+        wx = _wx()
+        wx.mark_dispatched(0)
+        wx.invalidate_task(0)
+        assert wx.schedule_points == {0}
+
+
+class TestMetricsAccessors:
+    def test_inputs_for_reports_finished_locations(self):
+        wx = _wx()
+        wx.mark_finished(0, node_id=7, time=1.0)
+        inputs = wx.inputs_for(1)
+        assert inputs == [(7, wx.wf.precedents[1][0])]
+
+    def test_completion_duration_and_efficiency(self):
+        wx = _wx()
+        wx.completion_time = 1000.0
+        assert wx.completion_duration() == 1000.0
+        assert wx.efficiency() == pytest.approx(0.5)
+
+    def test_unfinished_metrics_are_none(self):
+        wx = _wx()
+        assert wx.completion_duration() is None
+        assert wx.efficiency() is None
+
+    def test_node_of(self):
+        wx = _wx()
+        wx.mark_finished(0, node_id=9, time=1.0)
+        assert wx.node_of(0) == 9
+
+
+class TestTaskDispatch:
+    def test_runnable_requires_no_pending_inputs(self):
+        d = TaskDispatch(
+            wid="w", tid=0, load=1.0, image_size=0.0, home_id=0, target_id=1,
+            dispatch_time=0.0, seq=0, pending_inputs=2,
+        )
+        assert not d.runnable
+        d.pending_inputs = 0
+        assert d.runnable
+
+    def test_started_task_not_runnable(self):
+        d = TaskDispatch(
+            wid="w", tid=0, load=1.0, image_size=0.0, home_id=0, target_id=1,
+            dispatch_time=0.0, seq=0,
+        )
+        d.start_time = 5.0
+        assert not d.runnable
+
+    def test_cancelled_task_not_runnable(self):
+        d = TaskDispatch(
+            wid="w", tid=0, load=1.0, image_size=0.0, home_id=0, target_id=1,
+            dispatch_time=0.0, seq=0,
+        )
+        d.cancelled = True
+        assert not d.runnable
+
+    def test_key(self):
+        d = TaskDispatch(
+            wid="w", tid=3, load=1.0, image_size=0.0, home_id=0, target_id=1,
+            dispatch_time=0.0, seq=0,
+        )
+        assert d.key() == ("w", 3)

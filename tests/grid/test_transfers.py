@@ -1,0 +1,101 @@
+"""Tests for the transfer manager (contention-free and contended modes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.transfers import TransferManager
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.rng import spawn_generator
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Topology.waxman(10, spawn_generator(42, "xfer"))
+
+
+def test_transfer_completes_after_expected_delay(topo):
+    sim = Simulator()
+    tm = TransferManager(sim, topo)
+    done = []
+    tm.start(0, 1, 100.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(topo.transfer_time(0, 1, 100.0))]
+
+
+def test_local_transfer_is_instant(topo):
+    sim = Simulator()
+    tm = TransferManager(sim, topo)
+    done = []
+    tm.start(3, 3, 1e6, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [0.0]
+
+
+def test_concurrent_transfers_do_not_contend_by_default(topo):
+    """The paper's model: concurrent inbound transfers overlap freely."""
+    sim = Simulator()
+    tm = TransferManager(sim, topo)
+    done = {}
+    tm.start(0, 2, 100.0, lambda: done.setdefault("a", sim.now))
+    tm.start(1, 2, 100.0, lambda: done.setdefault("b", sim.now))
+    sim.run()
+    assert done["a"] == pytest.approx(topo.transfer_time(0, 2, 100.0))
+    assert done["b"] == pytest.approx(topo.transfer_time(1, 2, 100.0))
+
+
+def test_cancel_inbound_stops_completions(topo):
+    sim = Simulator()
+    tm = TransferManager(sim, topo)
+    done = []
+    tm.start(0, 1, 100.0, lambda: done.append(True))
+    tm.start(2, 1, 100.0, lambda: done.append(True))
+    assert tm.cancel_inbound(1) == 2
+    sim.run()
+    assert done == []
+    assert tm.active_count(1) == 0
+
+
+def test_counters(topo):
+    sim = Simulator()
+    tm = TransferManager(sim, topo)
+    tm.start(0, 1, 100.0, lambda: None)
+    tm.start(0, 2, 50.0, lambda: None)
+    sim.run()
+    assert tm.completed == 2
+    assert tm.bytes_moved == 150.0
+
+
+def test_contention_slows_concurrent_inbound(topo):
+    """With contention on, two equal inbound flows each get half the rate."""
+    sim = Simulator()
+    tm = TransferManager(sim, topo, contention=True)
+    done = {}
+    tm.start(0, 2, 100.0, lambda: done.setdefault("a", sim.now))
+    tm.start(1, 2, 100.0, lambda: done.setdefault("b", sim.now))
+    sim.run()
+    solo_a = topo.transfer_time(0, 2, 100.0)
+    assert done["a"] > solo_a  # sharing made it slower
+
+
+def test_contention_single_flow_matches_solo_rate(topo):
+    sim = Simulator()
+    tm = TransferManager(sim, topo, contention=True)
+    done = []
+    tm.start(0, 1, 100.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done[0] == pytest.approx(topo.transfer_time(0, 1, 100.0))
+
+
+def test_contention_conserves_volume(topo):
+    """Staggered arrivals: all transfers eventually complete exactly once."""
+    sim = Simulator()
+    tm = TransferManager(sim, topo, contention=True)
+    done = []
+    tm.start(0, 2, 200.0, lambda: done.append("a"))
+    sim.schedule(1.0, lambda: tm.start(1, 2, 50.0, lambda: done.append("b")))
+    sim.schedule(2.0, lambda: tm.start(3, 2, 80.0, lambda: done.append("c")))
+    sim.run()
+    assert sorted(done) == ["a", "b", "c"]
+    assert tm.completed == 3

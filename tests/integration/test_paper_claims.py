@@ -1,0 +1,125 @@
+"""End-to-end invariants and paper-shape claims at test scale.
+
+The benchmark suite asserts the figure-level claims at bench scale; these
+tests pin the *invariants* every correct run must satisfy — dependency
+order, conservation of workflows, metric consistency — across algorithms
+and seeds, plus a fast sanity version of the headline DSMF claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.grid.state import WorkflowStatus
+from repro.grid.system import P2PGridSystem
+
+
+def _run_system(algorithm="dsmf", seed=3, **kw):
+    base = dict(
+        algorithm=algorithm,
+        n_nodes=30,
+        load_factor=2,
+        total_time=10 * 3600.0,
+        seed=seed,
+        task_range=(2, 12),
+    )
+    base.update(kw)
+    system = P2PGridSystem(ExperimentConfig(**base))
+    result = system.run()
+    return system, result
+
+
+@pytest.fixture(scope="module", params=["dsmf", "heft", "min-min", "dsdf"])
+def run(request):
+    return _run_system(algorithm=request.param)
+
+
+class TestExecutionInvariants:
+    def test_dependency_order_respected(self, run):
+        """A task never finishes before any of its precedents."""
+        system, _ = run
+        for wx in system.executions.values():
+            for tid, (_, t_finish) in wx.finished.items():
+                for p in wx.wf.precedents[tid]:
+                    assert p in wx.finished
+                    assert wx.finished[p][1] <= t_finish + 1e-9
+
+    def test_done_workflows_have_all_tasks_finished(self, run):
+        system, _ = run
+        for wx in system.executions.values():
+            if wx.status is WorkflowStatus.DONE:
+                assert len(wx.finished) == len(wx.wf.tasks)
+
+    def test_completion_time_is_exit_finish(self, run):
+        system, _ = run
+        for wx in system.executions.values():
+            if wx.status is WorkflowStatus.DONE:
+                exit_finish = wx.finished[wx.wf.exit_id][1]
+                assert wx.completion_time == pytest.approx(exit_finish)
+
+    def test_tasks_ran_on_alive_known_nodes(self, run):
+        system, _ = run
+        n = system.config.n_nodes
+        for wx in system.executions.values():
+            for tid, (node_id, _) in wx.finished.items():
+                assert 0 <= node_id < n
+
+    def test_virtual_tasks_executed_at_home(self, run):
+        system, _ = run
+        for wx in system.executions.values():
+            for tid, (node_id, _) in wx.finished.items():
+                if wx.wf.tasks[tid].virtual:
+                    assert node_id == wx.home_id
+
+    def test_workflow_conservation(self, run):
+        """done + failed + still-running == submitted."""
+        system, result = run
+        statuses = [wx.status for wx in system.executions.values()]
+        n_done = sum(1 for s in statuses if s is WorkflowStatus.DONE)
+        n_failed = sum(1 for s in statuses if s is WorkflowStatus.FAILED)
+        assert n_done == result.n_done
+        assert n_failed == result.n_failed
+        assert len(statuses) == result.n_workflows
+
+    def test_metrics_match_records(self, run):
+        _, result = run
+        done = [r for r in result.records if r.status == "done"]
+        if done:
+            act = sum(r.ct for r in done) / len(done)
+            assert result.act == pytest.approx(act)
+
+    def test_cpu_never_oversubscribed(self, run):
+        """Per-node busy time cannot exceed the simulated horizon."""
+        system, _ = run
+        for node in system.nodes:
+            assert node.busy_time <= system.config.total_time + 1e-6
+
+
+class TestHeadlineClaim:
+    """Fast version of the paper's main result at tiny scale."""
+
+    @pytest.fixture(scope="class")
+    def trio(self):
+        out = {}
+        for alg in ("dsmf", "dheft", "max-min"):
+            _, out[alg] = _run_system(
+                algorithm=alg, n_nodes=40, load_factor=3,
+                total_time=16 * 3600.0, seed=5, task_range=(2, 30),
+            )
+        return out
+
+    def test_dsmf_act_beats_dheft(self, trio):
+        assert trio["dsmf"].act < trio["dheft"].act
+
+    def test_dsmf_ae_beats_rivals(self, trio):
+        assert trio["dsmf"].ae > trio["dheft"].ae
+        assert trio["dsmf"].ae > trio["max-min"].ae
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_static_runs_complete_across_seeds(self, seed):
+        _, result = _run_system(seed=seed)
+        assert result.completion_rate > 0.9
+        assert result.n_failed == 0

@@ -1,0 +1,99 @@
+"""Tests for metric collection (Eq. 2 ACT, Eq. 3 AE, throughput)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.collectors import MetricsCollector, RunResult, WorkflowRecord
+
+
+def _done(wid="w", eft=500.0, submit=0.0, complete=1000.0):
+    return WorkflowRecord(
+        wid=wid, home_id=0, n_tasks=5, eft=eft, submit_time=submit,
+        status="done", completion_time=complete,
+    )
+
+
+def _failed(wid="f"):
+    return WorkflowRecord(
+        wid=wid, home_id=0, n_tasks=5, eft=100.0, submit_time=0.0,
+        status="failed", failure_reason="churn",
+    )
+
+
+class TestWorkflowRecord:
+    def test_ct_and_efficiency(self):
+        r = _done(eft=400.0, submit=100.0, complete=900.0)
+        assert r.ct == 800.0
+        assert r.efficiency == pytest.approx(0.5)
+
+    def test_unfinished_record(self):
+        r = _failed()
+        assert r.ct is None
+        assert r.efficiency is None
+
+
+class TestCollector:
+    def test_act_is_mean_ct(self):
+        c = MetricsCollector()
+        c.workflow_done(_done(wid="a", complete=1000.0))
+        c.workflow_done(_done(wid="b", complete=3000.0))
+        assert c.act == 2000.0
+        assert c.n_done == 2
+
+    def test_ae_is_mean_efficiency(self):
+        c = MetricsCollector()
+        c.workflow_done(_done(wid="a", eft=500.0, complete=1000.0))   # 0.5
+        c.workflow_done(_done(wid="b", eft=250.0, complete=1000.0))   # 0.25
+        assert c.ae == pytest.approx(0.375)
+
+    def test_failed_excluded_from_act_ae(self):
+        c = MetricsCollector()
+        c.workflow_done(_done())
+        c.workflow_failed(_failed())
+        assert c.n_done == 1
+        assert c.n_failed == 1
+        assert c.act == 1000.0
+
+    def test_empty_collector_zero_metrics(self):
+        c = MetricsCollector()
+        assert c.act == 0.0
+        assert c.ae == 0.0
+
+    def test_samples_capture_cumulative_state(self):
+        c = MetricsCollector()
+        c.sample(3600.0)
+        c.workflow_done(_done())
+        c.sample(7200.0, rss_mean=5.0, alive_nodes=10)
+        assert c.samples[0].throughput == 0
+        assert c.samples[1].throughput == 1
+        assert c.samples[1].rss_mean == 5.0
+        assert c.samples[1].alive_nodes == 10
+
+
+class TestRunResult:
+    def _result(self):
+        c = MetricsCollector()
+        c.workflow_done(_done())
+        c.sample(3600.0)
+        c.sample(7200.0)
+        return RunResult(
+            algorithm="dsmf", seed=1, n_nodes=10, n_workflows=4,
+            total_time=7200.0, act=c.act, ae=c.ae, n_done=c.n_done,
+            n_failed=0, events_executed=100, wall_seconds=0.5, rss_mean=3.0,
+            records=c.records, samples=c.samples,
+        )
+
+    def test_series_in_hours(self):
+        times, tp = self._result().series("throughput")
+        assert times == [1.0, 2.0]
+        assert tp == [1.0, 1.0]
+
+    def test_completion_rate(self):
+        assert self._result().completion_rate == 0.25
+
+    def test_summary_mentions_key_numbers(self):
+        s = self._result().summary()
+        assert "dsmf" in s
+        assert "1/4" in s
+        assert "ACT" in s

@@ -1,0 +1,29 @@
+"""RunResult must be pickleable: the replication and collection harnesses
+ship results across process boundaries."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.api import quick_run
+
+
+def test_run_result_pickle_roundtrip():
+    r = quick_run(algorithm="dsmf", n_nodes=20, load_factor=1,
+                  duration_hours=3, seed=2, task_range=(2, 5))
+    blob = pickle.dumps(r)
+    back = pickle.loads(blob)
+    assert back.act == r.act
+    assert back.ae == r.ae
+    assert len(back.records) == len(r.records)
+    assert back.samples[0].time == r.samples[0].time
+    assert back.config == r.config
+
+
+def test_config_dict_is_plain_data():
+    r = quick_run(algorithm="heft", n_nodes=20, load_factor=1,
+                  duration_hours=3, seed=2, task_range=(2, 5))
+    # describe() output must be JSON-able (used by collect_experiments).
+    import json
+
+    json.dumps(r.config)

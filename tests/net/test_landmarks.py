@@ -1,0 +1,66 @@
+"""Tests for landmark-based bandwidth estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.landmarks import LandmarkEstimator
+from repro.sim.rng import spawn_generator
+
+
+def _estimator(small_topology, n_landmarks=None, seed=0):
+    return LandmarkEstimator(
+        small_topology, spawn_generator(seed, "lm"), n_landmarks=n_landmarks
+    )
+
+
+def test_default_landmark_count_is_log2(small_topology):
+    est = _estimator(small_topology)
+    assert est.n_landmarks == int(np.ceil(np.log2(small_topology.n)))
+
+
+def test_estimates_never_exceed_truth(small_topology):
+    """min over a relay path is a lower bound on the widest-path value."""
+    est = _estimator(small_topology)
+    truth = small_topology._bandwidth
+    mat = est.matrix()
+    n = small_topology.n
+    off = ~np.eye(n, dtype=bool)
+    assert np.all(mat[off] <= truth[off] + 1e-9)
+
+
+def test_self_estimate_is_infinite(small_topology):
+    est = _estimator(small_topology)
+    assert est.estimate(4, 4) == np.inf
+
+
+def test_estimate_symmetric(small_topology):
+    est = _estimator(small_topology)
+    assert est.estimate(1, 7) == est.estimate(7, 1)
+
+
+def test_estimate_row_matches_scalar(small_topology):
+    est = _estimator(small_topology)
+    row = est.estimate_row(3)
+    for v in (0, 5, 9):
+        if v != 3:
+            assert row[v] == est.estimate(3, v)
+
+
+def test_more_landmarks_reduce_error(small_topology):
+    few = _estimator(small_topology, n_landmarks=1, seed=2)
+    many = _estimator(small_topology, n_landmarks=small_topology.n, seed=2)
+    assert many.mean_absolute_relative_error() <= few.mean_absolute_relative_error() + 1e-9
+
+
+def test_full_landmarks_give_reasonable_error(small_topology):
+    """With every node a landmark, the relay bound is usually tight."""
+    est = _estimator(small_topology, n_landmarks=small_topology.n)
+    assert est.mean_absolute_relative_error() < 0.25
+
+
+def test_estimates_positive(small_topology):
+    est = _estimator(small_topology)
+    mat = est.matrix()
+    off = ~np.eye(small_topology.n, dtype=bool)
+    assert np.all(mat[off] > 0)

@@ -1,0 +1,109 @@
+"""Tests for the Waxman topology generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.waxman import generate_waxman
+from repro.sim.rng import spawn_generator
+
+
+def _components(n, edges):
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        parent[find(int(u))] = find(int(v))
+    return len({find(i) for i in range(n)})
+
+
+def test_basic_shape():
+    g = generate_waxman(50, spawn_generator(1, "w"))
+    assert g.n == 50
+    assert g.positions.shape == (50, 2)
+    assert g.edges.shape[1] == 2
+    assert len(g.distances) == g.m
+
+
+def test_connected_output():
+    for seed in range(5):
+        g = generate_waxman(40, spawn_generator(seed, "w"))
+        assert _components(g.n, g.edges) == 1
+
+
+def test_edges_are_canonical_and_unique():
+    g = generate_waxman(60, spawn_generator(3, "w"))
+    assert np.all(g.edges[:, 0] < g.edges[:, 1])
+    pairs = {tuple(e) for e in g.edges.tolist()}
+    assert len(pairs) == g.m
+
+
+def test_distances_match_positions():
+    g = generate_waxman(30, spawn_generator(4, "w"))
+    d = np.linalg.norm(g.positions[g.edges[:, 0]] - g.positions[g.edges[:, 1]], axis=1)
+    assert np.allclose(d, g.distances)
+
+
+def test_positions_within_plane():
+    g = generate_waxman(30, spawn_generator(5, "w"), plane_size=500.0)
+    assert g.positions.min() >= 0.0
+    assert g.positions.max() <= 500.0
+
+
+def test_single_node():
+    g = generate_waxman(1, spawn_generator(6, "w"))
+    assert g.n == 1
+    assert g.m == 0
+
+
+def test_two_nodes_connected():
+    g = generate_waxman(2, spawn_generator(7, "w"))
+    assert g.m >= 1
+
+
+def test_higher_alpha_gives_more_edges():
+    sparse = generate_waxman(80, spawn_generator(8, "w"), alpha=0.05)
+    dense = generate_waxman(80, spawn_generator(8, "w"), alpha=0.9)
+    assert dense.m > sparse.m
+
+
+def test_deterministic_given_stream():
+    a = generate_waxman(40, spawn_generator(9, "w"))
+    b = generate_waxman(40, spawn_generator(9, "w"))
+    assert np.array_equal(a.edges, b.edges)
+    assert np.allclose(a.positions, b.positions)
+
+
+def test_degree_array_sums_to_twice_edges():
+    g = generate_waxman(50, spawn_generator(10, "w"))
+    assert g.degree_array().sum() == 2 * g.m
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n": 0},
+        {"n": 10, "alpha": 0.0},
+        {"n": 10, "alpha": 1.5},
+        {"n": 10, "beta": -0.1},
+    ],
+)
+def test_invalid_parameters_rejected(kwargs):
+    n = kwargs.pop("n")
+    with pytest.raises(ValueError):
+        generate_waxman(n, spawn_generator(0, "w"), **kwargs)
+
+
+@given(n=st.integers(min_value=2, max_value=60), seed=st.integers(0, 2**20))
+@settings(max_examples=30, deadline=None)
+def test_property_always_connected(n, seed):
+    g = generate_waxman(n, spawn_generator(seed, "w"))
+    assert _components(g.n, g.edges) == 1

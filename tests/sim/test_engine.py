@@ -1,0 +1,211 @@
+"""Unit tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator, SimulatorError
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=10.0).now == 10.0
+
+    def test_schedule_relative_delay(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.5]
+
+    def test_schedule_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(7.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [7.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulatorError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_past_absolute_time_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulatorError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(9.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        """Events at the same instant run in scheduling order (determinism)."""
+        sim = Simulator()
+        order = []
+        for k in range(10):
+            sim.schedule(2.0, lambda k=k: order.append(k))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_callback_can_schedule_more(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append(sim.now)
+            sim.schedule(2.0, lambda: fired.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == [1.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append(True))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        sim.run()
+
+    def test_cancel_from_another_callback(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(5.0, lambda: fired.append("late"))
+        sim.schedule(1.0, ev.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        ev.cancel()
+        assert sim.pending() == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_clock_advances_to_horizon_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_remaining_events_run_on_second_call(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        sim.run(until=20.0)
+        assert fired == [1, 10]
+
+    def test_event_exactly_at_horizon_runs(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(True))
+        sim.run(until=5.0)
+        assert fired == [True]
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+
+        def nested():
+            with pytest.raises(SimulatorError):
+                sim.run()
+
+        sim.schedule(1.0, nested)
+        sim.run()
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for _ in range(7):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 7
+
+
+class TestStep:
+    def test_step_runs_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+
+    def test_step_on_empty_queue(self):
+        assert Simulator().step() is False
+
+    def test_step_skips_cancelled(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        ev.cancel()
+        assert sim.step() is True
+        assert fired == [2]
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_property_execution_times_are_sorted(delays):
+    """Whatever the scheduling order, callbacks observe nondecreasing time."""
+    sim = Simulator()
+    seen = []
+    for d in delays:
+        sim.schedule(d, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30
+    ),
+    horizon=st.floats(min_value=0.0, max_value=120.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_run_until_partitions_events(delays, horizon):
+    """run(until=h) fires exactly the events with time <= h."""
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(d))
+    sim.run(until=horizon)
+    assert sorted(fired) == sorted(d for d in delays if d <= horizon)

@@ -1,0 +1,46 @@
+"""Tests for the top-level convenience API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import available_algorithms, quick_run, run_experiment
+from repro.experiments.config import ExperimentConfig
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_available_algorithms_contains_paper_set():
+    names = available_algorithms()
+    for alg in ("dsmf", "heft", "smf", "min-min", "max-min", "sufferage",
+                "dheft", "dsdf"):
+        assert alg in names
+
+
+def test_quick_run_smoke():
+    r = quick_run(algorithm="dsmf", n_nodes=24, load_factor=1,
+                  duration_hours=4, seed=2, task_range=(2, 6))
+    assert r.algorithm == "dsmf"
+    assert r.n_workflows == 24
+    assert r.n_done > 0
+
+
+def test_quick_run_forwards_overrides():
+    r = quick_run(n_nodes=24, load_factor=1, duration_hours=4, seed=2,
+                  rss_mode="oracle", task_range=(2, 6))
+    assert r.config["rss_mode"] == "oracle"
+
+
+def test_quick_run_rejects_bad_algorithm():
+    with pytest.raises(ValueError):
+        quick_run(algorithm="bogus", n_nodes=24)
+
+
+def test_run_experiment_with_config():
+    cfg = ExperimentConfig(n_nodes=24, load_factor=1, total_time=4 * 3600.0,
+                           seed=2, task_range=(2, 6))
+    r = run_experiment(cfg)
+    assert r.n_workflows == 24

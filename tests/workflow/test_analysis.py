@@ -1,0 +1,143 @@
+"""Tests for eft / critical path / RPM backward pass (Eq. 1, 7, 8)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import spawn_generator
+from repro.workflow.analysis import (
+    critical_path,
+    expected_finish_time,
+    expected_times,
+    rest_path_after,
+    upward_rank,
+)
+from repro.workflow.dag import Workflow
+from repro.workflow.generator import chain_workflow, diamond_workflow, random_workflow
+from repro.workflow.task import Task
+
+
+def test_expected_times_scale():
+    wf = chain_workflow("c", 3, load=100.0, data=50.0)
+    eet, ett = expected_times(wf, avg_capacity=4.0, avg_bandwidth=5.0)
+    assert eet[0] == 25.0
+    assert ett[(0, 1)] == 10.0
+
+
+def test_expected_times_invalid_averages():
+    wf = chain_workflow("c", 2)
+    with pytest.raises(ValueError):
+        expected_times(wf, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        expected_times(wf, 1.0, -1.0)
+
+
+def test_chain_eft_is_sum():
+    wf = chain_workflow("c", 4, load=100.0, data=50.0)
+    # 4 * (100/2) + 3 * (50/5) = 200 + 30
+    assert expected_finish_time(wf, 2.0, 5.0) == pytest.approx(230.0)
+
+
+def test_diamond_takes_heavier_branch():
+    wf = diamond_workflow("d", load=100.0, data=0.0)
+    # B has load 200 => path A,B,D = 100+200+100 = 400 at capacity 1.
+    assert expected_finish_time(wf, 1.0, 1.0) == pytest.approx(400.0)
+    assert critical_path(wf, 1.0, 1.0) == [0, 1, 3]
+
+
+def test_upward_rank_of_exit_is_its_eet():
+    wf = chain_workflow("c", 3, load=100.0)
+    rank = upward_rank(wf, 2.0, 1.0)
+    assert rank[2] == pytest.approx(50.0)
+
+
+def test_upward_rank_decreases_along_chain():
+    wf = chain_workflow("c", 5)
+    rank = upward_rank(wf, 1.0, 1.0)
+    for i in range(4):
+        assert rank[i] > rank[i + 1]
+
+
+def test_rest_path_after_is_rank_minus_eet():
+    wf = random_workflow("w", spawn_generator(0, "a"))
+    rank = upward_rank(wf, 3.0, 2.0)
+    after = rest_path_after(wf, 3.0, 2.0)
+    eet, _ = expected_times(wf, 3.0, 2.0)
+    for tid in wf.tasks:
+        assert after[tid] == pytest.approx(rank[tid] - eet[tid])
+
+
+def test_rest_path_after_exit_is_zero():
+    wf = chain_workflow("c", 3)
+    after = rest_path_after(wf, 1.0, 1.0)
+    assert after[wf.exit_id] == 0.0
+
+
+def test_critical_path_starts_entry_ends_exit():
+    for seed in range(10):
+        wf = random_workflow("w", spawn_generator(seed, "a"))
+        path = critical_path(wf, 2.0, 3.0)
+        assert path[0] == wf.entry_id
+        assert path[-1] == wf.exit_id
+        for u, v in zip(path, path[1:]):
+            assert v in wf.successors[u]
+
+
+def test_critical_path_length_equals_eft():
+    for seed in range(10):
+        wf = random_workflow("w", spawn_generator(seed + 100, "a"))
+        eet, ett = expected_times(wf, 2.0, 3.0)
+        path = critical_path(wf, 2.0, 3.0)
+        total = sum(eet[t] for t in path) + sum(
+            ett[(u, v)] for u, v in zip(path, path[1:])
+        )
+        assert total == pytest.approx(expected_finish_time(wf, 2.0, 3.0))
+
+
+def _eft_via_networkx(wf, cap, bw):
+    """Reference: longest entry->exit path via networkx DAG longest path."""
+    g = nx.DiGraph()
+    eet, ett = expected_times(wf, cap, bw)
+    for tid in wf.tasks:
+        g.add_node(tid)
+    for (u, v), _ in wf.edges.items():
+        # node weight folded into incoming edges; add entry eet at the end.
+        g.add_edge(u, v, weight=ett[(u, v)] + eet[v])
+    lengths = nx.dag_longest_path_length(g, weight="weight")
+    return lengths + eet[wf.entry_id]
+
+
+@given(seed=st.integers(0, 2**20))
+@settings(max_examples=30, deadline=None)
+def test_property_eft_matches_networkx_longest_path(seed):
+    wf = random_workflow("w", spawn_generator(seed, "a"))
+    ours = expected_finish_time(wf, 2.5, 1.5)
+    # networkx longest path from *anywhere*; our DAGs are single-entry and
+    # every node is reachable from it, so the global longest path starts at
+    # the entry task.
+    ref = _eft_via_networkx(wf, 2.5, 1.5)
+    assert ours == pytest.approx(ref)
+
+
+@given(
+    seed=st.integers(0, 2**20),
+    cap=st.floats(min_value=0.5, max_value=16.0),
+    bw=st.floats(min_value=0.1, max_value=10.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_eft_monotone_in_capacity_and_bandwidth(seed, cap, bw):
+    """Faster nodes / faster network can only shrink the expected makespan."""
+    wf = random_workflow("w", spawn_generator(seed, "a"))
+    base = expected_finish_time(wf, cap, bw)
+    assert expected_finish_time(wf, cap * 2, bw) <= base + 1e-9
+    assert expected_finish_time(wf, cap, bw * 2) <= base + 1e-9
+
+
+def test_virtual_tasks_do_not_add_cost():
+    t = [Task(tid=i, load=100.0) for i in range(2)]
+    wf = Workflow("w", t, {}).normalized()  # two disconnected tasks
+    # Critical path: ventry -> task -> vexit = 100 at capacity 1.
+    assert expected_finish_time(wf, 1.0, 1.0) == pytest.approx(100.0)

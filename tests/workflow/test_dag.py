@@ -1,0 +1,119 @@
+"""Tests for the Workflow DAG model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflow.dag import Workflow, WorkflowError
+from repro.workflow.task import Task
+
+
+def _tasks(n, load=10.0):
+    return [Task(tid=i, load=load) for i in range(n)]
+
+
+class TestConstruction:
+    def test_simple_chain(self):
+        wf = Workflow("w", _tasks(3), {(0, 1): 5.0, (1, 2): 5.0})
+        assert wf.n_tasks == 3
+        assert wf.n_edges == 2
+        assert wf.entry_id == 0
+        assert wf.exit_id == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow("w", [], {})
+
+    def test_duplicate_task_ids_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow("w", [Task(tid=0, load=1.0), Task(tid=0, load=2.0)], {})
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow("w", _tasks(2), {(0, 5): 1.0})
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow("w", _tasks(2), {(0, 0): 1.0})
+
+    def test_negative_data_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow("w", _tasks(2), {(0, 1): -1.0})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow("w", _tasks(3), {(0, 1): 1.0, (1, 2): 1.0, (2, 0): 1.0})
+
+    def test_two_cycle_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow("w", _tasks(2), {(0, 1): 1.0, (1, 0): 1.0})
+
+
+class TestStructure:
+    def test_topo_order_respects_edges(self):
+        wf = Workflow(
+            "w", _tasks(5), {(0, 2): 1.0, (2, 4): 1.0, (0, 1): 1.0, (1, 3): 1.0, (3, 4): 1.0}
+        )
+        pos = {t: i for i, t in enumerate(wf.topo_order)}
+        for u, v in wf.edges:
+            assert pos[u] < pos[v]
+
+    def test_adjacency_mirrors_edges(self):
+        wf = Workflow("w", _tasks(3), {(0, 1): 2.0, (0, 2): 3.0})
+        assert wf.successors[0] == {1: 2.0, 2: 3.0}
+        assert wf.precedents[1] == {0: 2.0}
+        assert wf.precedents[2] == {0: 3.0}
+        assert wf.successors[1] == {}
+
+    def test_iteration_in_topo_order(self):
+        wf = Workflow("w", _tasks(3), {(0, 1): 1.0, (1, 2): 1.0})
+        assert [t.tid for t in wf] == wf.topo_order
+
+    def test_total_load_and_data(self):
+        wf = Workflow("w", _tasks(3, load=7.0), {(0, 1): 2.0, (1, 2): 3.0})
+        assert wf.total_load() == 21.0
+        assert wf.total_data() == 5.0
+
+
+class TestNormalization:
+    def test_already_normalized_returns_self(self):
+        wf = Workflow("w", _tasks(3), {(0, 1): 1.0, (1, 2): 1.0})
+        assert wf.normalized() is wf
+
+    def test_multiple_entries_get_virtual_entry(self):
+        wf = Workflow("w", _tasks(3), {(0, 2): 1.0, (1, 2): 1.0}).normalized()
+        assert len(wf.entry_ids) == 1
+        entry = wf.tasks[wf.entry_id]
+        assert entry.virtual
+        assert entry.load == 0.0
+        assert set(wf.successors[entry.tid]) == {0, 1}
+        assert all(d == 0.0 for d in wf.successors[entry.tid].values())
+
+    def test_multiple_exits_get_virtual_exit(self):
+        wf = Workflow("w", _tasks(3), {(0, 1): 1.0, (0, 2): 1.0}).normalized()
+        assert len(wf.exit_ids) == 1
+        assert wf.tasks[wf.exit_id].virtual
+
+    def test_both_normalizations_at_once(self):
+        # Two disconnected chains: two entries, two exits.
+        wf = Workflow("w", _tasks(4), {(0, 1): 1.0, (2, 3): 1.0}).normalized()
+        assert len(wf.entry_ids) == 1
+        assert len(wf.exit_ids) == 1
+        assert wf.n_tasks == 6
+
+    def test_entry_property_raises_unnormalized(self):
+        wf = Workflow("w", _tasks(3), {(0, 2): 1.0, (1, 2): 1.0})
+        with pytest.raises(WorkflowError):
+            _ = wf.entry_id
+
+
+class TestReadySuccessors:
+    def test_initially_only_entry(self):
+        wf = Workflow("w", _tasks(3), {(0, 1): 1.0, (1, 2): 1.0})
+        assert wf.ready_successors(set()) == [0]
+
+    def test_after_entry_finishes(self):
+        wf = Workflow("w", _tasks(4), {(0, 1): 1.0, (0, 2): 1.0, (1, 3): 1.0, (2, 3): 1.0})
+        assert wf.ready_successors({0}) == [1, 2]
+        assert wf.ready_successors({0, 1}) == [2]
+        assert wf.ready_successors({0, 1, 2}) == [3]

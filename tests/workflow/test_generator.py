@@ -1,0 +1,133 @@
+"""Tests for workflow generators (random + structured families)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import spawn_generator
+from repro.workflow.generator import (
+    WorkflowParams,
+    chain_workflow,
+    diamond_workflow,
+    fork_join_workflow,
+    montage_like_workflow,
+    random_workflow,
+)
+
+
+class TestRandomWorkflow:
+    def test_respects_table1_ranges(self):
+        rng = spawn_generator(0, "g")
+        p = WorkflowParams()
+        for k in range(30):
+            wf = random_workflow(f"w{k}", rng, p)
+            real = [t for t in wf.tasks.values() if not t.virtual]
+            assert p.task_range[0] <= len(real) <= p.task_range[1]
+            for t in real:
+                assert p.load_range[0] <= t.load <= p.load_range[1]
+                assert p.image_range[0] <= t.image_size <= p.image_range[1]
+            for (u, v), d in wf.edges.items():
+                if not (wf.tasks[u].virtual or wf.tasks[v].virtual):
+                    assert p.data_range[0] <= d <= p.data_range[1]
+
+    def test_fanout_bounded(self):
+        rng = spawn_generator(1, "g")
+        p = WorkflowParams(task_range=(10, 30))
+        for k in range(20):
+            wf = random_workflow(f"w{k}", rng, p)
+            for tid, succ in wf.successors.items():
+                if not wf.tasks[tid].virtual:
+                    assert len(succ) <= p.fanout_range[1]
+
+    def test_single_entry_single_exit(self):
+        rng = spawn_generator(2, "g")
+        for k in range(30):
+            wf = random_workflow(f"w{k}", rng)
+            assert len(wf.entry_ids) == 1
+            assert len(wf.exit_ids) == 1
+
+    def test_every_task_reachable_from_entry(self):
+        rng = spawn_generator(3, "g")
+        for k in range(20):
+            wf = random_workflow(f"w{k}", rng)
+            reached = {wf.entry_id}
+            for tid in wf.topo_order:
+                if tid in reached:
+                    reached.update(wf.successors[tid])
+            assert reached == set(wf.tasks)
+
+    def test_deterministic_with_same_stream(self):
+        a = random_workflow("w", spawn_generator(5, "g"))
+        b = random_workflow("w", spawn_generator(5, "g"))
+        assert a.edges == b.edges
+        assert {t.tid: t.load for t in a.tasks.values()} == {
+            t.tid: t.load for t in b.tasks.values()
+        }
+
+    def test_custom_ranges(self):
+        p = WorkflowParams(load_range=(10.0, 1000.0), data_range=(100.0, 10_000.0))
+        wf = random_workflow("w", spawn_generator(6, "g"), p)
+        for t in wf.tasks.values():
+            if not t.virtual:
+                assert 10.0 <= t.load <= 1000.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            WorkflowParams(task_range=(5, 2))
+        with pytest.raises(ValueError):
+            WorkflowParams(task_range=(0, 5))
+        with pytest.raises(ValueError):
+            WorkflowParams(fanout_range=(0, 3))
+
+    @given(seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_generated_dags_valid(self, seed):
+        wf = random_workflow("w", spawn_generator(seed, "g"))
+        # toposort succeeded in the constructor => acyclic; check precedence.
+        pos = {t: i for i, t in enumerate(wf.topo_order)}
+        for u, v in wf.edges:
+            assert pos[u] < pos[v]
+        assert len(wf.entry_ids) == 1 and len(wf.exit_ids) == 1
+
+
+class TestFamilies:
+    def test_chain_structure(self):
+        wf = chain_workflow("c", 5)
+        assert wf.n_tasks == 5
+        assert wf.n_edges == 4
+        assert wf.entry_id == 0
+        assert wf.exit_id == 4
+
+    def test_chain_length_one(self):
+        wf = chain_workflow("c", 1)
+        assert wf.entry_id == wf.exit_id == 0
+
+    def test_chain_invalid_length(self):
+        with pytest.raises(ValueError):
+            chain_workflow("c", 0)
+
+    def test_fork_join_structure(self):
+        wf = fork_join_workflow("f", 4)
+        assert wf.n_tasks == 6
+        assert len(wf.successors[0]) == 4
+        assert len(wf.precedents[5]) == 4
+
+    def test_diamond_structure(self):
+        wf = diamond_workflow("d")
+        assert wf.n_tasks == 4
+        assert wf.ready_successors({0}) == [1, 2]
+
+    def test_montage_shape(self):
+        wf = montage_like_workflow("m", 4, spawn_generator(7, "g"))
+        assert len(wf.entry_ids) == 1
+        assert len(wf.exit_ids) == 1
+        names = {t.name for t in wf.tasks.values()}
+        assert any(n.startswith("mProject") for n in names)
+        assert "mAdd" in names
+
+    def test_montage_minimum_inputs(self):
+        with pytest.raises(ValueError):
+            montage_like_workflow("m", 1, spawn_generator(8, "g"))

@@ -1,0 +1,71 @@
+"""Tests for workflow JSON serialization and DOT export."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import spawn_generator
+from repro.workflow.generator import diamond_workflow, random_workflow
+from repro.workflow.io import (
+    load_workflow,
+    save_workflow,
+    workflow_from_dict,
+    workflow_to_dict,
+    workflow_to_dot,
+)
+
+
+def test_dict_roundtrip_diamond():
+    wf = diamond_workflow("d")
+    back = workflow_from_dict(workflow_to_dict(wf))
+    assert back.wid == wf.wid
+    assert back.edges == wf.edges
+    assert set(back.tasks) == set(wf.tasks)
+    for tid in wf.tasks:
+        assert back.tasks[tid] == wf.tasks[tid]
+
+
+def test_file_roundtrip(tmp_path):
+    wf = random_workflow("w", spawn_generator(4, "io"))
+    path = save_workflow(wf, tmp_path / "w.json")
+    back = load_workflow(path)
+    assert back.edges == wf.edges
+    assert back.topo_order == wf.topo_order
+
+
+def test_virtual_flag_survives():
+    wf = random_workflow("w", spawn_generator(5, "io"))
+    back = workflow_from_dict(workflow_to_dict(wf))
+    for tid, t in wf.tasks.items():
+        assert back.tasks[tid].virtual == t.virtual
+
+
+def test_from_dict_validates():
+    payload = {
+        "wid": "bad",
+        "tasks": [{"tid": 0, "load": 1.0}, {"tid": 1, "load": 1.0}],
+        "edges": [{"src": 0, "dst": 1, "data": 1.0}, {"src": 1, "dst": 0, "data": 1.0}],
+    }
+    with pytest.raises(Exception):
+        workflow_from_dict(payload)  # cycle
+
+
+def test_dot_export_mentions_every_task_and_edge():
+    wf = diamond_workflow("d")
+    dot = workflow_to_dot(wf)
+    assert dot.startswith('digraph "d"')
+    for tid in wf.tasks:
+        assert f"t{tid}" in dot
+    assert dot.count("->") == wf.n_edges
+
+
+@given(seed=st.integers(0, 2**20))
+@settings(max_examples=25, deadline=None)
+def test_property_roundtrip_preserves_structure(seed):
+    wf = random_workflow("w", spawn_generator(seed, "io"))
+    back = workflow_from_dict(workflow_to_dict(wf))
+    assert back.edges == wf.edges
+    assert back.entry_ids == wf.entry_ids
+    assert back.exit_ids == wf.exit_ids

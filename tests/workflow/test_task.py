@@ -1,0 +1,53 @@
+"""Tests for the Task model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflow.task import Task
+
+
+def test_execution_time_scales_with_capacity():
+    t = Task(tid=0, load=1000.0)
+    assert t.execution_time(1.0) == 1000.0
+    assert t.execution_time(16.0) == pytest.approx(62.5)
+
+
+def test_zero_load_executes_instantly():
+    assert Task(tid=0, load=0.0).execution_time(4.0) == 0.0
+
+
+def test_negative_load_rejected():
+    with pytest.raises(ValueError):
+        Task(tid=0, load=-1.0)
+
+
+def test_negative_image_rejected():
+    with pytest.raises(ValueError):
+        Task(tid=0, load=1.0, image_size=-1.0)
+
+
+def test_virtual_must_be_zero_cost():
+    with pytest.raises(ValueError):
+        Task(tid=0, load=5.0, virtual=True)
+    with pytest.raises(ValueError):
+        Task(tid=0, load=0.0, image_size=5.0, virtual=True)
+    Task(tid=0, load=0.0, image_size=0.0, virtual=True)  # fine
+
+
+def test_nonpositive_capacity_rejected():
+    t = Task(tid=0, load=10.0)
+    with pytest.raises(ValueError):
+        t.execution_time(0.0)
+    with pytest.raises(ValueError):
+        t.execution_time(-2.0)
+
+
+def test_name_not_part_of_identity():
+    assert Task(tid=1, load=5.0, name="a") == Task(tid=1, load=5.0, name="b")
+
+
+def test_frozen():
+    t = Task(tid=0, load=1.0)
+    with pytest.raises(AttributeError):
+        t.load = 2.0  # type: ignore[misc]
