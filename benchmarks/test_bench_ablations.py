@@ -8,7 +8,9 @@ interval, transfer contention, rescheduling) and quantifies its effect.
 from __future__ import annotations
 
 import pytest
-from conftest import once, run_one
+from conftest import once, run_one, run_sweep
+
+pytestmark = pytest.mark.slow
 
 
 class TestRssSizeAblation:
@@ -19,12 +21,23 @@ class TestRssSizeAblation:
         import numpy as np
 
         log2n = int(np.ceil(np.log2(60)))
-        return {
-            "half": run_one(rss_capacity=max(2, log2n // 2)),
-            "paper": run_one(rss_capacity=2 * log2n),
-            "quad": run_one(rss_capacity=4 * log2n),
-            "oracle": run_one(rss_mode="oracle"),
-        }
+        # The bench's default 24 h horizon is validated to converge every
+        # algorithm under the paper's 2*log2(n) RSS, but the deliberately
+        # handicapped half-size view makes placements bad enough that the
+        # slowest tail (large transfers over ~0.1 Mb/s links) is still in
+        # flight at 24 h.  The paper quotes *converged* numbers, so this
+        # ablation runs a 36 h horizon (= Table I's experimental time, at
+        # which every variant below finishes all 180 workflows) rather
+        # than asserting completion mid-tail.
+        return run_sweep(
+            {
+                "half": {"rss_capacity": max(2, log2n // 2)},
+                "paper": {"rss_capacity": 2 * log2n},
+                "quad": {"rss_capacity": 4 * log2n},
+                "oracle": {"rss_mode": "oracle"},
+            },
+            total_time=36 * 3600.0,
+        )
 
     def test_bench_ablation_rss_size(self, benchmark, sweep):
         once(benchmark, lambda: run_one(rss_mode="oracle"))
@@ -44,11 +57,13 @@ class TestGossipStalenessAblation:
 
     @pytest.fixture(scope="class")
     def sweep(self):
-        return {
-            "fresh": run_one(gossip_interval=60.0),
-            "paper": run_one(gossip_interval=300.0),
-            "stale": run_one(gossip_interval=1800.0),
-        }
+        return run_sweep(
+            {
+                "fresh": {"gossip_interval": 60.0},
+                "paper": {"gossip_interval": 300.0},
+                "stale": {"gossip_interval": 1800.0},
+            }
+        )
 
     def test_bench_ablation_gossip_staleness(self, benchmark, sweep):
         once(benchmark, lambda: run_one(gossip_interval=1800.0))

@@ -1,0 +1,69 @@
+"""Campaign runner — parallel fan-out speedup and cache effectiveness.
+
+A 2-algorithm × 4-seed sweep (the shape of one paper-figure cell) run
+three ways: serial, fanned out across worker processes, and replayed from
+the result cache.  The parallel path must be bit-identical to the serial
+one; the speedup assertion is gated on the host actually having more than
+one core (CI runners vary).
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+import pytest
+from conftest import once
+
+from repro.experiments.campaign import CampaignRunner, sweep_specs
+from repro.experiments.config import ExperimentConfig
+
+#: Sweep cell small enough that the whole bench stays under a minute even
+#: serially on one core.
+SWEEP_BASE = ExperimentConfig(
+    n_nodes=40,
+    load_factor=1,
+    total_time=6 * 3600.0,
+    task_range=(2, 12),
+)
+
+JOBS = 4
+
+
+def _specs():
+    return sweep_specs(["dsmf", "dheft"], [1, 2, 3, 4], base=SWEEP_BASE)
+
+
+@pytest.mark.slow  # wall-time ratio gate: keep off shared CI runners
+def test_bench_campaign_parallel_speedup(benchmark):
+    """Times the parallel sweep; asserts identity with (and, given cores,
+    speedup over) the serial path."""
+    t0 = perf_counter()
+    serial = CampaignRunner(jobs=1, use_cache=False).run(_specs())
+    serial_wall = perf_counter() - t0
+
+    parallel = once(
+        benchmark, lambda: CampaignRunner(jobs=JOBS, use_cache=False).run(_specs())
+    )
+
+    # Fan-out must never change the science: bit-identical outcomes.
+    assert parallel.fingerprint() == serial.fingerprint()
+    assert [r.label for r in parallel] == [r.label for r in serial]
+
+    if (os.cpu_count() or 1) >= 2:
+        # With real cores the 8-run sweep should overlap meaningfully;
+        # 1.3x is a deliberately loose floor for noisy shared CI runners.
+        assert parallel.wall_seconds < serial_wall / 1.3
+
+
+def test_bench_campaign_cache_replay(tmp_path):
+    specs = _specs()
+    cold = CampaignRunner(jobs=1, cache_dir=tmp_path).run(specs)
+    assert cold.n_cached == 0
+
+    warm = CampaignRunner(jobs=1, cache_dir=tmp_path).run(specs)
+    assert warm.n_cached == len(specs)
+    assert warm.fingerprint() == cold.fingerprint()
+    # The replay reads eight pickles; anything near the cold wall time
+    # means the cache is broken.  (The acceptance bar is <10%.)
+    assert warm.wall_seconds < cold.wall_seconds * 0.1

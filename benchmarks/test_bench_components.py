@@ -9,7 +9,6 @@ all-pairs bottleneck computation, gossip cycles and the full-ahead planner.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.estimates import ResourceView
 from repro.core.fullahead.heft import HeftPlanner

@@ -13,6 +13,8 @@ import numpy as np
 import pytest
 from conftest import once, run_one
 
+pytestmark = pytest.mark.slow
+
 SCALES = (50, 100, 200)
 
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 import pytest
 from conftest import once, run_one
 
+pytestmark = pytest.mark.slow
+
 DFS = (0.0, 0.1, 0.2, 0.4)
 
 

@@ -7,10 +7,13 @@ Paper claims reproduced here:
 
 from __future__ import annotations
 
+import pytest
 from conftest import BENCH, once, run_one
 
 from repro.core.heuristics.registry import PAPER_ALGORITHMS
 from repro.experiments.figures import fig4_throughput
+
+pytestmark = pytest.mark.slow
 
 
 def _tp_at(result, hour: int) -> float:

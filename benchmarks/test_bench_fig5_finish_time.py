@@ -7,9 +7,12 @@ by a double-digit percentage on converged ACT; SMF/DSMF are the two best.
 
 from __future__ import annotations
 
+import pytest
 from conftest import once, run_one
 
 from repro.experiments.figures import fig5_finish_time
+
+pytestmark = pytest.mark.slow
 
 DECENTRALIZED_RIVALS = ("min-min", "max-min", "sufferage", "dheft", "dsdf")
 

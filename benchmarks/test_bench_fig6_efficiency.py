@@ -7,9 +7,12 @@ the best decentralized algorithm, improving markedly over the rivals
 
 from __future__ import annotations
 
+import pytest
 from conftest import once, run_one
 
 from repro.experiments.figures import fig6_efficiency
+
+pytestmark = pytest.mark.slow
 
 DECENTRALIZED_RIVALS = ("min-min", "max-min", "sufferage", "dheft", "dsdf")
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 import pytest
 from conftest import once, run_one
 
+pytestmark = pytest.mark.slow
+
 LOAD_FACTORS = (1, 4, 8)
 ALGS = ("dsmf", "min-min", "dheft")
 

@@ -12,6 +12,8 @@ from conftest import once, run_one
 
 from repro.experiments.figures import CCR_CASES
 
+pytestmark = pytest.mark.slow
+
 ALGS = ("dsmf", "min-min", "dheft")
 
 

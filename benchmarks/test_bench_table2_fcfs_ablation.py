@@ -21,6 +21,8 @@ from __future__ import annotations
 import pytest
 from conftest import once, run_one
 
+pytestmark = pytest.mark.slow
+
 BASES = ("min-min", "max-min", "sufferage", "dheft", "dsmf")
 
 

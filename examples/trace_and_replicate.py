@@ -14,7 +14,6 @@ Two library extensions beyond the paper:
 Run with ``python examples/trace_and_replicate.py``.
 """
 
-import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.replication import run_replications

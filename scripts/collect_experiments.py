@@ -1,10 +1,12 @@
 #!/usr/bin/env python
 """Collect the data behind EXPERIMENTS.md (paper-vs-measured record).
 
-Runs every experiment of the paper's §IV at the requested profile, in
-parallel across processes (each simulation is single-threaded), and dumps
-one JSON file per figure into ``results/``.  ``render_experiments.py``
-turns those into the EXPERIMENTS.md tables.
+Runs every experiment of the paper's §IV at the requested profile through
+the campaign runner — fanned out across worker processes, with completed
+runs cached on disk so re-collections (e.g. after fixing one figure's
+rendering) only pay for what actually changed — and dumps one JSON file
+per figure into ``results/``.  ``render_experiments.py`` turns those into
+the EXPERIMENTS.md tables.
 
 Usage::
 
@@ -15,132 +17,152 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
-from multiprocessing import Pool
 from pathlib import Path
 
 from repro.core.heuristics.registry import PAPER_ALGORITHMS
+from repro.experiments.campaign import CampaignRun, CampaignRunner, RunSpec
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import CCR_CASES, base_config
-from repro.grid.system import P2PGridSystem
 
 RESULTS = Path(__file__).resolve().parent.parent / "results"
 
 
-def run_slim(item: tuple[str, dict]) -> dict:
-    """Run one config (given as overrides on the base setting) and return a
-    slim, JSON-able digest."""
-    label, spec = item
-    profile = spec.pop("profile")
-    seed = spec.pop("seed")
-    scale_free = spec.pop("scale_free", False)
-    if scale_free:
-        cfg = ExperimentConfig(seed=seed, **spec)
-    else:
-        cfg = base_config(profile, seed=seed, **spec)
-    t0 = time.perf_counter()
-    r = P2PGridSystem(cfg).run()
+def digest(run: CampaignRun) -> dict:
+    """Slim, JSON-able record of one campaign run."""
+    r = run.result
     times, tp = r.series("throughput")
     _, act = r.series("act")
     _, ae = r.series("ae")
     return {
-        "label": label,
-        "algorithm": cfg.algorithm,
-        "n_nodes": cfg.n_nodes,
+        "label": run.label,
+        "algorithm": r.algorithm,
+        "n_nodes": r.n_nodes,
         "n_workflows": r.n_workflows,
         "n_done": r.n_done,
         "n_failed": r.n_failed,
-        "act": r.act,
-        "ae": r.ae,
-        "rss_mean": r.rss_mean,
+        "act": float(r.act),
+        "ae": float(r.ae),
+        "rss_mean": float(r.rss_mean),
         "events": r.events_executed,
-        "wall": time.perf_counter() - t0,
+        "wall": run.wall_seconds,
+        "cached": run.from_cache,
         "series": {"hours": times, "throughput": tp, "act": act, "ae": ae},
     }
 
 
-def build_jobs(profile: str, seed: int) -> dict[str, list[tuple[str, dict]]]:
-    jobs: dict[str, list[tuple[str, dict]]] = {}
+def build_specs(profile: str, seed: int) -> dict[str, list[RunSpec]]:
+    """One fully-resolved config per experiment of §IV, grouped by figure."""
+    groups: dict[str, list[RunSpec]] = {}
 
     # Fig. 4/5/6 — static suite.
-    jobs["fig456"] = [
-        (alg, {"profile": profile, "seed": seed, "algorithm": alg})
+    groups["fig456"] = [
+        RunSpec(alg, base_config(profile, seed=seed, algorithm=alg))
         for alg in PAPER_ALGORITHMS
     ]
     # Fig. 7/8 — load factor sweep.
-    jobs["fig78"] = [
-        (f"{alg}@lf{lf}", {"profile": profile, "seed": seed, "algorithm": alg,
-                           "load_factor": lf})
+    groups["fig78"] = [
+        RunSpec(
+            f"{alg}@lf{lf}",
+            base_config(profile, seed=seed, algorithm=alg, load_factor=lf),
+        )
         for lf in (1, 2, 3, 4, 5, 6, 7, 8)
         for alg in PAPER_ALGORITHMS
     ]
     # Fig. 9/10 — CCR sweep.
-    jobs["fig910"] = [
-        (f"{alg}@{name}", {"profile": profile, "seed": seed, "algorithm": alg,
-                           "load_range": loads, "data_range": data})
+    groups["fig910"] = [
+        RunSpec(
+            f"{alg}@{name}",
+            base_config(
+                profile, seed=seed, algorithm=alg, load_range=loads, data_range=data
+            ),
+        )
         for (name, loads, data) in CCR_CASES
         for alg in PAPER_ALGORITHMS
     ]
     # Fig. 11 — scalability (absolute scales, paper x-axis subset).
     horizon = base_config(profile, seed=seed).total_time
-    scales = (100, 200, 400, 600, 800, 1000, 1400, 2000)
-    jobs["fig11"] = [
-        (f"dsmf@n{s}", {"profile": profile, "seed": seed, "algorithm": "dsmf",
-                        "n_nodes": s, "total_time": horizon, "scale_free": True})
-        for s in scales
+    groups["fig11"] = [
+        RunSpec(
+            f"dsmf@n{s}",
+            ExperimentConfig(
+                algorithm="dsmf", seed=seed, n_nodes=s, total_time=horizon
+            ),
+        )
+        for s in (100, 200, 400, 600, 800, 1000, 1400, 2000)
     ]
     # Fig. 12/13/14 — churn.
-    jobs["fig121314"] = [
-        (f"df{df:g}", {"profile": profile, "seed": seed, "algorithm": "dsmf",
-                       "dynamic_factor": df})
+    groups["fig121314"] = [
+        RunSpec(
+            f"df{df:g}",
+            base_config(profile, seed=seed, algorithm="dsmf", dynamic_factor=df),
+        )
         for df in (0.0, 0.1, 0.2, 0.3, 0.4)
     ]
     # Table II — FCFS second-phase ablation (plus DSMF's own phase 2).
-    jobs["table2"] = [
-        (name, {"profile": profile, "seed": seed, "algorithm": name})
+    groups["table2"] = [
+        RunSpec(name, base_config(profile, seed=seed, algorithm=name))
         for b in ("min-min", "max-min", "sufferage", "dheft", "dsmf")
         for name in (b, f"{b}-fcfs")
     ]
-    return jobs
+    return groups
 
 
 def main() -> None:
     ap = argparse.ArgumentParser()
     ap.add_argument("--profile", default="medium")
     ap.add_argument("--seed", type=int, default=1)
-    ap.add_argument("--jobs", type=int, default=20)
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
     ap.add_argument("--only", nargs="*", default=None,
                     help="subset of figure groups to run")
+    ap.add_argument("--cache-dir", default=None,
+                    help="campaign cache location (default .repro_cache/campaign)")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="force fresh runs; skip the result cache")
     args = ap.parse_args()
 
     RESULTS.mkdir(exist_ok=True)
-    groups = build_jobs(args.profile, args.seed)
+    groups = build_specs(args.profile, args.seed)
     if args.only:
         groups = {k: v for k, v in groups.items() if k in args.only}
 
-    flat: list[tuple[str, tuple[str, dict]]] = [
-        (gname, item) for gname, items in groups.items() for item in items
-    ]
+    flat = [(gname, spec) for gname, specs in groups.items() for spec in specs]
     print(f"{len(flat)} runs across {len(groups)} figure groups "
           f"({args.jobs} workers, profile={args.profile})")
+
+    def progress(run: CampaignRun) -> None:
+        # Labels repeat across figure groups (e.g. fig456's and table2's
+        # "dsmf" — identical configs the runner dedupes), so progress lines
+        # carry the label only; the per-group JSON keeps exact attribution.
+        d = run.result
+        src = "cache" if run.from_cache else f"{run.wall_seconds:.0f}s"
+        print(f"  [{run.label}] done={d.n_done}/"
+              f"{d.n_workflows} ACT={d.act:.0f} AE={d.ae:.3f} ({src})")
+
     t0 = time.perf_counter()
-    with Pool(args.jobs) as pool:
-        digests = pool.map(run_slim, [item for _, item in flat], chunksize=1)
+    runner = CampaignRunner(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=progress,
+    )
+    campaign = runner.run([spec for _, spec in flat])
 
     by_group: dict[str, list[dict]] = {}
-    for (gname, _), digest in zip(flat, digests):
-        by_group.setdefault(gname, []).append(digest)
-        print(f"  [{gname}/{digest['label']}] done={digest['n_done']}/"
-              f"{digest['n_workflows']} ACT={digest['act']:.0f} "
-              f"AE={digest['ae']:.3f} ({digest['wall']:.0f}s)")
+    for (gname, _), run in zip(flat, campaign.runs):
+        by_group.setdefault(gname, []).append(digest(run))
 
     meta = {"profile": args.profile, "seed": args.seed,
-            "wall_total": time.perf_counter() - t0}
+            "wall_total": time.perf_counter() - t0,
+            "n_cached": campaign.n_cached,
+            "fingerprint": campaign.fingerprint()}
     for gname, items in by_group.items():
         out = RESULTS / f"{gname}_{args.profile}.json"
         out.write_text(json.dumps({"meta": meta, "runs": items}, indent=1))
         print(f"wrote {out}")
-    print(f"total wall: {meta['wall_total']:.0f}s")
+    print(f"total wall: {meta['wall_total']:.0f}s "
+          f"({campaign.n_cached}/{len(campaign)} from cache)")
 
 
 if __name__ == "__main__":

@@ -26,11 +26,12 @@ Quickstart::
 """
 
 from repro._version import __version__
-from repro.api import available_algorithms, quick_run, run_experiment
+from repro.api import available_algorithms, quick_run, run_campaign, run_experiment
 
 __all__ = [
     "__version__",
     "available_algorithms",
     "quick_run",
+    "run_campaign",
     "run_experiment",
 ]

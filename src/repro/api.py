@@ -13,10 +13,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from typing import Callable, Optional, Sequence
+
+    from repro.experiments.campaign import CampaignResult, CampaignRun
     from repro.experiments.config import ExperimentConfig
     from repro.metrics.collectors import RunResult
 
-__all__ = ["available_algorithms", "quick_run", "run_experiment"]
+__all__ = ["available_algorithms", "quick_run", "run_campaign", "run_experiment"]
 
 
 def available_algorithms() -> list[str]:
@@ -59,3 +62,36 @@ def quick_run(
         **overrides,
     )
     return run_experiment(config)
+
+
+def run_campaign(
+    algorithms: "Sequence[str]" = ("dsmf",),
+    seeds: "Sequence[int]" = (1,),
+    base: "Optional[ExperimentConfig]" = None,
+    jobs: int = 1,
+    cache_dir=None,
+    use_cache: bool = True,
+    progress: "Optional[Callable[[CampaignRun], None]]" = None,
+    **overrides,
+) -> "CampaignResult":
+    """Run an (algorithm × seed) sweep with process fan-out and caching.
+
+    Results are deterministic per config regardless of ``jobs``; completed
+    runs are cached on disk keyed by a content hash of the resolved config,
+    so re-invocations are near-instant.  Any
+    :class:`~repro.experiments.config.ExperimentConfig` field can be
+    overridden by keyword (applied to every cell of the sweep)::
+
+        from repro import run_campaign
+        campaign = run_campaign(["dsmf", "dheft"], seeds=range(1, 5), jobs=4,
+                                n_nodes=80, total_time=12 * 3600.0)
+        for run in campaign:
+            print(run.label, run.result.summary())
+    """
+    from repro.experiments.campaign import CampaignRunner, sweep_specs
+
+    specs = sweep_specs(algorithms, seeds, base=base, **overrides)
+    runner = CampaignRunner(
+        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+    )
+    return runner.run(specs)

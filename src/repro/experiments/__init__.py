@@ -5,6 +5,14 @@ point here; see DESIGN.md's per-experiment index and
 ``python -m repro --help``.
 """
 
+from repro.experiments.campaign import CampaignResult, CampaignRunner, RunSpec, sweep_specs
 from repro.experiments.config import ExperimentConfig, ScaleProfile
 
-__all__ = ["ExperimentConfig", "ScaleProfile"]
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "ExperimentConfig",
+    "RunSpec",
+    "ScaleProfile",
+    "sweep_specs",
+]

@@ -1,0 +1,462 @@
+"""Campaign orchestration: fan out many simulations, cache the results.
+
+The paper's evaluation is a large grid of (algorithm × seed × config)
+simulations.  Each run is single-threaded and deterministic given its
+:class:`~repro.experiments.config.ExperimentConfig` (every stochastic
+component draws from a named stream of :class:`~repro.sim.rng.RngHub`,
+seeded only by ``config.seed``), which makes the campaign layer simple and
+safe:
+
+* **fan-out** — independent runs execute across worker processes
+  (:class:`concurrent.futures.ProcessPoolExecutor`; spawn-safe, so it works
+  on every platform start method), and the outcome is bit-identical to a
+  serial sweep;
+* **caching** — a completed :class:`~repro.metrics.collectors.RunResult` is
+  stored on disk keyed by a content hash of the resolved config, so
+  repeated benchmark/figure invocations are near-instant.
+
+Entry points: :func:`sweep_specs` builds the (algorithm × seed × variant)
+grid, :class:`CampaignRunner` executes it, and
+:meth:`CampaignResult.fingerprint` digests everything but wall-clock time
+for determinism checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import get_context
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro._version import __version__
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.collectors import RunResult
+
+__all__ = [
+    "CampaignError",
+    "CampaignResult",
+    "CampaignRun",
+    "CampaignRunner",
+    "RunSpec",
+    "config_hash",
+    "default_cache_dir",
+    "result_digest",
+    "sweep_specs",
+]
+
+#: Bump to invalidate every existing cache entry when the stored layout or
+#: the simulation semantics change without a version bump.
+CACHE_SCHEMA = 1
+
+def default_cache_dir() -> Path:
+    """Default on-disk cache location (read per call, so tests/notebooks
+    can set ``REPRO_CAMPAIGN_CACHE`` after import)."""
+    return Path(os.environ.get("REPRO_CAMPAIGN_CACHE", ".repro_cache/campaign"))
+
+
+# --------------------------------------------------------------------------
+# Content hashing
+# --------------------------------------------------------------------------
+
+def config_hash(config: "ExperimentConfig | Mapping") -> str:
+    """Content hash of a resolved experiment configuration.
+
+    Stable across processes, dict key ordering and tuple-vs-list spelling
+    (JSON canonicalization), and salted with the package version plus a
+    cache schema number so stored results never outlive the code that
+    produced them.
+    """
+    payload = (
+        config.describe() if isinstance(config, ExperimentConfig) else dict(config)
+    )
+    blob = json.dumps(
+        {"schema": CACHE_SCHEMA, "version": __version__, "config": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def result_digest(result: RunResult) -> str:
+    """Deterministic digest of a run's *outcome* (wall time excluded).
+
+    Two runs of the same config — different processes, different worker
+    counts, cache hits — must produce the same digest.
+    """
+    payload = {
+        "algorithm": result.algorithm,
+        "seed": result.seed,
+        "n_nodes": result.n_nodes,
+        "n_workflows": result.n_workflows,
+        "total_time": float(result.total_time),
+        "act": float(result.act),
+        "ae": float(result.ae),
+        "n_done": result.n_done,
+        "n_failed": result.n_failed,
+        "events": result.events_executed,
+        "rss_mean": float(result.rss_mean),
+        "records": [
+            [
+                r.wid,
+                r.home_id,
+                r.n_tasks,
+                float(r.eft),
+                float(r.submit_time),
+                r.status,
+                None if r.completion_time is None else float(r.completion_time),
+                r.failure_reason,
+            ]
+            for r in result.records
+        ],
+        "samples": [
+            [
+                float(s.time),
+                s.throughput,
+                float(s.act),
+                float(s.ae),
+                float(s.rss_mean),
+                s.alive_nodes,
+            ]
+            for s in result.samples
+        ],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# Specs and outcomes
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of a campaign grid: a display label plus its full config."""
+
+    label: str
+    config: ExperimentConfig
+
+
+@dataclass
+class CampaignRun:
+    """Outcome of one campaign cell."""
+
+    label: str
+    config: ExperimentConfig
+    result: RunResult
+    cache_key: str
+    from_cache: bool
+    #: Worker-side execution seconds (0.0 for cache hits).
+    wall_seconds: float
+
+    def digest(self) -> str:
+        return result_digest(self.result)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced, in spec order."""
+
+    runs: list[CampaignRun]
+    #: End-to-end orchestration seconds (includes cache I/O and pool setup).
+    wall_seconds: float
+
+    def __iter__(self):
+        return iter(self.runs)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for r in self.runs if r.from_cache)
+
+    def results(self) -> dict[str, RunResult]:
+        """``label -> RunResult`` (labels must be unique to use this)."""
+        return {r.label: r.result for r in self.runs}
+
+    def fingerprint(self) -> str:
+        """Order-sensitive digest over every run's outcome, wall excluded.
+
+        Identical sweeps — whatever the worker count or cache state —
+        yield identical fingerprints.
+        """
+        blob = json.dumps(
+            [[r.label, r.digest()] for r in self.runs], separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class CampaignError(RuntimeError):
+    """One or more campaign runs failed; carries every failure."""
+
+    def __init__(self, failures: list[tuple[str, str]]):
+        self.failures = failures
+        lines = "\n".join(f"  [{label}] {msg.splitlines()[0]}" for label, msg in failures)
+        super().__init__(f"{len(failures)} campaign run(s) failed:\n{lines}")
+
+
+# --------------------------------------------------------------------------
+# Sweep construction
+# --------------------------------------------------------------------------
+
+def sweep_specs(
+    algorithms: Sequence[str],
+    seeds: Sequence[int],
+    base: Optional[ExperimentConfig] = None,
+    variants: Optional[Mapping[str, Mapping]] = None,
+    **overrides,
+) -> list[RunSpec]:
+    """Build the (algorithm × variant × seed) grid of run specs.
+
+    Parameters
+    ----------
+    base:
+        Starting configuration (default: Table I paper scale — pass a
+        profile-scaled config for anything CI-sized).
+    variants:
+        Optional named config-override axis, e.g.
+        ``{"static": {}, "churn": {"dynamic_factor": 0.2}}``.
+    overrides:
+        Applied to every cell (on top of ``base``, under ``variants``).
+    """
+    cfg = base if base is not None else ExperimentConfig()
+    if overrides:
+        cfg = cfg.with_(**overrides)
+    named_variants = dict(variants) if variants else {"": {}}
+    specs: list[RunSpec] = []
+    seen: set[str] = set()
+    for alg in algorithms:
+        for vname, vover in named_variants.items():
+            for seed in seeds:
+                label = alg + (f"@{vname}" if vname else "") + f"#s{int(seed)}"
+                if label in seen:
+                    # Label-keyed consumers (results(), the bench sweeps)
+                    # would silently drop the duplicate cell downstream.
+                    raise ValueError(
+                        f"duplicate sweep cell {label!r} — repeated "
+                        "algorithm, seed, or variant name"
+                    )
+                seen.add(label)
+                specs.append(
+                    RunSpec(
+                        label,
+                        cfg.with_(algorithm=alg, seed=int(seed), **dict(vover)),
+                    )
+                )
+    return specs
+
+
+# --------------------------------------------------------------------------
+# Execution
+# --------------------------------------------------------------------------
+
+def _default_runner(config: ExperimentConfig) -> RunResult:
+    from repro.grid.system import P2PGridSystem
+
+    return P2PGridSystem(config).run()
+
+
+@dataclass
+class _Outcome:
+    index: int
+    result: Optional[RunResult]
+    wall: float
+    error: Optional[str] = None
+
+
+def _execute(item: tuple[int, ExperimentConfig, Callable]) -> _Outcome:
+    """Worker entry point (module-level, hence picklable under spawn)."""
+    index, config, runner = item
+    t0 = perf_counter()
+    try:
+        result = runner(config)
+        return _Outcome(index, result, perf_counter() - t0)
+    except Exception as exc:
+        return _Outcome(
+            index,
+            None,
+            perf_counter() - t0,
+            error=f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+        )
+
+
+class CampaignRunner:
+    """Execute a list of :class:`RunSpec`s with fan-out and caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes (1 = run inline in this process).
+    cache_dir:
+        Where completed results are stored (``None`` = :func:`default_cache_dir`).
+    use_cache:
+        Disable to force fresh runs and skip cache writes.
+    runner:
+        The per-config work function (module-level, picklable); injectable
+        for tests.  Default builds and runs a
+        :class:`~repro.grid.system.P2PGridSystem`.
+    mp_context:
+        multiprocessing start method (``None`` = platform default;
+        ``"spawn"`` is fully supported — workers receive only picklable
+        frozen configs).
+    progress:
+        Optional callback invoked with each finished :class:`CampaignRun`
+        (cache hits included), in completion order.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: "str | os.PathLike | None" = None,
+        use_cache: bool = True,
+        runner: Callable[[ExperimentConfig], RunResult] = _default_runner,
+        mp_context: Optional[str] = None,
+        progress: Optional[Callable[[CampaignRun], None]] = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.use_cache = use_cache
+        self.runner = runner
+        self.mp_context = mp_context
+        self.progress = progress
+
+    # ----------------------------------------------------------------- cache
+    def _cache_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.pkl"
+
+    def _cache_load(self, key: str) -> Optional[RunResult]:
+        path = self._cache_path(key)
+        if not path.is_file():
+            return None
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except Exception:
+            # Corrupt/truncated entry (e.g. an interrupted writer on an old
+            # layout): treat as a miss and let the fresh write replace it.
+            return None
+        return result if isinstance(result, RunResult) else None
+
+    def _cache_store(self, key: str, result: RunResult) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._cache_path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)  # atomic: concurrent campaigns never see partial files
+
+    # ------------------------------------------------------------------- run
+    def run(self, specs: Sequence[RunSpec]) -> CampaignResult:
+        """Execute every spec; returns runs in spec order.
+
+        Raises :class:`CampaignError` after the sweep drains if any run
+        failed (a crashed worker *process* raises immediately).
+        """
+        t0 = perf_counter()
+        keys = [config_hash(s.config) for s in specs]
+        runs: list[Optional[CampaignRun]] = [None] * len(specs)
+
+        # Resolve cache hits and dedupe identical configs within the sweep.
+        pending: list[int] = []
+        first_index_by_key: dict[str, int] = {}
+        duplicates: dict[int, int] = {}
+        for i, (spec, key) in enumerate(zip(specs, keys)):
+            if key in first_index_by_key:
+                duplicates[i] = first_index_by_key[key]
+                continue
+            first_index_by_key[key] = i
+            cached = self._cache_load(key) if self.use_cache else None
+            if cached is not None:
+                runs[i] = CampaignRun(
+                    label=spec.label,
+                    config=spec.config,
+                    result=cached,
+                    cache_key=key,
+                    from_cache=True,
+                    wall_seconds=0.0,
+                )
+                self._notify(runs[i])
+            else:
+                pending.append(i)
+
+        failures: list[tuple[str, str]] = []
+        for outcome in self._execute_pending(specs, pending):
+            i = outcome.index
+            if outcome.error is not None:
+                failures.append((specs[i].label, outcome.error))
+                continue
+            assert outcome.result is not None
+            if self.use_cache:
+                self._cache_store(keys[i], outcome.result)
+            runs[i] = CampaignRun(
+                label=specs[i].label,
+                config=specs[i].config,
+                result=outcome.result,
+                cache_key=keys[i],
+                from_cache=False,
+                wall_seconds=outcome.wall,
+            )
+            self._notify(runs[i])
+
+        if failures:
+            raise CampaignError(failures)
+
+        # Materialize deduped cells from their primary's result.
+        for i, primary in duplicates.items():
+            first = runs[primary]
+            assert first is not None
+            runs[i] = CampaignRun(
+                label=specs[i].label,
+                config=specs[i].config,
+                result=first.result,
+                cache_key=keys[i],
+                from_cache=first.from_cache,
+                wall_seconds=0.0,
+            )
+            self._notify(runs[i])
+
+        assert all(r is not None for r in runs)
+        return CampaignResult(runs=list(runs), wall_seconds=perf_counter() - t0)
+
+    # -------------------------------------------------------------- internals
+    def _notify(self, run: CampaignRun) -> None:
+        if self.progress is not None:
+            self.progress(run)
+
+    def _execute_pending(self, specs, pending: list[int]):
+        """Yield one :class:`_Outcome` per pending index (completion order)."""
+        if not pending:
+            return
+        items = [(i, specs[i].config, self.runner) for i in pending]
+        if self.jobs == 1 or len(items) == 1:
+            for item in items:
+                yield _execute(item)
+            return
+        ctx = get_context(self.mp_context) if self.mp_context else None
+        workers = min(self.jobs, len(items))
+        try:
+            with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+                futures = {pool.submit(_execute, item): item[0] for item in items}
+                for fut in as_completed(futures):
+                    index = futures[fut]
+                    exc = fut.exception()
+                    if exc is not None:
+                        # A worker *process* died (e.g. OOM-killed): every
+                        # affected future carries BrokenProcessPool.
+                        yield _Outcome(
+                            index, None, 0.0, error=f"{type(exc).__name__}: {exc}"
+                        )
+                    else:
+                        yield fut.result()
+        except BrokenProcessPool as exc:  # pragma: no cover - defensive
+            raise CampaignError([("<pool>", f"worker pool died: {exc}")]) from exc

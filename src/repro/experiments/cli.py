@@ -1,39 +1,42 @@
-"""Command-line interface: ``python -m repro`` / the ``p2pgrid`` script.
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
 
 Subcommands
 -----------
-``run``     one simulation, printing the summary and hourly metrics,
-``figure``  regenerate a paper figure (4–14 or ``table2``) as ASCII + CSV,
-``table``   print Table I (the experimental setting) or Table II,
-``list``    list registered algorithm bundles.
+``run``       one simulation, printing the summary and hourly metrics,
+``campaign``  an (algorithm × seed) sweep across worker processes with
+              on-disk result caching,
+``figure``    regenerate a paper figure (4–14 or ``table2``) as ASCII + CSV,
+``table``     print Table I (the experimental setting) or Table II,
+``list``      list registered algorithm bundles.
 
 Examples
 --------
 ::
 
-    p2pgrid run --algorithm dsmf -n 120 --hours 24 --seed 3
-    p2pgrid figure 4 --profile small --csv out/fig4.csv
-    p2pgrid figure 12 --profile medium
-    p2pgrid table 1
+    repro run --algorithm dsmf -n 120 --hours 24 --seed 3
+    repro campaign -a dsmf dheft --seeds 1 2 3 4 --jobs 4
+    repro figure 4 --profile small --csv out/fig4.csv
+    repro table 1
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
 from typing import Sequence
 
 from repro.api import available_algorithms, quick_run
 from repro.experiments.config import ScaleProfile
 from repro.experiments.figures import FIGURES, table1_settings
-from repro.experiments.report import ascii_plot, ascii_table, write_series_csv
+from repro.experiments.report import ascii_plot, ascii_table, write_series_csv, write_table_csv
 
 __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
-        prog="p2pgrid",
+        prog="repro",
         description=(
             "Reproduction of 'Dual-Phase Just-in-Time Workflow Scheduling in "
             "P2P Grid Systems' (Di & Wang, ICPP 2010)."
@@ -48,6 +51,34 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--hours", type=float, default=24.0)
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--dynamic-factor", type=float, default=0.0)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="run an (algorithm × seed) sweep in parallel, with result caching",
+    )
+    camp.add_argument(
+        "--algorithms", "-a", nargs="+", default=["dsmf"],
+        choices=available_algorithms(), metavar="ALG",
+    )
+    camp.add_argument("--seeds", "-s", nargs="+", type=int, default=[1])
+    camp.add_argument("--jobs", "-j", type=int, default=1,
+                      help="worker processes (1 = inline)")
+    camp.add_argument(
+        "--profile", default="small", choices=[s.value for s in ScaleProfile],
+        help="scale profile for the base config",
+    )
+    camp.add_argument(
+        "--set", dest="overrides", action="append", default=[],
+        metavar="FIELD=VALUE",
+        help="override any ExperimentConfig field (repeatable), "
+             "e.g. --set n_nodes=60 --set dynamic_factor=0.2",
+    )
+    camp.add_argument("--cache-dir", default=None,
+                      help="result cache location (default .repro_cache/campaign)")
+    camp.add_argument("--no-cache", action="store_true",
+                      help="force fresh runs; skip cache reads and writes")
+    camp.add_argument("--csv", default=None, help="also write the per-run table to CSV")
+    camp.add_argument("--quiet", action="store_true", help="suppress per-run progress")
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("figure", choices=sorted(FIGURES, key=lambda s: (len(s), s)))
@@ -85,6 +116,76 @@ def _cmd_run(args) -> int:
         for s in result.samples
     ]
     print(ascii_table(["time", "finished", "ACT (s)", "AE"], rows))
+    return 0
+
+
+def _parse_overrides(pairs: list[str]) -> dict:
+    """``FIELD=VALUE`` strings -> config overrides (literals when possible)."""
+    out: dict = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects FIELD=VALUE, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        key = key.strip()
+        if key in ("algorithm", "seed"):
+            raise SystemExit(
+                f"--set {key}=... would be overwritten per sweep cell; "
+                "use --algorithms/--seeds instead"
+            )
+        try:
+            out[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            out[key] = raw
+    return out
+
+
+def _cmd_campaign(args) -> int:
+    from repro.api import run_campaign
+    from repro.experiments.campaign import CampaignError
+    from repro.experiments.figures import base_config
+
+    try:
+        base = base_config(args.profile, **_parse_overrides(args.overrides))
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid --set override: {exc}")
+    progress = None
+    if not args.quiet:
+        def progress(run):  # noqa: ANN001
+            src = "cache" if run.from_cache else f"{run.wall_seconds:.1f}s"
+            print(f"  [{run.label}] {run.result.n_done}/{run.result.n_workflows} done, "
+                  f"ACT={run.result.act:.0f}s AE={run.result.ae:.3f} ({src})",
+                  file=sys.stderr)
+    try:
+        campaign = run_campaign(
+            algorithms=args.algorithms,
+            seeds=args.seeds,
+            base=base,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            progress=progress,
+        )
+    except CampaignError as exc:  # run failures (message embeds each one)
+        raise SystemExit(str(exc))
+    except ValueError as exc:  # bad sweep shape, e.g. repeated seeds
+        raise SystemExit(str(exc))
+    headers = ["run", "finished", "ACT (s)", "AE", "source"]
+    rows = [
+        [
+            run.label,
+            f"{run.result.n_done}/{run.result.n_workflows}",
+            round(float(run.result.act)),
+            round(float(run.result.ae), 3),
+            "cache" if run.from_cache else f"{run.wall_seconds:.1f}s",
+        ]
+        for run in campaign
+    ]
+    print(ascii_table(headers, rows))
+    print(f"{len(campaign)} runs ({campaign.n_cached} from cache) in "
+          f"{campaign.wall_seconds:.1f}s wall | fingerprint {campaign.fingerprint()}")
+    if args.csv:
+        path = write_table_csv(args.csv, headers, rows)
+        print(f"wrote {path}")
     return 0
 
 
@@ -131,10 +232,12 @@ def _cmd_table(args) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point (console script ``p2pgrid``)."""
+    """Entry point (console script ``repro``)."""
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "table":

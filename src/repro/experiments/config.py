@@ -11,7 +11,7 @@ keeping all per-task parameters — which preserves the result *shape*.
 from __future__ import annotations
 
 import enum
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Optional
 
 __all__ = ["ExperimentConfig", "ScaleProfile"]

@@ -16,7 +16,7 @@ keys the same way).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.workflow.dag import Workflow

@@ -9,7 +9,7 @@ event; recording 100k events costs a few milliseconds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.grid.system import P2PGridSystem

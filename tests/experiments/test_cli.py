@@ -36,6 +36,53 @@ def test_run_rejects_unknown_algorithm():
         build_parser().parse_args(["run", "-a", "bogus"])
 
 
+def test_campaign_small_sweep(capsys, tmp_path):
+    argv = [
+        "campaign", "-a", "dsmf", "--seeds", "1", "2", "--jobs", "1",
+        "--cache-dir", str(tmp_path), "--quiet",
+        "--set", "n_nodes=24", "--set", "load_factor=1",
+        "--set", "total_time=14400.0", "--set", "task_range=(2, 10)",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "dsmf#s1" in out and "dsmf#s2" in out
+    assert "0 from cache" in out
+    assert "fingerprint" in out
+    fingerprint = out.split("fingerprint")[-1].strip()
+
+    # Re-invocation replays both runs from cache, bit-identically.
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "2 from cache" in out
+    assert out.split("fingerprint")[-1].strip() == fingerprint
+
+
+def test_campaign_rejects_malformed_override():
+    with pytest.raises(SystemExit):
+        main(["campaign", "--set", "nonsense", "--no-cache"])
+
+
+def test_campaign_rejects_unknown_config_field():
+    with pytest.raises(SystemExit, match="invalid --set override"):
+        main(["campaign", "--set", "not_a_field=3", "--no-cache"])
+
+
+def test_campaign_rejects_per_cell_fields_in_set():
+    # algorithm/seed are sweep axes; --set would be silently overwritten.
+    with pytest.raises(SystemExit, match="--algorithms/--seeds"):
+        main(["campaign", "--set", "algorithm=dheft", "--no-cache"])
+    with pytest.raises(SystemExit, match="--algorithms/--seeds"):
+        main(["campaign", "--set", "seed=9", "--no-cache"])
+
+
+def test_campaign_parser_defaults():
+    args = build_parser().parse_args(["campaign"])
+    assert args.algorithms == ["dsmf"]
+    assert args.seeds == [1]
+    assert args.jobs == 1
+    assert not args.no_cache
+
+
 def test_figure_requires_known_figure():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["figure", "99"])

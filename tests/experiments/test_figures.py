@@ -6,7 +6,6 @@ import pytest
 
 from repro.experiments.figures import (
     CCR_CASES,
-    FigureResult,
     base_config,
     fig4_throughput,
     fig5_finish_time,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.gossip.epidemic import EpidemicGossip
 from repro.gossip.messages import NodeStateRecord

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.config import ExperimentConfig
-from repro.grid.churn import ChurnProcess
 from repro.grid.system import P2PGridSystem
 
 

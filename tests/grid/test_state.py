@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.grid.state import TaskDispatch, WorkflowExecution, WorkflowStatus
+from repro.grid.state import TaskDispatch, WorkflowExecution
 from repro.workflow.generator import chain_workflow, diamond_workflow
 
 
