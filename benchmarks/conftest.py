@@ -46,9 +46,18 @@ BENCH = dict(
 )
 
 
-def bench_config(**overrides) -> ExperimentConfig:
-    """The Fig. 4–6 base setting at bench scale."""
+def bench_config(scenario: str | None = None, **overrides) -> ExperimentConfig:
+    """The Fig. 4–6 base setting at bench scale.
+
+    ``scenario`` applies a named workload preset from
+    :mod:`repro.workload.scenarios`; explicit ``overrides`` win over it.
+    """
     params = dict(BENCH)
+    if scenario is not None:
+        from repro.workload.scenarios import get_scenario
+
+        params.update(get_scenario(scenario).overrides)
+        params["scenario"] = scenario
     params.update(overrides)
     return ExperimentConfig(**params)
 

@@ -1,0 +1,51 @@
+"""Workload scenarios: the same grid under different submission regimes.
+
+The paper evaluates one workload shape — every workflow submitted at
+t = 0.  The `repro.workload` subsystem opens that up: this example runs
+DSMF on an identical grid under the batch baseline, a steady Poisson
+stream, and on/off burst storms, then compares how the three regimes
+stress the scheduler.
+
+Run:  PYTHONPATH=src python examples/workload_scenarios.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.grid.system import P2PGridSystem
+from repro.workload import apply_scenario, get_scenario, scenario_names
+
+BASE = ExperimentConfig(
+    algorithm="dsmf",
+    n_nodes=60,
+    load_factor=2,
+    total_time=24 * 3600.0,
+    seed=11,
+    task_range=(2, 15),
+)
+
+SCENARIOS = ["paper-fig4", "poisson-steady", "burst-storm"]
+
+
+def main() -> None:
+    print("Registered scenarios:")
+    for name in scenario_names():
+        print(f"  {name:20s} {get_scenario(name).description}")
+    print()
+
+    print(f"{'scenario':16s} {'done':>9s} {'ACT (s)':>9s} {'AE':>6s} {'last arrival':>13s}")
+    for name in SCENARIOS:
+        result = P2PGridSystem(apply_scenario(BASE, name)).run()
+        last = max(r.submit_time for r in result.records)
+        print(
+            f"{name:16s} {result.n_done:4d}/{result.n_workflows:<4d} "
+            f"{result.act:9.0f} {result.ae:6.3f} {last / 3600.0:11.1f} h"
+        )
+    print(
+        "\nSame DAGs in every run (the arrival layer draws from its own RNG "
+        "stream); only the submission instants differ."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,8 @@ heuristic — together with every substrate its evaluation depends on:
   dissemination + aggregation averaging),
 * :mod:`repro.workflow` — DAG workflows, random generators, critical-path and
   rest-path-makespan (RPM) analysis,
+* :mod:`repro.workload` — workload sources × arrival processes and the
+  named scenario registry (what is submitted, and when),
 * :mod:`repro.grid` — the P2P grid runtime (peer nodes, transfers, churn),
 * :mod:`repro.core` — the dual-phase scheduling engine, DSMF, the seven
   comparison heuristics and the full-ahead HEFT/SMF baselines,
@@ -26,11 +28,18 @@ Quickstart::
 """
 
 from repro._version import __version__
-from repro.api import available_algorithms, quick_run, run_campaign, run_experiment
+from repro.api import (
+    available_algorithms,
+    available_scenarios,
+    quick_run,
+    run_campaign,
+    run_experiment,
+)
 
 __all__ = [
     "__version__",
     "available_algorithms",
+    "available_scenarios",
     "quick_run",
     "run_campaign",
     "run_experiment",

@@ -19,7 +19,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.config import ExperimentConfig
     from repro.metrics.collectors import RunResult
 
-__all__ = ["available_algorithms", "quick_run", "run_campaign", "run_experiment"]
+__all__ = [
+    "available_algorithms",
+    "available_scenarios",
+    "quick_run",
+    "run_campaign",
+    "run_experiment",
+]
 
 
 def available_algorithms() -> list[str]:
@@ -28,6 +34,14 @@ def available_algorithms() -> list[str]:
     from repro.core.heuristics.registry import algorithm_names
 
     return algorithm_names()
+
+
+def available_scenarios() -> list[str]:
+    """Workload scenario presets accepted by ``quick_run``/``run_campaign``
+    (see :mod:`repro.workload.scenarios`)."""
+    from repro.workload.scenarios import scenario_names
+
+    return scenario_names()
 
 
 def run_experiment(config: "ExperimentConfig") -> "RunResult":
@@ -40,27 +54,42 @@ def run_experiment(config: "ExperimentConfig") -> "RunResult":
 
 def quick_run(
     algorithm: str = "dsmf",
-    n_nodes: int = 60,
-    load_factor: int = 2,
-    duration_hours: float = 12.0,
+    n_nodes: "Optional[int]" = None,
+    load_factor: "Optional[int]" = None,
+    duration_hours: "Optional[float]" = None,
     seed: int = 1,
+    scenario: "Optional[str]" = None,
     **overrides,
 ) -> "RunResult":
-    """One-call simulation with small-scale defaults (see README quickstart).
+    """One-call simulation with small-scale defaults (see README quickstart):
+    60 nodes, load factor 2, 12 simulated hours.
 
     Any :class:`~repro.experiments.config.ExperimentConfig` field can be
-    overridden by keyword.
+    overridden by keyword; ``scenario`` applies a named workload preset
+    (``available_scenarios()``).  Explicitly passed arguments win over the
+    preset's overrides; omitted ones yield to it (so e.g.
+    ``quick_run(scenario="diurnal-week")`` really runs the preset's
+    week-long horizon).
     """
     from repro.experiments.config import ExperimentConfig
 
-    config = ExperimentConfig(
-        algorithm=algorithm,
-        n_nodes=n_nodes,
-        load_factor=load_factor,
-        total_time=duration_hours * 3600.0,
-        seed=seed,
-        **overrides,
-    )
+    params: dict = dict(algorithm=algorithm, seed=seed, **overrides)
+    if n_nodes is not None:
+        params["n_nodes"] = n_nodes
+    if load_factor is not None:
+        params["load_factor"] = load_factor
+    if duration_hours is not None:
+        params["total_time"] = duration_hours * 3600.0
+    if scenario is not None:
+        from repro.workload.scenarios import get_scenario
+
+        preset = dict(get_scenario(scenario).overrides)
+        preset.update(params)
+        params = {"scenario": scenario, **preset}
+    params.setdefault("n_nodes", 60)
+    params.setdefault("load_factor", 2)
+    params.setdefault("total_time", 12 * 3600.0)
+    config = ExperimentConfig(**params)
     return run_experiment(config)
 
 
@@ -72,24 +101,33 @@ def run_campaign(
     cache_dir=None,
     use_cache: bool = True,
     progress: "Optional[Callable[[CampaignRun], None]]" = None,
+    scenario: "Optional[str]" = None,
     **overrides,
 ) -> "CampaignResult":
     """Run an (algorithm × seed) sweep with process fan-out and caching.
 
     Results are deterministic per config regardless of ``jobs``; completed
     runs are cached on disk keyed by a content hash of the resolved config,
-    so re-invocations are near-instant.  Any
+    so re-invocations are near-instant.  ``scenario`` applies a named
+    workload preset from :mod:`repro.workload.scenarios` to every cell
+    (keyword ``overrides`` win over the preset).  Any
     :class:`~repro.experiments.config.ExperimentConfig` field can be
     overridden by keyword (applied to every cell of the sweep)::
 
         from repro import run_campaign
         campaign = run_campaign(["dsmf", "dheft"], seeds=range(1, 5), jobs=4,
-                                n_nodes=80, total_time=12 * 3600.0)
+                                scenario="poisson-steady", n_nodes=80,
+                                total_time=12 * 3600.0)
         for run in campaign:
             print(run.label, run.result.summary())
     """
     from repro.experiments.campaign import CampaignRunner, sweep_specs
 
+    if scenario is not None:
+        from repro.experiments.config import ExperimentConfig
+        from repro.workload.scenarios import apply_scenario
+
+        base = apply_scenario(base if base is not None else ExperimentConfig(), scenario)
     specs = sweep_specs(algorithms, seeds, base=base, **overrides)
     runner = CampaignRunner(
         jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress

@@ -46,6 +46,12 @@ class GlobalView:
         granted oracle knowledge, per the paper).
     avg_capacity / avg_bandwidth:
         System-wide averages for the rank computations.
+    loads:
+        Optional per-node resident work (MI) already queued/running at
+        plan time; seeds each node's availability so mid-run plans (a
+        streaming workload's t > 0 arrival groups) don't assume an idle
+        grid.  ``None`` (and the all-zero t = 0 case) reproduces the
+        paper's idle-grid planning exactly.
     """
 
     node_ids: np.ndarray
@@ -54,6 +60,7 @@ class GlobalView:
     latency: np.ndarray
     avg_capacity: float
     avg_bandwidth: float
+    loads: "np.ndarray | None" = None
 
 
 @dataclass
@@ -81,7 +88,10 @@ class _EftState:
 
     def __init__(self, view: GlobalView):
         self.view = view
-        self.avail = np.zeros(len(view.node_ids))
+        if view.loads is None:
+            self.avail = np.zeros(len(view.node_ids))
+        else:
+            self.avail = np.asarray(view.loads, dtype=float) / view.capacities
         self._col_of = {int(nid): k for k, nid in enumerate(view.node_ids)}
         # (wid, tid) -> (finish_time_estimate, node_id)
         self.finish: dict[tuple[str, int], tuple[float, int]] = {}

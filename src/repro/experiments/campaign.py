@@ -54,7 +54,8 @@ __all__ = [
 
 #: Bump to invalidate every existing cache entry when the stored layout or
 #: the simulation semantics change without a version bump.
-CACHE_SCHEMA = 1
+#: 2: submission moved to the repro.workload subsystem (new config fields).
+CACHE_SCHEMA = 2
 
 def default_cache_dir() -> Path:
     """Default on-disk cache location (read per call, so tests/notebooks
@@ -66,19 +67,51 @@ def default_cache_dir() -> Path:
 # Content hashing
 # --------------------------------------------------------------------------
 
+def _workload_path_digest(path_str: str) -> str:
+    """Content digest of the file(s) behind ``workload_path``.
+
+    Path-backed workloads (imported DAGs, submission traces) must key the
+    cache by what the files *contain*, not just their name — otherwise
+    editing a DAG silently replays stale cached results.  Missing paths
+    hash to a marker (the run itself will fail with the real error).
+    """
+    path = Path(path_str)
+    h = hashlib.sha256()
+    if path.is_file():
+        files = [path]
+    elif path.is_dir():
+        files = sorted(
+            p for p in path.iterdir()
+            if p.suffix.lower() in (".json", ".xml", ".dax")
+        )
+    else:
+        return "missing"
+    for p in files:
+        h.update(p.name.encode("utf-8"))
+        h.update(p.read_bytes())
+    return h.hexdigest()
+
+
 def config_hash(config: "ExperimentConfig | Mapping") -> str:
     """Content hash of a resolved experiment configuration.
 
     Stable across processes, dict key ordering and tuple-vs-list spelling
     (JSON canonicalization), and salted with the package version plus a
     cache schema number so stored results never outlive the code that
-    produced them.
+    produced them.  When the config references workload files
+    (``workload_path``), their contents are folded in too.
     """
     payload = (
         config.describe() if isinstance(config, ExperimentConfig) else dict(config)
     )
+    wpath = payload.get("workload_path")
     blob = json.dumps(
-        {"schema": CACHE_SCHEMA, "version": __version__, "config": payload},
+        {
+            "schema": CACHE_SCHEMA,
+            "version": __version__,
+            "config": payload,
+            "workload_files": _workload_path_digest(wpath) if wpath else None,
+        },
         sort_keys=True,
         separators=(",", ":"),
     )

@@ -2,12 +2,13 @@
 
 Subcommands
 -----------
-``run``       one simulation, printing the summary and hourly metrics,
-``campaign``  an (algorithm × seed) sweep across worker processes with
-              on-disk result caching,
-``figure``    regenerate a paper figure (4–14 or ``table2``) as ASCII + CSV,
-``table``     print Table I (the experimental setting) or Table II,
-``list``      list registered algorithm bundles.
+``run``        one simulation, printing the summary and hourly metrics,
+``campaign``   an (algorithm × seed) sweep across worker processes with
+               on-disk result caching,
+``figure``     regenerate a paper figure (4–14 or ``table2``) as ASCII + CSV,
+``table``      print Table I (the experimental setting) or Table II,
+``list``       list registered algorithm bundles,
+``scenarios``  list the named workload scenario presets.
 
 Examples
 --------
@@ -15,6 +16,7 @@ Examples
 
     repro run --algorithm dsmf -n 120 --hours 24 --seed 3
     repro campaign -a dsmf dheft --seeds 1 2 3 4 --jobs 4
+    repro campaign --scenario poisson-steady -a dsmf --seeds 1 2 3
     repro figure 4 --profile small --csv out/fig4.csv
     repro table 1
 """
@@ -26,7 +28,7 @@ import ast
 import sys
 from typing import Sequence
 
-from repro.api import available_algorithms, quick_run
+from repro.api import available_algorithms, available_scenarios, quick_run
 from repro.experiments.config import ScaleProfile
 from repro.experiments.figures import FIGURES, table1_settings
 from repro.experiments.report import ascii_plot, ascii_table, write_series_csv, write_table_csv
@@ -46,11 +48,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one simulation")
     run.add_argument("--algorithm", "-a", default="dsmf", choices=available_algorithms())
-    run.add_argument("--nodes", "-n", type=int, default=100)
-    run.add_argument("--load-factor", "-l", type=int, default=3)
-    run.add_argument("--hours", type=float, default=24.0)
+    # Workload-shaped flags default to None so an omitted flag can yield
+    # to a --scenario preset's override (_cmd_run fills the usual
+    # defaults: 100 nodes, load factor 3, 24 h, df 0).
+    run.add_argument("--nodes", "-n", type=int, default=None, help="default 100")
+    run.add_argument("--load-factor", "-l", type=int, default=None, help="default 3")
+    run.add_argument("--hours", type=float, default=None, help="default 24")
     run.add_argument("--seed", type=int, default=1)
-    run.add_argument("--dynamic-factor", type=float, default=0.0)
+    run.add_argument("--dynamic-factor", type=float, default=None, help="default 0")
+    run.add_argument(
+        "--scenario", default=None, choices=available_scenarios(),
+        help="workload scenario preset (see `repro scenarios`); explicit "
+             "flags win over the preset's overrides",
+    )
+    run.add_argument(
+        "--workload-path", default=None,
+        help="DAG file/directory or submission trace (for the "
+             "imported-dag / trace-replay scenarios)",
+    )
 
     camp = sub.add_parser(
         "campaign",
@@ -66,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument(
         "--profile", default="small", choices=[s.value for s in ScaleProfile],
         help="scale profile for the base config",
+    )
+    camp.add_argument(
+        "--scenario", default=None, choices=available_scenarios(),
+        help="workload scenario preset applied to every cell "
+             "(--set overrides win; see `repro scenarios`)",
     )
     camp.add_argument(
         "--set", dest="overrides", action="append", default=[],
@@ -98,18 +118,42 @@ def build_parser() -> argparse.ArgumentParser:
     tab.add_argument("--seed", type=int, default=1)
 
     sub.add_parser("list", help="list available algorithms")
+    sub.add_parser("scenarios", help="list workload scenario presets")
     return p
 
 
 def _cmd_run(args) -> int:
-    result = quick_run(
-        algorithm=args.algorithm,
-        n_nodes=args.nodes,
-        load_factor=args.load_factor,
-        duration_hours=args.hours,
-        seed=args.seed,
-        dynamic_factor=args.dynamic_factor,
-    )
+    preset: dict = {}
+    if args.scenario:
+        from repro.workload.scenarios import get_scenario
+
+        preset = dict(get_scenario(args.scenario).overrides)
+
+    def pick(value, field, default):
+        """Flag value if given; else the CLI default — unless the scenario
+        preset overrides the field, which an omitted flag yields to."""
+        if value is not None:
+            return value
+        return None if field in preset else default
+
+    kw: dict = {}
+    df = pick(args.dynamic_factor, "dynamic_factor", 0.0)
+    if df is not None:
+        kw["dynamic_factor"] = df
+    if args.workload_path is not None:
+        kw["workload_path"] = args.workload_path
+    try:
+        result = quick_run(
+            algorithm=args.algorithm,
+            n_nodes=pick(args.nodes, "n_nodes", 100),
+            load_factor=pick(args.load_factor, "load_factor", 3),
+            duration_hours=pick(args.hours, "total_time", 24.0),
+            seed=args.seed,
+            scenario=args.scenario,
+            **kw,
+        )
+    except ValueError as exc:  # e.g. a scenario needing --workload-path
+        raise SystemExit(str(exc))
     print(result.summary())
     rows = [
         [f"{s.time / 3600:.0f}h", s.throughput, round(s.act), round(s.ae, 3)]
@@ -132,6 +176,11 @@ def _parse_overrides(pairs: list[str]) -> dict:
                 f"--set {key}=... would be overwritten per sweep cell; "
                 "use --algorithms/--seeds instead"
             )
+        if key == "scenario":
+            raise SystemExit(
+                "--set scenario=... only stamps the provenance field; "
+                "use --scenario NAME to apply the preset's overrides"
+            )
         try:
             out[key] = ast.literal_eval(raw)
         except (ValueError, SyntaxError):
@@ -145,7 +194,14 @@ def _cmd_campaign(args) -> int:
     from repro.experiments.figures import base_config
 
     try:
-        base = base_config(args.profile, **_parse_overrides(args.overrides))
+        base = base_config(args.profile)
+        if args.scenario:
+            from repro.workload.scenarios import apply_scenario
+
+            base = apply_scenario(base, args.scenario)
+        overrides = _parse_overrides(args.overrides)
+        if overrides:
+            base = base.with_(**overrides)
     except (TypeError, ValueError) as exc:
         raise SystemExit(f"invalid --set override: {exc}")
     progress = None
@@ -245,6 +301,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "list":
         for name in available_algorithms():
             print(name)
+        return 0
+    if args.command == "scenarios":
+        from repro.workload.scenarios import get_scenario
+
+        rows = [
+            [name, get_scenario(name).description]
+            for name in available_scenarios()
+        ]
+        print(ascii_table(["scenario", "description"], rows))
         return 0
     return 2  # pragma: no cover
 

@@ -111,6 +111,31 @@ class ExperimentConfig:
     # -------------------------------------------------------------- metrics
     metrics_interval: float = 3600.0
 
+    # ------------------------------------------------------------- workload
+    #: Scenario preset this config was derived from (provenance; validated
+    #: against :mod:`repro.workload.scenarios`).  Applying a scenario sets
+    #: this plus the preset's field overrides.
+    scenario: Optional[str] = None
+    #: What is submitted: ``table1`` (paper §IV.A random DAGs, default),
+    #: ``structured``, ``synthetic``, ``imported`` or ``trace``.
+    workload_source: str = "table1"
+    #: When it is submitted: ``batch`` (all at t=0, the paper's setting),
+    #: ``poisson``, ``bursty`` or ``diurnal``.
+    arrival_process: str = "batch"
+    #: Fraction of the horizon in which non-batch arrivals land, so late
+    #: workflows still have time to finish.
+    arrival_spread: float = 0.5
+    #: Storm/quiet durations of the ``bursty`` process (seconds).
+    burst_on: float = 1800.0
+    burst_off: float = 7200.0
+    #: Period of the ``diurnal`` intensity (seconds; one simulated day).
+    diurnal_period: float = 86400.0
+    #: Family for ``workload_source="structured"``: chain, fork-join,
+    #: diamond, montage, or mixed (rotate through all four).
+    structured_family: str = "mixed"
+    #: DAG file/directory (``imported``) or submission trace (``trace``).
+    workload_path: Optional[str] = None
+
     # ----------------------------------------------------------- validation
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
@@ -119,8 +144,41 @@ class ExperimentConfig:
             raise ValueError("load factor must be >= 1")
         if self.total_time <= 0:
             raise ValueError("total_time must be positive")
-        if self.schedule_interval <= 0 or self.gossip_interval <= 0:
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if (
+            self.schedule_interval <= 0
+            or self.gossip_interval <= 0
+            or self.metrics_interval <= 0
+        ):
             raise ValueError("intervals must be positive")
+        for name in ("task_range", "fanout_range"):
+            lo, hi = getattr(self, name)
+            if lo > hi:
+                raise ValueError(f"{name} is inverted: ({lo}, {hi})")
+            if lo < 1:
+                raise ValueError(f"{name} lower bound must be >= 1, got {lo}")
+        for name in ("load_range", "image_range", "data_range"):
+            lo, hi = getattr(self, name)
+            if lo > hi:
+                raise ValueError(f"{name} is inverted: ({lo}, {hi})")
+            if lo < 0:
+                raise ValueError(f"{name} lower bound must be >= 0, got {lo}")
+        if not self.capacities:
+            raise ValueError("capacities must not be empty")
+        if min(self.capacities) <= 0:
+            raise ValueError("capacities must be positive")
+        if self.bw_min <= 0 or self.bw_max < self.bw_min:
+            raise ValueError(
+                f"bandwidth range must satisfy 0 < bw_min <= bw_max, "
+                f"got ({self.bw_min}, {self.bw_max})"
+            )
+        if self.gossip_ttl < 1 or self.gossip_push_size < 1:
+            raise ValueError("gossip_ttl and gossip_push_size must be >= 1")
+        if self.rss_capacity is not None and self.rss_capacity < 1:
+            raise ValueError("rss_capacity must be >= 1 (or None for auto)")
+        if self.rss_expiry_cycles <= 0:
+            raise ValueError("rss_expiry_cycles must be positive")
         if not 0.0 <= self.dynamic_factor <= 1.0:
             raise ValueError("dynamic_factor must be in [0, 1]")
         if not 0.0 < self.permanent_fraction <= 1.0:
@@ -129,10 +187,14 @@ class ExperimentConfig:
             raise ValueError(f"unknown rss_mode {self.rss_mode!r}")
         if self.churn_mode not in ("suspend", "fail"):
             raise ValueError(f"unknown churn_mode {self.churn_mode!r}")
-        if min(self.capacities) <= 0:
-            raise ValueError("capacities must be positive")
-        # Late import to avoid a cycle; verifies the algorithm name early so
-        # misconfigured sweeps fail fast rather than after topology setup.
+        if not 0.0 < self.arrival_spread <= 1.0:
+            raise ValueError("arrival_spread must be in (0, 1]")
+        if self.burst_on <= 0 or self.burst_off < 0:
+            raise ValueError("burst_on must be positive and burst_off >= 0")
+        if self.diurnal_period <= 0:
+            raise ValueError("diurnal_period must be positive")
+        # Late imports to avoid cycles; verify registry-backed names early
+        # so misconfigured sweeps fail fast rather than after setup.
         from repro.core.heuristics.registry import algorithm_names
 
         if self.algorithm not in algorithm_names():
@@ -140,6 +202,35 @@ class ExperimentConfig:
                 f"unknown algorithm {self.algorithm!r}; "
                 f"available: {', '.join(algorithm_names())}"
             )
+        from repro.workload.arrivals import arrival_process_names
+        from repro.workload.sources import (
+            structured_family_names,
+            workload_source_names,
+        )
+
+        if self.workload_source not in workload_source_names():
+            raise ValueError(
+                f"unknown workload_source {self.workload_source!r}; "
+                f"available: {', '.join(workload_source_names())}"
+            )
+        if self.arrival_process not in arrival_process_names():
+            raise ValueError(
+                f"unknown arrival_process {self.arrival_process!r}; "
+                f"available: {', '.join(arrival_process_names())}"
+            )
+        if self.structured_family not in structured_family_names():
+            raise ValueError(
+                f"unknown structured_family {self.structured_family!r}; "
+                f"available: {', '.join(structured_family_names())}"
+            )
+        if self.scenario is not None:
+            from repro.workload.scenarios import scenario_names
+
+            if self.scenario not in scenario_names():
+                raise ValueError(
+                    f"unknown scenario {self.scenario!r}; "
+                    f"available: {', '.join(scenario_names())}"
+                )
 
     # ------------------------------------------------------------- utility
     def with_(self, **overrides) -> "ExperimentConfig":

@@ -2,10 +2,17 @@
 
 :class:`P2PGridSystem` builds — from one
 :class:`~repro.experiments.config.ExperimentConfig` — the Waxman topology,
-the peer nodes with Table I capacities, the submitted workflows, the mixed
-gossip protocol, the scheduling algorithm bundle and (when df > 0) the
-churn process, then runs the discrete-event simulation and returns a
+the peer nodes with Table I capacities, the workload submission plan
+(via :mod:`repro.workload`: pluggable sources × arrival processes), the
+mixed gossip protocol, the scheduling algorithm bundle and (when df > 0)
+the churn process, then runs the discrete-event simulation and returns a
 :class:`~repro.metrics.collectors.RunResult`.
+
+Submissions are discrete events: each distinct submission instant gets one
+``submit`` event that creates the :class:`WorkflowExecution`\\ s arriving
+then (the paper's batch-at-t0 workload is the special case of a single
+event at t = 0, replayed bit-identically).  Workflows whose submission
+time lies beyond the horizon are never created.
 
 Execution semantics implemented here (paper §II.A, Fig. 1):
 
@@ -48,7 +55,7 @@ from repro.sim.engine import Simulator
 from repro.sim.periodic import PeriodicActivity
 from repro.sim.rng import RngHub
 from repro.workflow.analysis import expected_finish_time
-from repro.workflow.generator import WorkflowParams, random_workflow
+from repro.workload.build import WorkflowSubmission, build_submissions
 
 __all__ = ["P2PGridSystem"]
 
@@ -56,7 +63,7 @@ __all__ = ["P2PGridSystem"]
 class P2PGridSystem:
     """One simulated P2P grid run."""
 
-    def __init__(self, config: ExperimentConfig, workflows=None):
+    def __init__(self, config: ExperimentConfig, workflows=None, submissions=None):
         """Build the full system.
 
         Parameters
@@ -64,9 +71,15 @@ class P2PGridSystem:
         config:
             The experiment description.
         workflows:
-            Optional explicit list of ``(home_id, Workflow)`` pairs; by
-            default ``load_factor * n_nodes`` random workflows are generated
-            per §IV.A and distributed over the home nodes.
+            Optional explicit list of ``(home_id, Workflow)`` pairs, all
+            submitted at t = 0 (shorthand for ``submissions``).
+        submissions:
+            Optional explicit list of
+            :class:`~repro.workload.build.WorkflowSubmission` — full
+            control over what arrives where and when (trace replay).  By
+            default the plan is built from the config's workload source ×
+            arrival process (the paper default: ``load_factor * n_nodes``
+            §IV.A random workflows, all at t = 0).
         """
         self.config = config
         self.sim = Simulator()
@@ -139,22 +152,49 @@ class P2PGridSystem:
             "bandwidth", lambda nid: float(local_bw[nid])
         )
 
-        # -------------------------------------------------- workflows (S7-S9)
+        # -------------------------------------------------- workload (S7-S9)
         self._oracle_avg_capacity = float(np.mean([n.capacity for n in self.nodes]))
         self._oracle_avg_bandwidth = self.topology.mean_bandwidth()
         self.executions: dict[str, WorkflowExecution] = {}
         self.workflows_by_home: dict[int, list[WorkflowExecution]] = {
             n.nid: [] for n in self.home_nodes
         }
-        if workflows is None:
-            workflows = self._generate_workflows()
-        for home_id, wf in workflows:
-            eft = expected_finish_time(
-                wf, self._oracle_avg_capacity, self._oracle_avg_bandwidth
+        if workflows is not None and submissions is not None:
+            raise ValueError("pass either workflows or submissions, not both")
+        if workflows is not None:
+            submissions = [
+                WorkflowSubmission(submit_time=0.0, home_id=h, workflow=wf)
+                for h, wf in workflows
+            ]
+        if submissions is None:
+            submissions = build_submissions(
+                config, self.rng, [n.nid for n in self.home_nodes]
             )
-            wx = WorkflowExecution(wf, home_id, submit_time=0.0, eft=eft)
-            self.executions[wf.wid] = wx
-            self.workflows_by_home.setdefault(home_id, []).append(wx)
+        #: The submission plan, sorted by time (stable for equal instants).
+        self.submissions: list[WorkflowSubmission] = sorted(
+            submissions, key=lambda s: s.submit_time
+        )
+        seen_wids: set[str] = set()
+        for sub in self.submissions:
+            if sub.workflow.wid in seen_wids:
+                raise ValueError(
+                    f"duplicate workflow id {sub.workflow.wid!r} in workload"
+                )
+            seen_wids.add(sub.workflow.wid)
+            if not (0 <= sub.home_id < config.n_nodes) or not self.nodes[
+                sub.home_id
+            ].is_home:
+                raise ValueError(
+                    f"workflow {sub.workflow.wid} submitted at node "
+                    f"{sub.home_id}, which is not a home node "
+                    f"(homes are 0..{len(self.home_nodes) - 1})"
+                )
+        # t=0 submissions are registered now (the seed's contract: batch
+        # workloads are inspectable right after construction); later
+        # arrivals materialize when their submit event fires.
+        for sub in self.submissions:
+            if sub.submit_time == 0.0:
+                self._materialize(sub)
 
         # ------------------------------------------------------ runtime state
         self.transfers = TransferManager(
@@ -173,25 +213,6 @@ class P2PGridSystem:
         self._ran = False
 
     # ------------------------------------------------------------------ setup
-    def _generate_workflows(self):
-        cfg = self.config
-        params = WorkflowParams(
-            task_range=cfg.task_range,
-            fanout_range=cfg.fanout_range,
-            load_range=cfg.load_range,
-            image_range=cfg.image_range,
-            data_range=cfg.data_range,
-        )
-        wf_rng = self.rng.stream("workflows")
-        total = cfg.load_factor * cfg.n_nodes
-        homes = [n.nid for n in self.home_nodes]
-        out = []
-        for i in range(total):
-            home = homes[i % len(homes)]
-            wf = random_workflow(f"wf{i:05d}n{home}", wf_rng, params)
-            out.append((home, wf))
-        return out
-
     def _node_state(self, nid: int) -> tuple[float, float]:
         node = self.nodes[nid]
         return node.total_load(), node.capacity
@@ -232,9 +253,18 @@ class P2PGridSystem:
             self.sim, cfg.metrics_interval, self._metrics_cycle, label="metrics"
         )
 
-        self.sim.schedule(0.0, self._submit_all, label="submit")
-        if self.bundle.full_ahead:
-            self.sim.schedule(0.0, self._fullahead_start, label="fullahead")
+        # One submit event per distinct submission instant (the paper's
+        # batch workload is exactly one event at t=0, matching the seed's
+        # event sequence); arrivals beyond the horizon are dropped.  For
+        # full-ahead bundles each group is followed by its planning event,
+        # mirroring the seed's submit-then-plan ordering at t=0.
+        for when, group in self._submission_groups():
+            self.sim.schedule(when, lambda g=group: self._submit_group(g), label="submit")
+            if self.bundle.full_ahead:
+                self.sim.schedule(
+                    when, lambda g=group: self._fullahead_plan_group(g),
+                    label="fullahead",
+                )
 
         self.sim.run(until=cfg.total_time)
         self._finalize_records()
@@ -280,8 +310,36 @@ class P2PGridSystem:
         )
 
     # ------------------------------------------------------------ submission
-    def _submit_all(self) -> None:
-        for wx in self.executions.values():
+    def _submission_groups(self) -> list[tuple[float, list[WorkflowSubmission]]]:
+        """Submissions grouped by instant, horizon-filtered, in time order."""
+        groups: list[tuple[float, list[WorkflowSubmission]]] = []
+        for sub in self.submissions:
+            if sub.submit_time > self.config.total_time:
+                continue
+            if groups and groups[-1][0] == sub.submit_time:
+                groups[-1][1].append(sub)
+            else:
+                groups.append((sub.submit_time, [sub]))
+        return groups
+
+    def _materialize(self, sub: WorkflowSubmission) -> WorkflowExecution:
+        """Register one submission as a live workflow execution."""
+        wf = sub.workflow
+        eft = expected_finish_time(
+            wf, self._oracle_avg_capacity, self._oracle_avg_bandwidth
+        )
+        wx = WorkflowExecution(wf, sub.home_id, submit_time=sub.submit_time, eft=eft)
+        self.executions[wf.wid] = wx
+        self.workflows_by_home.setdefault(sub.home_id, []).append(wx)
+        return wx
+
+    def _submit_group(self, group: list[WorkflowSubmission]) -> None:
+        """One submission instant: the group's workflows enter the system."""
+        arrived = [
+            self.executions.get(sub.workflow.wid) or self._materialize(sub)
+            for sub in group
+        ]
+        for wx in arrived:
             self._absorb_virtual_and_check(wx)
         if self.config.immediate_dispatch and not self.bundle.full_ahead:
             for home in self.home_nodes:
@@ -433,8 +491,21 @@ class P2PGridSystem:
             self.collector.workflow_done(self._record(wx))
 
     # --------------------------------------------------- full-ahead execution
-    def _fullahead_start(self) -> None:
-        """Plan centrally with global information and dispatch everything."""
+    def _fullahead_plan_group(self, group: list[WorkflowSubmission]) -> None:
+        """Plan the group's just-submitted workflows centrally (global
+        information at their submission instant) and dispatch everything.
+
+        The view carries each node's resident load so mid-run arrival
+        groups (streaming workloads) are planned against the occupied
+        grid; at t = 0 every load is zero and this reduces to the paper's
+        idle-grid plan."""
+        wxs = [
+            self.executions[sub.workflow.wid]
+            for sub in group
+            if sub.workflow.wid in self.executions
+        ]
+        if not wxs:
+            return
         ids = np.asarray([n.nid for n in self.nodes], dtype=np.int64)
         caps = np.asarray([n.capacity for n in self.nodes])
         view = GlobalView(
@@ -444,12 +515,16 @@ class P2PGridSystem:
             latency=self.topology._latency,
             avg_capacity=self._oracle_avg_capacity,
             avg_bandwidth=max(self._oracle_avg_bandwidth, 1e-9),
+            loads=np.asarray([n.total_load() for n in self.nodes]),
         )
         assert self.bundle.planner is not None
-        plan = self.bundle.planner.plan(view, list(self.executions.values()))
-        self._fullahead_plan = plan
+        plan = self.bundle.planner.plan(view, wxs)
+        if self._fullahead_plan is None:
+            self._fullahead_plan = plan
+        else:
+            self._fullahead_plan.assignment.update(plan.assignment)
 
-        for wx in self.executions.values():
+        for wx in wxs:
             wf = wx.wf
             for tid in wf.topo_order:
                 task = wf.tasks[tid]

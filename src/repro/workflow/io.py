@@ -15,7 +15,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.workflow.dag import Workflow
+from repro.workflow.dag import Workflow, WorkflowError
 from repro.workflow.task import Task
 
 __all__ = ["workflow_to_dict", "workflow_from_dict", "save_workflow",
@@ -43,21 +43,33 @@ def workflow_to_dict(wf: Workflow) -> dict:
 
 
 def workflow_from_dict(payload: dict) -> Workflow:
-    """Inverse of :func:`workflow_to_dict` (validates the DAG)."""
-    tasks = [
-        Task(
-            tid=int(t["tid"]),
-            load=float(t["load"]),
-            image_size=float(t.get("image_size", 0.0)),
-            virtual=bool(t.get("virtual", False)),
-            name=str(t.get("name", "")),
-        )
-        for t in payload["tasks"]
-    ]
-    edges = {
-        (int(e["src"]), int(e["dst"])): float(e["data"]) for e in payload["edges"]
-    }
-    return Workflow(str(payload["wid"]), tasks, edges)
+    """Inverse of :func:`workflow_to_dict` (validates the DAG).
+
+    Malformed payloads — missing keys, non-numeric fields, wrong container
+    shapes — raise :class:`~repro.workflow.dag.WorkflowError` naming the
+    offending field, as do structural DAG problems (cycles, dangling
+    edges).
+    """
+    try:
+        tasks = [
+            Task(
+                tid=int(t["tid"]),
+                load=float(t["load"]),
+                image_size=float(t.get("image_size", 0.0)),
+                virtual=bool(t.get("virtual", False)),
+                name=str(t.get("name", "")),
+            )
+            for t in payload["tasks"]
+        ]
+        edges = {
+            (int(e["src"]), int(e["dst"])): float(e["data"]) for e in payload["edges"]
+        }
+        wid = str(payload["wid"])
+    except WorkflowError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WorkflowError(f"malformed workflow payload: {exc!r}") from exc
+    return Workflow(wid, tasks, edges)
 
 
 def save_workflow(wf: Workflow, path: str | Path) -> Path:
@@ -69,8 +81,21 @@ def save_workflow(wf: Workflow, path: str | Path) -> Path:
 
 
 def load_workflow(path: str | Path) -> Workflow:
-    """Read a workflow previously saved with :func:`save_workflow`."""
-    return workflow_from_dict(json.loads(Path(path).read_text()))
+    """Read a workflow previously saved with :func:`save_workflow`.
+
+    Raises :class:`~repro.workflow.dag.WorkflowError` for missing files,
+    invalid JSON and malformed payloads.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise WorkflowError(f"workflow file not found: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise WorkflowError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise WorkflowError(f"{path}: expected a JSON object at top level")
+    return workflow_from_dict(payload)
 
 
 def workflow_to_dot(wf: Workflow) -> str:

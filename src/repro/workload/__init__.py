@@ -1,0 +1,61 @@
+"""repro.workload — pluggable workload sources, arrival processes, and the
+scenario registry.
+
+This package owns *what* is submitted to the grid and *when*:
+
+* :mod:`~repro.workload.sources` — workflow generators behind the
+  :class:`~repro.workload.sources.WorkloadSource` protocol (Table I
+  random DAGs, structured families, a synthetic heavy-tailed family, and
+  external DAG import),
+* :mod:`~repro.workload.arrivals` — arrival processes behind
+  :class:`~repro.workload.arrivals.ArrivalProcess` (batch at t=0 — the
+  paper's setting — Poisson, bursty on/off, diurnal),
+* :mod:`~repro.workload.importers` — WfCommons/DAX/JSON DAG import and
+  submission-trace replay,
+* :mod:`~repro.workload.scenarios` — named presets combining the above,
+  resolvable from configs, the CLI and the API,
+* :mod:`~repro.workload.build` — the assembly step turning a config into
+  a sorted :class:`~repro.workload.build.WorkflowSubmission` plan.
+"""
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    arrival_process_names,
+    make_arrival_process,
+)
+from repro.workload.build import WorkflowSubmission, build_submissions
+from repro.workload.importers import import_dag, import_dags, load_trace, save_trace
+from repro.workload.scenarios import (
+    Scenario,
+    apply_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.workload.sources import (
+    WorkloadSource,
+    make_source,
+    structured_family_names,
+    workload_source_names,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "Scenario",
+    "WorkflowSubmission",
+    "WorkloadSource",
+    "apply_scenario",
+    "arrival_process_names",
+    "build_submissions",
+    "get_scenario",
+    "import_dag",
+    "import_dags",
+    "load_trace",
+    "make_arrival_process",
+    "make_source",
+    "register_scenario",
+    "save_trace",
+    "scenario_names",
+    "structured_family_names",
+    "workload_source_names",
+]

@@ -1,0 +1,83 @@
+"""Workload assembly: source × arrival process -> submission plan.
+
+:func:`build_submissions` is what :class:`~repro.grid.system.P2PGridSystem`
+calls to learn *what* to submit and *when*.  It draws the workflows from
+the configured :mod:`~repro.workload.sources` (RNG stream ``"workflows"``,
+the seed's stream name, so the paper scenario replays bit-identically) and
+the submission instants from the configured
+:mod:`~repro.workload.arrivals` (stream ``"arrivals"`` — untouched by the
+batch process), pairs them in slot order, and returns the plan sorted by
+submission time.
+
+``workload_source="trace"`` bypasses both layers: the trace file already
+carries ``(submit_time, home, workflow)`` triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.workflow.dag import Workflow
+from repro.workload.arrivals import make_arrival_process
+from repro.workload.sources import make_source
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.config import ExperimentConfig
+    from repro.sim.rng import RngHub
+
+__all__ = ["WorkflowSubmission", "build_submissions"]
+
+
+@dataclass(frozen=True)
+class WorkflowSubmission:
+    """One planned submission: workflow ``workflow`` enters the system at
+    home node ``home_id`` at simulated second ``submit_time``."""
+
+    submit_time: float
+    home_id: int
+    workflow: Workflow
+
+    def __post_init__(self) -> None:
+        if self.submit_time < 0:
+            raise ValueError(
+                f"submission of {self.workflow.wid} at negative time "
+                f"{self.submit_time}"
+            )
+
+
+def build_submissions(
+    config: "ExperimentConfig",
+    rng_hub: "RngHub",
+    homes: Sequence[int],
+) -> list[WorkflowSubmission]:
+    """Materialize the configured workload as a sorted submission plan."""
+    if not homes:
+        raise ValueError("cannot build a workload without home nodes")
+    if config.workload_source == "trace":
+        if not config.workload_path:
+            raise ValueError(
+                "workload_source='trace' needs workload_path pointing at a "
+                "submission trace (see repro.workload.importers.save_trace; "
+                "CLI: --set workload_path=... or --workload-path ...)"
+            )
+        from repro.workload.importers import load_trace
+
+        return load_trace(config.workload_path)
+
+    source = make_source(config)
+    pairs = source.generate(config, rng_hub.stream("workflows"), homes)
+    arrivals = make_arrival_process(config)
+    times = arrivals.times(len(pairs), config, rng_hub.stream("arrivals"))
+    if len(times) != len(pairs):
+        raise ValueError(
+            f"arrival process {arrivals.name!r} returned {len(times)} times "
+            f"for {len(pairs)} workflows"
+        )
+    subs = [
+        WorkflowSubmission(submit_time=t, home_id=home, workflow=wf)
+        for t, (home, wf) in zip(times, pairs)
+    ]
+    # Stable sort: equal-time submissions keep slot order (the seed's
+    # round-robin order at t=0).
+    return sorted(subs, key=lambda s: s.submit_time)

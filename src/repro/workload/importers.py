@@ -1,0 +1,264 @@
+"""External workload import: repro JSON, WfCommons JSON, Pegasus DAX XML,
+and submission-trace replay.
+
+Scientific-workflow communities publish real application DAGs in a few
+interchange formats.  :func:`import_dag` reads one file in any of
+
+* the repro JSON schema of :mod:`repro.workflow.io` (``tasks`` + ``edges``),
+* WfCommons-style JSON (``workflow.jobs``/``workflow.tasks`` entries with
+  name-keyed ``parents`` and per-file ``input``/``output`` sizes), and
+* Pegasus DAX XML (``<job>`` with ``<uses>`` files, ``<child>``/``<parent>``
+  edges),
+
+mapping runtimes to MI loads and file bytes to Mb edges.  ``import_dags``
+accepts a directory and loads every recognized file, sorted by name.
+
+A *submission trace* is the third-party end of the arrival layer: a JSON
+list of ``(submit_time, home, workflow)`` entries
+(:func:`save_trace`/:func:`load_trace`) that replays an exact workload —
+what a deployed scheduler would log — through the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.workflow.dag import Workflow, WorkflowError
+from repro.workflow.io import workflow_from_dict, workflow_to_dict
+from repro.workflow.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.build import WorkflowSubmission
+
+__all__ = [
+    "import_dag",
+    "import_dags",
+    "load_trace",
+    "save_trace",
+]
+
+#: MI of load per second of declared runtime (WfCommons/DAX runtimes are
+#: benchmarked seconds; Table I's median node is ~4 MIPS, so this keeps
+#: imported tasks in the paper's load range).
+RUNTIME_TO_MI = 4.0
+
+#: Mb per byte (DAX/WfCommons file sizes are bytes; edges carry megabits).
+BYTES_TO_MB = 8.0 / 1e6
+
+#: Image size assigned to imported tasks (Table I midpoint, Mb) — the
+#: interchange formats describe data files, not program images.
+DEFAULT_IMAGE_MB = 50.0
+
+
+def import_dag(path: "str | Path") -> Workflow:
+    """Read one DAG file, auto-detecting its format."""
+    path = Path(path)
+    if not path.is_file():
+        raise WorkflowError(f"workload DAG not found: {path}")
+    if path.suffix.lower() in (".xml", ".dax"):
+        return _import_dax(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise WorkflowError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise WorkflowError(f"{path}: expected a JSON object at top level")
+    if "workflow" in payload:
+        return _import_wfcommons(payload, default_wid=path.stem)
+    return workflow_from_dict(payload)
+
+
+def import_dags(path: "str | Path") -> list[Workflow]:
+    """Read one DAG file, or every ``*.json``/``*.xml``/``*.dax`` in a
+    directory (sorted by filename for determinism)."""
+    path = Path(path)
+    if path.is_dir():
+        files = sorted(
+            p for p in path.iterdir()
+            if p.suffix.lower() in (".json", ".xml", ".dax")
+        )
+        if not files:
+            raise WorkflowError(f"no workflow files (*.json, *.xml, *.dax) in {path}")
+        return [import_dag(p) for p in files]
+    return [import_dag(path)]
+
+
+# --------------------------------------------------------------------------
+# WfCommons-style JSON
+# --------------------------------------------------------------------------
+
+def _import_wfcommons(payload: dict, default_wid: str) -> Workflow:
+    """WfCommons instance JSON -> Workflow (jobs keyed by name)."""
+    spec = payload["workflow"]
+    jobs = spec.get("jobs") or spec.get("tasks")
+    if not jobs:
+        raise WorkflowError("WfCommons payload has no workflow.jobs/tasks")
+    wid = str(payload.get("name") or default_wid)
+
+    tid_of: dict[str, int] = {}
+    tasks: list[Task] = []
+    outputs: dict[str, dict[str, float]] = {}  # job -> {file: Mb}
+    inputs: dict[str, dict[str, float]] = {}
+    for k, job in enumerate(jobs):
+        name = str(job["name"])
+        if name in tid_of:
+            raise WorkflowError(f"duplicate job name {name!r} in WfCommons payload")
+        tid_of[name] = k
+        # Explicit None checks: a declared "runtime": 0 is a real zero-cost
+        # task (stage-in/cleanup), not a missing value.
+        runtime = job.get("runtime")
+        if runtime is None:
+            runtime = job.get("runtimeInSeconds")
+        if runtime is None:
+            runtime = 1.0
+        runtime = float(runtime)
+        tasks.append(
+            Task(
+                tid=k,
+                load=max(runtime, 0.0) * RUNTIME_TO_MI,
+                image_size=DEFAULT_IMAGE_MB,
+                name=name,
+            )
+        )
+        outputs[name] = {}
+        inputs[name] = {}
+        for f in job.get("files", ()):  # {"name", "size" (bytes), "link"}
+            mb = float(f.get("size") or f.get("sizeInBytes") or 0.0) * BYTES_TO_MB
+            if f.get("link") == "output":
+                outputs[name][str(f["name"])] = mb
+            else:
+                inputs[name][str(f["name"])] = mb
+
+    edges: dict[tuple[int, int], float] = {}
+    for job in jobs:
+        name = str(job["name"])
+        for parent in job.get("parents", ()):
+            parent = str(parent)
+            if parent not in tid_of:
+                raise WorkflowError(
+                    f"job {name!r} lists unknown parent {parent!r}"
+                )
+            shared = set(outputs[parent]) & set(inputs[name])
+            data = sum(outputs[parent][f] for f in shared)
+            edges[(tid_of[parent], tid_of[name])] = data
+    return Workflow(wid, tasks, edges).normalized()
+
+
+# --------------------------------------------------------------------------
+# Pegasus DAX XML
+# --------------------------------------------------------------------------
+
+def _local(tag: str) -> str:
+    """Element tag without the XML namespace."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def _import_dax(path: Path) -> Workflow:
+    """Pegasus DAX (<adag><job/><child><parent/></child></adag>) -> Workflow."""
+    try:
+        root = ET.parse(path).getroot()
+    except ET.ParseError as exc:
+        raise WorkflowError(f"{path} is not valid DAX XML: {exc}") from exc
+
+    tid_of: dict[str, int] = {}
+    tasks: list[Task] = []
+    outputs: dict[str, dict[str, float]] = {}
+    inputs: dict[str, dict[str, float]] = {}
+    for el in root:
+        if _local(el.tag) != "job":
+            continue
+        jid = el.get("id")
+        if jid is None or jid in tid_of:
+            raise WorkflowError(f"{path}: job without unique id")
+        k = len(tasks)
+        tid_of[jid] = k
+        runtime = float(el.get("runtime", 1.0))
+        tasks.append(
+            Task(
+                tid=k,
+                load=max(runtime, 0.0) * RUNTIME_TO_MI,
+                image_size=DEFAULT_IMAGE_MB,
+                name=el.get("name", jid),
+            )
+        )
+        outputs[jid] = {}
+        inputs[jid] = {}
+        for uses in el:
+            if _local(uses.tag) != "uses":
+                continue
+            fname = uses.get("file") or uses.get("name") or ""
+            mb = float(uses.get("size", 0.0)) * BYTES_TO_MB
+            if uses.get("link") == "output":
+                outputs[jid][fname] = mb
+            else:
+                inputs[jid][fname] = mb
+    if not tasks:
+        raise WorkflowError(f"{path}: DAX file contains no <job> elements")
+
+    edges: dict[tuple[int, int], float] = {}
+    for el in root:
+        if _local(el.tag) != "child":
+            continue
+        child = el.get("ref")
+        if child not in tid_of:
+            raise WorkflowError(f"{path}: <child ref={child!r}> unknown")
+        for par in el:
+            if _local(par.tag) != "parent":
+                continue
+            parent = par.get("ref")
+            if parent not in tid_of:
+                raise WorkflowError(f"{path}: <parent ref={parent!r}> unknown")
+            shared = set(outputs[parent]) & set(inputs[child])
+            data = sum(outputs[parent][f] for f in shared)
+            edges[(tid_of[parent], tid_of[child])] = data
+    return Workflow(path.stem, tasks, edges).normalized()
+
+
+# --------------------------------------------------------------------------
+# Submission traces
+# --------------------------------------------------------------------------
+
+def save_trace(path: "str | Path", submissions: "Iterable[WorkflowSubmission]") -> Path:
+    """Archive ``(submit_time, home, workflow)`` entries as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "trace": [
+            {
+                "submit_time": s.submit_time,
+                "home": s.home_id,
+                "workflow": workflow_to_dict(s.workflow),
+            }
+            for s in submissions
+        ]
+    }
+    path.write_text(json.dumps(payload, indent=1))
+    return path
+
+
+def load_trace(path: "str | Path") -> "list[WorkflowSubmission]":
+    """Inverse of :func:`save_trace` (entries sorted by submit time)."""
+    from repro.workload.build import WorkflowSubmission
+
+    path = Path(path)
+    if not path.is_file():
+        raise WorkflowError(f"submission trace not found: {path}")
+    try:
+        payload = json.loads(path.read_text())
+        entries = payload["trace"]
+        subs = [
+            WorkflowSubmission(
+                submit_time=float(e["submit_time"]),
+                home_id=int(e["home"]),
+                workflow=workflow_from_dict(e["workflow"]),
+            )
+            for e in entries
+        ]
+    except WorkflowError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WorkflowError(f"malformed submission trace {path}: {exc}") from exc
+    return sorted(subs, key=lambda s: s.submit_time)

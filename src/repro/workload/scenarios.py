@@ -1,0 +1,145 @@
+"""Scenario registry: named workload presets.
+
+A :class:`Scenario` is a named, documented bundle of
+:class:`~repro.experiments.config.ExperimentConfig` overrides — purely
+declarative, so scenarios stay picklable, cacheable (the overrides land in
+the config the campaign layer content-hashes) and composable with scale
+profiles and ``--set`` overrides.  Resolution points: ``ExperimentConfig``
+(the ``scenario`` provenance field is validated against this registry),
+``repro campaign --scenario NAME``, :func:`repro.api.run_campaign` /
+:func:`repro.api.quick_run`, and the benchmark sweeps.
+
+The ``paper-fig4`` scenario is the anchor: zero overrides, i.e. exactly
+the paper's §IV.A evaluation (Table I random workflows, everything
+submitted at t = 0) — it must and does replay the seed bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.config import ExperimentConfig
+
+__all__ = [
+    "Scenario",
+    "apply_scenario",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload preset (config overrides + documentation)."""
+
+    name: str
+    description: str
+    overrides: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "overrides", MappingProxyType(dict(self.overrides)))
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(name: str, description: str, **overrides) -> Scenario:
+    """Add a scenario to the registry (library users may add their own)."""
+    if name in _REGISTRY:
+        raise ValueError(f"scenario {name!r} is already registered")
+    if "scenario" in overrides or "seed" in overrides or "algorithm" in overrides:
+        raise ValueError("scenario overrides cannot set scenario/seed/algorithm")
+    sc = Scenario(name=name, description=description, overrides=overrides)
+    _REGISTRY[name] = sc
+    return sc
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario; raises ``ValueError`` with the available names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {', '.join(scenario_names())}"
+        ) from None
+
+
+def apply_scenario(config: "ExperimentConfig", name: str) -> "ExperimentConfig":
+    """Apply a scenario's overrides (and stamp its name) onto a config."""
+    sc = get_scenario(name)
+    return config.with_(scenario=name, **dict(sc.overrides))
+
+
+# --------------------------------------------------------------------------
+# Built-in presets
+# --------------------------------------------------------------------------
+
+register_scenario(
+    "paper-fig4",
+    "The paper's §IV.A evaluation: Table I random workflows, all submitted "
+    "at t=0 (bit-identical to the seed reproduction).",
+)
+register_scenario(
+    "poisson-steady",
+    "Table I workflows arriving as a steady Poisson stream over the first "
+    "half of the horizon.",
+    arrival_process="poisson",
+)
+register_scenario(
+    "burst-storm",
+    "Table I workflows arriving in 15-minute storms separated by 90-minute "
+    "quiet gaps.",
+    arrival_process="bursty",
+    burst_on=900.0,
+    burst_off=5400.0,
+)
+register_scenario(
+    "diurnal-week",
+    "A week-long run with day/night arrival intensity (24 h period, "
+    "near-silent troughs).",
+    arrival_process="diurnal",
+    total_time=7 * 86400.0,
+    diurnal_period=86400.0,
+)
+register_scenario(
+    "structured-mix",
+    "Chain, fork-join, diamond and montage-like workflows in rotation, "
+    "sizes drawn from the Table I ranges, batch submitted.",
+    workload_source="structured",
+    structured_family="mixed",
+)
+register_scenario(
+    "montage-stream",
+    "Montage-like (astronomy mosaic) workflows arriving as a Poisson "
+    "stream.",
+    workload_source="structured",
+    structured_family="montage",
+    arrival_process="poisson",
+)
+register_scenario(
+    "synthetic-heavytail",
+    "Synthetic realistic family: log-normal task loads/data sizes and "
+    "heavy-tailed layer widths, batch submitted.",
+    workload_source="synthetic",
+)
+register_scenario(
+    "imported-dag",
+    "External DAGs (repro JSON, WfCommons JSON, or Pegasus DAX) cycled "
+    "over the submission slots; requires --set workload_path=FILE-OR-DIR.",
+    workload_source="imported",
+)
+register_scenario(
+    "trace-replay",
+    "Replay an exact (submit_time, home, workflow) submission trace; "
+    "requires --set workload_path=TRACE.json.",
+    workload_source="trace",
+)

@@ -1,0 +1,251 @@
+"""Workload sources: *what* workflows a scenario submits.
+
+A :class:`WorkloadSource` turns the experiment config, a dedicated RNG
+stream and the list of home nodes into ``(home_id, Workflow)`` pairs —
+``load_factor * n_nodes`` of them, distributed round-robin over the homes
+(exactly the paper's "three workflows initially submitted per node").
+
+Sources
+-------
+* :class:`Table1Source` — the paper's §IV.A random layered DAGs.  This is
+  the seed behavior moved out of ``P2PGridSystem`` verbatim: same stream,
+  same draw order, same ``wf{i:05d}n{home}`` ids, so the default scenario
+  replays bit-identically.
+* :class:`StructuredSource` — the structured families (chain, fork-join,
+  diamond, montage-like) with per-workflow sizes drawn from the Table I
+  ranges; ``structured_family="mixed"`` cycles through all four.
+* :class:`SyntheticSource` — a "realistic" family per grid workload-mining
+  studies: log-normal task loads and dependent-data sizes, heavy-tailed
+  (Zipf) layer widths.
+* :class:`ImportedSource` — external DAGs from ``workload_path`` (a file
+  or a directory of files) in the repro JSON schema, WfCommons JSON, or
+  Pegasus DAX XML; templates are cycled over the submission slots and
+  re-keyed with unique workflow ids.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Protocol, Sequence
+
+import numpy as np
+
+from repro.workflow.dag import Workflow
+from repro.workflow.generator import (
+    WorkflowParams,
+    chain_workflow,
+    diamond_workflow,
+    fork_join_workflow,
+    montage_like_workflow,
+    random_workflow,
+)
+from repro.workflow.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.config import ExperimentConfig
+
+__all__ = [
+    "ImportedSource",
+    "StructuredSource",
+    "SyntheticSource",
+    "Table1Source",
+    "WorkloadSource",
+    "structured_family_names",
+    "workload_source_names",
+    "make_source",
+]
+
+STRUCTURED_FAMILIES = ("chain", "fork-join", "diamond", "montage", "mixed")
+
+
+class WorkloadSource(Protocol):
+    """Strategy producing the workflows of a workload."""
+
+    name: str
+
+    def generate(
+        self,
+        config: "ExperimentConfig",
+        rng: np.random.Generator,
+        homes: Sequence[int],
+    ) -> list[tuple[int, Workflow]]:
+        """Return ``(home_id, workflow)`` pairs in submission-slot order."""
+        ...
+
+
+def _slots(config: "ExperimentConfig", homes: Sequence[int]):
+    """Round-robin (slot index, home id) assignment — the seed behavior."""
+    total = config.load_factor * config.n_nodes
+    return [(i, homes[i % len(homes)]) for i in range(total)]
+
+
+class Table1Source:
+    """The paper's random layered DAGs (Table I ranges), seed-identical."""
+
+    name = "table1"
+
+    def generate(self, config, rng, homes):
+        params = WorkflowParams(
+            task_range=config.task_range,
+            fanout_range=config.fanout_range,
+            load_range=config.load_range,
+            image_range=config.image_range,
+            data_range=config.data_range,
+        )
+        return [
+            (home, random_workflow(f"wf{i:05d}n{home}", rng, params))
+            for i, home in _slots(config, homes)
+        ]
+
+
+class StructuredSource:
+    """Chain / fork-join / diamond / montage families, sizes from Table I."""
+
+    name = "structured"
+
+    def generate(self, config, rng, homes):
+        family = config.structured_family
+        out: list[tuple[int, Workflow]] = []
+        for i, home in _slots(config, homes):
+            fam = (
+                STRUCTURED_FAMILIES[i % 4] if family == "mixed" else family
+            )
+            wid = f"{fam}{i:05d}n{home}"
+            load = float(rng.uniform(*config.load_range))
+            data = float(rng.uniform(*config.data_range))
+            image = float(rng.uniform(*config.image_range))
+            if fam == "chain":
+                hi = max(2, config.task_range[1])
+                lo = min(max(2, config.task_range[0]), hi)
+                length = int(rng.integers(lo, hi + 1))
+                wf = chain_workflow(wid, length, load=load, data=data, image=image)
+            elif fam == "fork-join":
+                width = int(rng.integers(1, max(2, config.task_range[1] - 1)))
+                wf = fork_join_workflow(wid, width, load=load, data=data, image=image)
+            elif fam == "diamond":
+                wf = diamond_workflow(wid, load=load, data=data, image=image)
+            elif fam == "montage":
+                hi = max(3, config.task_range[1] // 4)
+                n_inputs = int(rng.integers(2, hi + 1))
+                wf = montage_like_workflow(
+                    wid, n_inputs, rng, load_scale=load, data_scale=data
+                )
+            else:
+                raise ValueError(
+                    f"unknown structured_family {family!r}; "
+                    f"available: {', '.join(STRUCTURED_FAMILIES)}"
+                )
+            out.append((home, wf))
+        return out
+
+
+class SyntheticSource:
+    """Log-normal loads/data, heavy-tailed layer widths (mined-trace shape)."""
+
+    name = "synthetic"
+
+    #: Zipf exponent for layer widths — a = 2 gives the occasional very
+    #: wide bag-of-tasks layer amid mostly narrow ones.
+    WIDTH_EXPONENT = 2.0
+
+    @staticmethod
+    def _lognormal(rng, lo: float, hi: float, size: int) -> np.ndarray:
+        """Log-normal with median √(lo·hi) and ±2σ spanning [lo, hi]."""
+        mu = 0.5 * (math.log(lo) + math.log(hi))
+        sigma = (math.log(hi) - math.log(lo)) / 4.0
+        return np.exp(rng.normal(mu, sigma, size=size))
+
+    def generate(self, config, rng, homes):
+        for name in ("load_range", "data_range"):
+            if getattr(config, name)[0] <= 0:
+                raise ValueError(
+                    f"workload_source='synthetic' draws log-normally and "
+                    f"needs a strictly positive {name} lower bound, got "
+                    f"{getattr(config, name)}"
+                )
+        out: list[tuple[int, Workflow]] = []
+        for i, home in _slots(config, homes):
+            wf = self._one(f"syn{i:05d}n{home}", config, rng)
+            out.append((home, wf))
+        return out
+
+    def _one(self, wid: str, config, rng: np.random.Generator) -> Workflow:
+        lo_t, hi_t = config.task_range
+        n = int(rng.integers(lo_t, hi_t + 1))
+        loads = self._lognormal(rng, *config.load_range, size=n)
+        images = rng.uniform(*config.image_range, size=n)
+        tasks = [
+            Task(tid=k, load=float(loads[k]), image_size=float(images[k]))
+            for k in range(n)
+        ]
+        # Heavy-tailed layer widths: the DAG alternates narrow necks and
+        # occasionally very wide fan-out stages.
+        layer_of = np.zeros(n, dtype=np.int64)
+        layer, k = 0, 1
+        while k < n:
+            width = min(int(rng.zipf(self.WIDTH_EXPONENT)), n - k)
+            layer += 1
+            layer_of[k : k + width] = layer
+            k += width
+        layers = [np.flatnonzero(layer_of == j) for j in range(layer + 1)]
+        edges: dict[tuple[int, int], float] = {}
+        for j in range(1, len(layers)):
+            parents = layers[j - 1]
+            for v in layers[j]:
+                u = int(parents[int(rng.integers(0, len(parents)))])
+                edges[(u, int(v))] = float(
+                    self._lognormal(rng, *config.data_range, size=1)[0]
+                )
+        return Workflow(wid, tasks, edges).normalized()
+
+
+class ImportedSource:
+    """External DAG templates cycled over the submission slots."""
+
+    name = "imported"
+
+    def generate(self, config, rng, homes):
+        if not config.workload_path:
+            raise ValueError(
+                "workload_source='imported' needs workload_path "
+                "(a DAG file or a directory of DAG files); set it via "
+                "`repro campaign --scenario imported-dag --set "
+                "workload_path='path/to/dag.json'` or `repro run "
+                "--scenario imported-dag --workload-path path/to/dag.json`"
+            )
+        from repro.workload.importers import import_dags
+
+        templates = import_dags(config.workload_path)
+        out: list[tuple[int, Workflow]] = []
+        for i, home in _slots(config, homes):
+            tpl = templates[i % len(templates)]
+            wid = f"{tpl.wid}-{i:05d}n{home}"
+            out.append((home, Workflow(wid, tpl.tasks.values(), tpl.edges)))
+        return out
+
+
+_SOURCES: dict[str, type] = {
+    s.name: s for s in (Table1Source, StructuredSource, SyntheticSource, ImportedSource)
+}
+
+
+def workload_source_names() -> list[str]:
+    """Names accepted by ``ExperimentConfig.workload_source`` (plus "trace",
+    which is resolved by the build layer because it carries its own times)."""
+    return sorted(_SOURCES) + ["trace"]
+
+
+def structured_family_names() -> tuple[str, ...]:
+    return STRUCTURED_FAMILIES
+
+
+def make_source(config: "ExperimentConfig") -> WorkloadSource:
+    """Instantiate the workload source selected by the config."""
+    try:
+        cls = _SOURCES[config.workload_source]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload_source {config.workload_source!r}; "
+            f"available: {', '.join(workload_source_names())}"
+        ) from None
+    return cls()

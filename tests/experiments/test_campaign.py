@@ -67,6 +67,25 @@ class TestConfigHash:
             tiny_config(algorithm="dheft")
         )
 
+    def test_workload_path_contents_change_the_hash(self, tmp_path):
+        """Editing a referenced DAG/trace file must invalidate the cache
+        entry, not silently replay stale results."""
+        from repro.workflow.generator import chain_workflow, diamond_workflow
+        from repro.workflow.io import save_workflow
+
+        path = tmp_path / "dag.json"
+        save_workflow(diamond_workflow("d"), path)
+        cfg = tiny_config(workload_source="imported", workload_path=str(path))
+        before = config_hash(cfg)
+        assert before == config_hash(cfg)  # deterministic
+        save_workflow(chain_workflow("d", 3), path)  # edit in place
+        assert config_hash(cfg) != before
+        # Missing file still hashes (the run reports the real error).
+        missing = tiny_config(
+            workload_source="imported", workload_path=str(tmp_path / "nope.json")
+        )
+        assert config_hash(missing) != before
+
 
 # --------------------------------------------------------------------------
 # Sweep construction

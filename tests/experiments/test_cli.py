@@ -81,6 +81,65 @@ def test_campaign_parser_defaults():
     assert args.seeds == [1]
     assert args.jobs == 1
     assert not args.no_cache
+    assert args.scenario is None
+
+
+def test_scenarios_lists_presets(capsys):
+    assert main(["scenarios"]) == 0
+    out = capsys.readouterr().out
+    assert "paper-fig4" in out
+    assert "poisson-steady" in out
+    assert "bit-identical" in out  # descriptions shown
+
+
+def test_campaign_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["campaign", "--scenario", "nope"])
+
+
+def test_campaign_rejects_scenario_via_set():
+    with pytest.raises(SystemExit, match="--scenario NAME"):
+        main(["campaign", "--set", "scenario=paper-fig4", "--no-cache"])
+
+
+def test_campaign_with_scenario(capsys, tmp_path):
+    argv = [
+        "campaign", "-a", "dsmf", "--seeds", "1", "--quiet", "--no-cache",
+        "--scenario", "poisson-steady",
+        "--set", "n_nodes=24", "--set", "load_factor=1",
+        "--set", "total_time=14400.0", "--set", "task_range=(2, 6)",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "dsmf#s1" in out
+    assert "fingerprint" in out
+
+
+def test_run_with_scenario(capsys):
+    rc = main(
+        ["run", "-a", "dsmf", "-n", "24", "-l", "1", "--hours", "4",
+         "--seed", "2", "--scenario", "burst-storm"]
+    )
+    assert rc == 0
+    assert "[dsmf]" in capsys.readouterr().out
+
+
+def test_run_scenario_needing_path_exits_cleanly():
+    with pytest.raises(SystemExit, match="workload_path"):
+        main(["run", "-a", "dsmf", "-n", "24", "-l", "1", "--hours", "4",
+              "--scenario", "imported-dag"])
+
+
+def test_run_scenario_with_workload_path(capsys, tmp_path):
+    from repro.workflow.generator import diamond_workflow
+    from repro.workflow.io import save_workflow
+
+    save_workflow(diamond_workflow("d"), tmp_path / "d.json")
+    rc = main(["run", "-a", "dsmf", "-n", "24", "-l", "1", "--hours", "4",
+               "--scenario", "imported-dag",
+               "--workload-path", str(tmp_path / "d.json")])
+    assert rc == 0
+    assert "[dsmf]" in capsys.readouterr().out
 
 
 def test_figure_requires_known_figure():

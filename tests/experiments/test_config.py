@@ -34,19 +34,64 @@ def test_defaults_match_table1():
         ("n_nodes", 1),
         ("load_factor", 0),
         ("total_time", 0.0),
+        ("total_time", -3600.0),
+        ("seed", -1),
         ("schedule_interval", -1.0),
         ("gossip_interval", 0.0),
+        ("metrics_interval", -60.0),
+        ("task_range", (5, 2)),       # inverted
+        ("task_range", (0, 5)),       # below one task
+        ("fanout_range", (3, 1)),     # inverted
+        ("fanout_range", (0, 2)),     # zero fan-out
+        ("load_range", (100.0, 10.0)),   # inverted
+        ("load_range", (-1.0, 10.0)),    # negative
+        ("image_range", (50.0, 5.0)),    # inverted
+        ("data_range", (1000.0, 10.0)),  # inverted
+        ("data_range", (-5.0, 10.0)),    # negative
+        ("capacities", ()),
+        ("capacities", (0.0, 1.0)),
+        ("bw_min", 0.0),
+        ("bw_max", 0.01),             # below bw_min
+        ("gossip_ttl", 0),
+        ("gossip_push_size", 0),
+        ("rss_capacity", 0),
+        ("rss_expiry_cycles", 0.0),
         ("dynamic_factor", 1.5),
         ("dynamic_factor", -0.1),
         ("permanent_fraction", 0.0),
         ("rss_mode", "psychic"),
         ("churn_mode", "explode"),
         ("algorithm", "not-an-algorithm"),
-        ("capacities", (0.0, 1.0)),
+        ("scenario", "not-a-scenario"),
+        ("workload_source", "tea-leaves"),
+        ("arrival_process", "whenever"),
+        ("structured_family", "fractal"),
+        ("arrival_spread", 0.0),
+        ("arrival_spread", 1.5),
+        ("burst_on", 0.0),
+        ("burst_off", -1.0),
+        ("diurnal_period", 0.0),
     ],
 )
 def test_invalid_values_rejected(field, value):
     with pytest.raises(ValueError):
+        ExperimentConfig(**{field: value})
+
+
+@pytest.mark.parametrize(
+    "field,value,fragment",
+    [
+        ("task_range", (5, 2), "inverted"),
+        ("rss_mode", "psychic", "rss_mode"),
+        ("algorithm", "bogus", "available:"),
+        ("workload_source", "x", "available:"),
+        ("arrival_process", "x", "available:"),
+        ("scenario", "x", "available:"),
+        ("metrics_interval", -1.0, "positive"),
+    ],
+)
+def test_rejection_messages_are_actionable(field, value, fragment):
+    with pytest.raises(ValueError, match=fragment):
         ExperimentConfig(**{field: value})
 
 

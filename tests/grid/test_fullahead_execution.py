@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.grid.state import WorkflowStatus
@@ -24,8 +25,9 @@ def _system(workflows, algorithm="heft", **kw):
 def test_all_tasks_dispatched_at_time_zero():
     wf = chain_workflow("c", 4, load=500.0, data=20.0)
     system = _system([(0, wf)])
-    system.sim.schedule(0.0, system._submit_all)
-    system.sim.schedule(0.0, system._fullahead_start)
+    group = system.submissions
+    system.sim.schedule(0.0, lambda: system._submit_group(group))
+    system.sim.schedule(0.0, lambda: system._fullahead_plan_group(group))
     system.sim.run(until=0.0)
     wx = system.executions["c"]
     assert wx.dispatched | set(wx.finished) == set(wf.tasks)
@@ -89,6 +91,51 @@ def test_smf_bundle_runs_same_machinery():
     system = _system([(0, wf)], algorithm="smf")
     result = system.run()
     assert result.n_done == 1
+
+
+def test_fullahead_with_streaming_arrivals_completes():
+    """Full-ahead bundles plan each arrival group at its instant."""
+    cfg = ExperimentConfig(
+        algorithm="heft", n_nodes=16, load_factor=1, total_time=12 * 3600.0,
+        seed=5, task_range=(2, 8), arrival_process="poisson",
+    )
+    system = P2PGridSystem(cfg)
+    result = system.run()
+    assert result.n_done == result.n_workflows
+    assert max(r.submit_time for r in result.records) > 0.0
+    # Every non-virtual task of every arrival group made it into the
+    # merged plan.
+    plan = system._fullahead_plan
+    for wx in system.executions.values():
+        for tid, task in wx.wf.tasks.items():
+            if not task.virtual:
+                assert (wx.wf.wid, tid) in plan.assignment
+
+
+def test_eft_state_seeds_availability_from_resident_load():
+    """Mid-run plans see the occupied grid: a node with queued work is
+    avoided when an equal-capacity idle node exists."""
+    import numpy as np
+
+    from repro.core.fullahead.planner import GlobalView, _EftState
+
+    def view(loads):
+        n = 2
+        return GlobalView(
+            node_ids=np.arange(n, dtype=np.int64),
+            capacities=np.full(n, 4.0),
+            bandwidth=np.full((n, n), 10.0),
+            latency=np.zeros((n, n)),
+            avg_capacity=4.0,
+            avg_bandwidth=10.0,
+            loads=loads,
+        )
+
+    idle = _EftState(view(None))
+    assert (idle.avail == 0.0).all()
+    busy = _EftState(view(np.asarray([8000.0, 0.0])))
+    assert busy.avail[0] == pytest.approx(2000.0)  # 8000 MI / 4 MIPS
+    assert busy.avail[1] == 0.0
 
 
 def test_fcfs_order_respects_plan_sequence():

@@ -7,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim.rng import spawn_generator
+from repro.workflow.dag import WorkflowError
 from repro.workflow.generator import diamond_workflow, random_workflow
 from repro.workflow.io import (
     load_workflow,
@@ -25,6 +26,14 @@ def test_dict_roundtrip_diamond():
     assert set(back.tasks) == set(wf.tasks)
     for tid in wf.tasks:
         assert back.tasks[tid] == wf.tasks[tid]
+
+
+def test_roundtrip_preserves_loads_exactly():
+    wf = random_workflow("w", spawn_generator(9, "io"))
+    back = workflow_from_dict(workflow_to_dict(wf))
+    for tid, t in wf.tasks.items():
+        assert back.tasks[tid].load == t.load
+        assert back.tasks[tid].image_size == t.image_size
 
 
 def test_file_roundtrip(tmp_path):
@@ -52,6 +61,42 @@ def test_from_dict_validates():
         workflow_from_dict(payload)  # cycle
 
 
+@pytest.mark.parametrize(
+    "payload",
+    [
+        {},  # everything missing
+        {"wid": "w", "tasks": [{"tid": 0}], "edges": []},  # task missing load
+        {"wid": "w", "tasks": [{"tid": 0, "load": "heavy"}], "edges": []},
+        {"wid": "w", "tasks": [{"tid": 0, "load": 1.0}], "edges": [{"src": 0}]},
+        {"wid": "w", "tasks": 7, "edges": []},  # wrong container shape
+    ],
+)
+def test_from_dict_malformed_payload_raises_workflow_error(payload):
+    with pytest.raises(WorkflowError, match="malformed workflow payload"):
+        workflow_from_dict(payload)
+
+
+def test_load_workflow_malformed_inputs_raise_cleanly(tmp_path):
+    missing = tmp_path / "nope.json"
+    with pytest.raises(WorkflowError, match="not found"):
+        load_workflow(missing)
+
+    bad_json = tmp_path / "bad.json"
+    bad_json.write_text("{ this is not json")
+    with pytest.raises(WorkflowError, match="not valid JSON"):
+        load_workflow(bad_json)
+
+    not_object = tmp_path / "list.json"
+    not_object.write_text("[1, 2, 3]")
+    with pytest.raises(WorkflowError, match="JSON object"):
+        load_workflow(not_object)
+
+    missing_keys = tmp_path / "payload.json"
+    missing_keys.write_text('{"wid": "w"}')
+    with pytest.raises(WorkflowError, match="malformed workflow payload"):
+        load_workflow(missing_keys)
+
+
 def test_dot_export_mentions_every_task_and_edge():
     wf = diamond_workflow("d")
     dot = workflow_to_dot(wf)
@@ -59,6 +104,15 @@ def test_dot_export_mentions_every_task_and_edge():
     for tid in wf.tasks:
         assert f"t{tid}" in dot
     assert dot.count("->") == wf.n_edges
+    for (u, v) in wf.edges:
+        assert f"t{u} -> t{v}" in dot
+
+
+def test_dot_export_every_edge_random():
+    wf = random_workflow("w", spawn_generator(12, "io"))
+    dot = workflow_to_dot(wf)
+    for (u, v) in wf.edges:
+        assert f"t{u} -> t{v}" in dot
 
 
 @given(seed=st.integers(0, 2**20))

@@ -1,0 +1,81 @@
+"""Tests for the arrival processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.sim.rng import spawn_generator
+from repro.workload.arrivals import (
+    BatchArrivals,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    arrival_process_names,
+    make_arrival_process,
+)
+
+CFG = ExperimentConfig(n_nodes=40, total_time=24 * 3600.0)
+
+
+def _rng():
+    return spawn_generator(11, "arrivals")
+
+
+def test_registry_names():
+    assert arrival_process_names() == ["batch", "bursty", "diurnal", "poisson"]
+    for name in arrival_process_names():
+        proc = make_arrival_process(CFG.with_(arrival_process=name))
+        assert proc.name == name
+
+
+def test_batch_is_all_zero_and_draws_nothing():
+    rng = _rng()
+    state_before = rng.bit_generator.state
+    times = BatchArrivals().times(17, CFG, rng)
+    assert times == [0.0] * 17
+    assert rng.bit_generator.state == state_before
+
+
+@pytest.mark.parametrize(
+    "proc", [PoissonArrivals(), BurstyArrivals(), DiurnalArrivals()]
+)
+def test_streaming_times_sorted_positive_and_deterministic(proc):
+    a = proc.times(200, CFG, _rng())
+    b = proc.times(200, CFG, _rng())
+    assert a == b
+    assert len(a) == 200
+    assert a == sorted(a)
+    assert all(t >= 0.0 for t in a)
+
+
+def test_poisson_times_stay_in_arrival_window():
+    times = PoissonArrivals().times(500, CFG, _rng())
+    assert max(times) <= CFG.arrival_spread * CFG.total_time
+
+
+def test_bursty_times_fall_inside_on_windows():
+    cfg = CFG.with_(burst_on=600.0, burst_off=3000.0)
+    times = BurstyArrivals().times(300, cfg, _rng())
+    period = cfg.burst_on + cfg.burst_off
+    for t in times:
+        assert (t % period) <= cfg.burst_on + 1e-9
+    # Overhang past the window is bounded by one storm.
+    assert max(times) <= cfg.arrival_spread * cfg.total_time + cfg.burst_on
+
+
+def test_diurnal_peak_denser_than_trough():
+    """λ peaks half a period in and troughs at 0/period: the middle half
+    of each day must receive far more arrivals than the edges."""
+    cfg = CFG.with_(total_time=2 * 86400.0, arrival_spread=0.5, diurnal_period=86400.0)
+    times = np.asarray(DiurnalArrivals().times(4000, cfg, _rng()))
+    phase = (times % cfg.diurnal_period) / cfg.diurnal_period
+    mid = np.sum((phase > 0.25) & (phase < 0.75))
+    edge = len(times) - mid
+    assert mid > 2.5 * edge
+
+
+def test_unknown_process_rejected_by_config():
+    with pytest.raises(ValueError, match="arrival_process"):
+        ExperimentConfig(arrival_process="fibonacci")

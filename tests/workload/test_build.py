@@ -1,0 +1,154 @@
+"""Tests for workload assembly and its integration with the grid system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.grid.system import P2PGridSystem
+from repro.sim.rng import RngHub
+from repro.workflow.generator import chain_workflow, diamond_workflow
+from repro.workload.build import WorkflowSubmission, build_submissions
+from repro.workload.importers import save_trace
+
+CFG = ExperimentConfig(
+    n_nodes=20, load_factor=1, total_time=10 * 3600.0, seed=4, task_range=(2, 8)
+)
+
+
+def _homes(cfg=CFG):
+    return list(range(cfg.n_nodes))
+
+
+def test_default_plan_is_batch_at_zero_in_slot_order():
+    subs = build_submissions(CFG, RngHub(CFG.seed), _homes())
+    assert len(subs) == 20
+    assert all(s.submit_time == 0.0 for s in subs)
+    assert [s.home_id for s in subs] == _homes()
+    assert [s.workflow.wid for s in subs] == [
+        f"wf{i:05d}n{i}" for i in range(20)
+    ]
+
+
+def test_poisson_plan_sorted_and_deterministic():
+    cfg = CFG.with_(arrival_process="poisson")
+    a = build_submissions(cfg, RngHub(cfg.seed), _homes())
+    b = build_submissions(cfg, RngHub(cfg.seed), _homes())
+    assert [(s.submit_time, s.workflow.wid) for s in a] == [
+        (s.submit_time, s.workflow.wid) for s in b
+    ]
+    times = [s.submit_time for s in a]
+    assert times == sorted(times)
+    assert times[-1] <= cfg.arrival_spread * cfg.total_time
+
+
+def test_arrival_layer_does_not_perturb_workflow_draws():
+    """Poisson vs batch: identical DAGs, only the times differ."""
+    batch = build_submissions(CFG, RngHub(CFG.seed), _homes())
+    poisson = build_submissions(
+        CFG.with_(arrival_process="poisson"), RngHub(CFG.seed), _homes()
+    )
+    assert {s.workflow.wid for s in batch} == {s.workflow.wid for s in poisson}
+    edges_batch = {s.workflow.wid: s.workflow.edges for s in batch}
+    for s in poisson:
+        assert s.workflow.edges == edges_batch[s.workflow.wid]
+
+
+def test_trace_source_requires_path():
+    with pytest.raises(ValueError, match="workload_path"):
+        build_submissions(
+            CFG.with_(workload_source="trace"), RngHub(1), _homes()
+        )
+
+
+def test_negative_submit_time_rejected():
+    with pytest.raises(ValueError, match="negative time"):
+        WorkflowSubmission(-1.0, 0, diamond_workflow("d"))
+
+
+def test_no_homes_rejected():
+    with pytest.raises(ValueError, match="home nodes"):
+        build_submissions(CFG, RngHub(1), [])
+
+
+# --------------------------------------------------------------------------
+# Grid-system integration
+# --------------------------------------------------------------------------
+
+class TestSystemIntegration:
+    def test_poisson_run_staggers_submissions(self):
+        r = P2PGridSystem(CFG.with_(arrival_process="poisson")).run()
+        subs = sorted(rec.submit_time for rec in r.records)
+        assert subs[-1] > 0.0
+        assert r.n_done > 0
+        for rec in r.records:
+            if rec.completion_time is not None:
+                assert rec.completion_time >= rec.submit_time
+
+    def test_explicit_submissions_honored(self):
+        subs = [
+            WorkflowSubmission(0.0, 0, chain_workflow("early", 2, data=10.0)),
+            WorkflowSubmission(7200.0, 1, chain_workflow("late", 2, data=10.0)),
+        ]
+        system = P2PGridSystem(CFG, submissions=subs)
+        r = system.run()
+        assert r.n_workflows == 2
+        late = system.executions["late"]
+        assert late.submit_time == 7200.0
+        assert late.completion_time is not None
+        assert late.completion_time > 7200.0
+
+    def test_submissions_beyond_horizon_never_enter(self):
+        subs = [
+            WorkflowSubmission(0.0, 0, chain_workflow("in", 2, data=10.0)),
+            WorkflowSubmission(
+                CFG.total_time + 1.0, 0, chain_workflow("out", 2, data=10.0)
+            ),
+        ]
+        r = P2PGridSystem(CFG, submissions=subs).run()
+        assert r.n_workflows == 1
+        assert {rec.wid for rec in r.records} == {"in"}
+
+    def test_trace_replay_through_config(self, tmp_path):
+        subs = [
+            WorkflowSubmission(0.0, 0, chain_workflow("t0", 2, data=10.0)),
+            WorkflowSubmission(3600.0, 2, chain_workflow("t1", 3, data=10.0)),
+        ]
+        path = save_trace(tmp_path / "trace.json", subs)
+        cfg = CFG.with_(workload_source="trace", workload_path=str(path))
+        system = P2PGridSystem(cfg)
+        r = system.run()
+        assert r.n_workflows == 2
+        assert system.executions["t1"].submit_time == 3600.0
+        assert r.n_done == 2
+
+    def test_duplicate_wids_rejected(self):
+        subs = [
+            WorkflowSubmission(0.0, 0, diamond_workflow("dup")),
+            WorkflowSubmission(10.0, 1, diamond_workflow("dup")),
+        ]
+        with pytest.raises(ValueError, match="duplicate workflow id"):
+            P2PGridSystem(CFG, submissions=subs)
+
+    def test_non_home_submission_rejected(self):
+        cfg = CFG.with_(dynamic_factor=0.2, permanent_fraction=0.5)
+        vol = cfg.n_nodes - 1  # volatile under permanent_fraction=0.5
+        subs = [WorkflowSubmission(0.0, vol, diamond_workflow("d"))]
+        with pytest.raises(ValueError, match="not a home node"):
+            P2PGridSystem(cfg, submissions=subs)
+
+    def test_workflows_and_submissions_mutually_exclusive(self):
+        wf = diamond_workflow("d")
+        with pytest.raises(ValueError, match="not both"):
+            P2PGridSystem(
+                CFG,
+                workflows=[(0, wf)],
+                submissions=[WorkflowSubmission(0.0, 0, wf)],
+            )
+
+    def test_streaming_determinism_same_seed(self):
+        cfg = CFG.with_(arrival_process="bursty")
+        a = P2PGridSystem(cfg).run()
+        b = P2PGridSystem(cfg).run()
+        assert a.act == b.act
+        assert a.events_executed == b.events_executed

@@ -1,0 +1,167 @@
+"""Tests for external DAG import and submission-trace replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.workflow.dag import WorkflowError
+from repro.workflow.generator import diamond_workflow
+from repro.workflow.io import save_workflow
+from repro.workload.build import WorkflowSubmission
+from repro.workload.importers import (
+    BYTES_TO_MB,
+    RUNTIME_TO_MI,
+    import_dag,
+    import_dags,
+    load_trace,
+    save_trace,
+)
+
+WFCOMMONS = {
+    "name": "epigenomics-test",
+    "workflow": {
+        "jobs": [
+            {"name": "split", "runtime": 10.0,
+             "files": [{"name": "reads", "size": 2_000_000, "link": "output"}]},
+            {"name": "map", "runtime": 30.0, "parents": ["split"],
+             "files": [{"name": "reads", "size": 2_000_000, "link": "input"},
+                       {"name": "bam", "size": 500_000, "link": "output"}]},
+            {"name": "merge", "runtime": 5.0, "parents": ["map"],
+             "files": [{"name": "bam", "size": 500_000, "link": "input"}]},
+        ]
+    },
+}
+
+DAX = """<?xml version="1.0" encoding="UTF-8"?>
+<adag xmlns="http://pegasus.isi.edu/schema/DAX" name="mini">
+  <job id="ID0" name="preprocess" runtime="12">
+    <uses file="f.a" link="output" size="1000000"/>
+  </job>
+  <job id="ID1" name="analyze" runtime="40">
+    <uses file="f.a" link="input" size="1000000"/>
+    <uses file="f.b" link="output" size="300000"/>
+  </job>
+  <job id="ID2" name="finalize" runtime="4">
+    <uses file="f.b" link="input" size="300000"/>
+  </job>
+  <child ref="ID1"><parent ref="ID0"/></child>
+  <child ref="ID2"><parent ref="ID1"/></child>
+</adag>
+"""
+
+
+def test_import_repro_json(tmp_path):
+    save_workflow(diamond_workflow("dia"), tmp_path / "dia.json")
+    wf = import_dag(tmp_path / "dia.json")
+    assert wf.wid == "dia"
+    assert wf.n_tasks == 4
+
+
+def test_import_wfcommons_json(tmp_path):
+    path = tmp_path / "epi.json"
+    path.write_text(json.dumps(WFCOMMONS))
+    wf = import_dag(path)
+    assert wf.wid == "epigenomics-test"
+    by_name = {t.name: t for t in wf.tasks.values() if not t.virtual}
+    assert by_name["map"].load == pytest.approx(30.0 * RUNTIME_TO_MI)
+    tid = {t.name: t.tid for t in wf.tasks.values()}
+    assert wf.edges[(tid["split"], tid["map"])] == pytest.approx(
+        2_000_000 * BYTES_TO_MB
+    )
+    assert wf.edges[(tid["map"], tid["merge"])] == pytest.approx(500_000 * BYTES_TO_MB)
+
+
+def test_import_dax_xml(tmp_path):
+    path = tmp_path / "mini.dax"
+    path.write_text(DAX)
+    wf = import_dag(path)
+    assert wf.n_tasks == 3
+    tid = {t.name: t.tid for t in wf.tasks.values()}
+    assert wf.edges[(tid["preprocess"], tid["analyze"])] == pytest.approx(
+        1_000_000 * BYTES_TO_MB
+    )
+    assert wf.tasks[tid["analyze"]].load == pytest.approx(40.0 * RUNTIME_TO_MI)
+
+
+def test_import_wfcommons_zero_runtime_stays_zero(tmp_path):
+    """An explicit runtime of 0 is a real zero-cost task, not a missing
+    value (regression: the old `or` chain coerced it to 1 second)."""
+    payload = {
+        "name": "zr",
+        "workflow": {"jobs": [
+            {"name": "work", "runtime": 10.0},
+            {"name": "cleanup", "runtime": 0, "parents": ["work"]},
+        ]},
+    }
+    path = tmp_path / "zr.json"
+    path.write_text(json.dumps(payload))
+    wf = import_dag(path)
+    by_name = {t.name: t for t in wf.tasks.values() if not t.virtual}
+    assert by_name["cleanup"].load == 0.0
+    assert by_name["work"].load == pytest.approx(10.0 * RUNTIME_TO_MI)
+
+
+def test_import_directory_sorted(tmp_path):
+    save_workflow(diamond_workflow("a"), tmp_path / "a.json")
+    (tmp_path / "b.dax").write_text(DAX)
+    wfs = import_dags(tmp_path)
+    assert [w.wid for w in wfs] == ["a", "b"]
+
+
+@pytest.mark.parametrize(
+    "content",
+    [
+        "not json at all {",
+        "[1, 2, 3]",
+        '{"workflow": {"jobs": []}}',
+        '{"workflow": {"jobs": [{"name": "a", "parents": ["ghost"]}]}}',
+    ],
+)
+def test_malformed_json_raises_workflow_error(tmp_path, content):
+    path = tmp_path / "bad.json"
+    path.write_text(content)
+    with pytest.raises(WorkflowError):
+        import_dag(path)
+
+
+def test_malformed_dax_raises_workflow_error(tmp_path):
+    path = tmp_path / "bad.xml"
+    path.write_text("<adag><job id='x'")
+    with pytest.raises(WorkflowError):
+        import_dag(path)
+    empty = tmp_path / "empty.xml"
+    empty.write_text("<adag></adag>")
+    with pytest.raises(WorkflowError, match="no <job>"):
+        import_dag(empty)
+
+
+def test_missing_file_and_empty_dir(tmp_path):
+    with pytest.raises(WorkflowError, match="not found"):
+        import_dag(tmp_path / "nope.json")
+    with pytest.raises(WorkflowError, match="no workflow files"):
+        import_dags(tmp_path)
+
+
+def test_trace_roundtrip(tmp_path):
+    subs = [
+        WorkflowSubmission(3600.0, 1, diamond_workflow("w1")),
+        WorkflowSubmission(0.0, 0, diamond_workflow("w0")),
+    ]
+    path = save_trace(tmp_path / "trace.json", subs)
+    back = load_trace(path)
+    # Sorted by submit time on load.
+    assert [s.workflow.wid for s in back] == ["w0", "w1"]
+    assert [s.submit_time for s in back] == [0.0, 3600.0]
+    assert [s.home_id for s in back] == [0, 1]
+    assert back[0].workflow.edges == subs[1].workflow.edges
+
+
+def test_malformed_trace_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"trace": [{"submit_time": "x"}]}')
+    with pytest.raises(WorkflowError, match="malformed submission trace"):
+        load_trace(path)
+    with pytest.raises(WorkflowError, match="not found"):
+        load_trace(tmp_path / "missing.json")

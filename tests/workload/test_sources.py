@@ -1,0 +1,143 @@
+"""Tests for the workload sources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.sim.rng import RngHub
+from repro.workflow.generator import WorkflowParams, random_workflow
+from repro.workload.sources import (
+    ImportedSource,
+    StructuredSource,
+    SyntheticSource,
+    Table1Source,
+    make_source,
+    workload_source_names,
+)
+
+CFG = ExperimentConfig(n_nodes=12, load_factor=2, task_range=(2, 10))
+HOMES = list(range(12))
+
+
+def _stream(seed=5):
+    return RngHub(seed).stream("workflows")
+
+
+def test_registry_names():
+    assert workload_source_names() == [
+        "imported", "structured", "synthetic", "table1", "trace",
+    ]
+    assert isinstance(make_source(CFG), Table1Source)
+
+
+def test_table1_matches_seed_generation_exactly():
+    """The extracted source replays the seed's inline generator: same
+    stream, same draw order, same ids, same DAGs."""
+    pairs = Table1Source().generate(CFG, _stream(), HOMES)
+
+    rng = _stream()
+    params = WorkflowParams(
+        task_range=CFG.task_range,
+        fanout_range=CFG.fanout_range,
+        load_range=CFG.load_range,
+        image_range=CFG.image_range,
+        data_range=CFG.data_range,
+    )
+    expected = []
+    for i in range(CFG.load_factor * CFG.n_nodes):
+        home = HOMES[i % len(HOMES)]
+        expected.append((home, random_workflow(f"wf{i:05d}n{home}", rng, params)))
+
+    assert len(pairs) == len(expected) == 24
+    for (h1, w1), (h2, w2) in zip(pairs, expected):
+        assert h1 == h2
+        assert w1.wid == w2.wid
+        assert w1.edges == w2.edges
+        assert [w1.tasks[t].load for t in w1.tasks] == [
+            w2.tasks[t].load for t in w2.tasks
+        ]
+
+
+def test_round_robin_home_assignment():
+    pairs = Table1Source().generate(CFG, _stream(), HOMES)
+    assert [h for h, _ in pairs] == [i % 12 for i in range(24)]
+
+
+@pytest.mark.parametrize("family", ["chain", "fork-join", "diamond", "montage", "mixed"])
+def test_structured_families_generate_valid_workflows(family):
+    cfg = CFG.with_(workload_source="structured", structured_family=family)
+    pairs = StructuredSource().generate(cfg, _stream(), HOMES)
+    assert len(pairs) == 24
+    wids = [wf.wid for _, wf in pairs]
+    assert len(set(wids)) == 24
+    for _, wf in pairs:
+        assert wf.n_tasks >= 2
+        assert len(wf.entry_ids) == 1 and len(wf.exit_ids) == 1
+        for t in wf.tasks.values():
+            # Families scale stage loads around the drawn base load (e.g.
+            # montage's mDiff is 0.4x), so just require sane positives.
+            assert t.virtual or 0.0 < t.load <= cfg.load_range[1] * 2.5
+
+
+def test_structured_mixed_rotates_families():
+    cfg = CFG.with_(workload_source="structured", structured_family="mixed")
+    pairs = StructuredSource().generate(cfg, _stream(), HOMES)
+    wids = [wf.wid for _, wf in pairs]
+    for family in ("chain", "fork-join", "diamond", "montage"):
+        assert any(w.startswith(family) for w in wids), family
+
+
+def test_synthetic_source_heavy_tail_and_determinism():
+    cfg = CFG.with_(workload_source="synthetic", n_nodes=30, load_factor=3)
+    homes = list(range(30))
+    a = SyntheticSource().generate(cfg, _stream(), homes)
+    b = SyntheticSource().generate(cfg, _stream(), homes)
+    assert [w.wid for _, w in a] == [w.wid for _, w in b]
+    assert [w.edges for _, w in a] == [w.edges for _, w in b]
+    for _, wf in a:
+        lo, hi = cfg.task_range
+        assert lo <= wf.n_tasks <= hi + 2  # +2 for normalization virtuals
+        for t in wf.tasks.values():
+            assert t.load >= 0.0
+    # Log-normal loads: some mass well below and well above the median.
+    loads = [t.load for _, wf in a for t in wf.tasks.values() if not t.virtual]
+    med = sorted(loads)[len(loads) // 2]
+    assert any(load > 3 * med for load in loads)
+    assert any(load < med / 3 for load in loads)
+
+
+def test_structured_chain_handles_degenerate_task_range():
+    """task_range=(1, 1) is a valid config; chains clamp to length 2."""
+    cfg = CFG.with_(workload_source="structured", structured_family="chain",
+                    task_range=(1, 1))
+    pairs = StructuredSource().generate(cfg, _stream(), HOMES)
+    assert all(wf.n_tasks == 2 for _, wf in pairs)
+
+
+def test_synthetic_rejects_zero_lower_bounds_clearly():
+    cfg = CFG.with_(workload_source="synthetic", load_range=(0.0, 100.0))
+    with pytest.raises(ValueError, match="load_range"):
+        SyntheticSource().generate(cfg, _stream(), HOMES)
+    cfg = CFG.with_(workload_source="synthetic", data_range=(0.0, 100.0))
+    with pytest.raises(ValueError, match="data_range"):
+        SyntheticSource().generate(cfg, _stream(), HOMES)
+
+
+def test_imported_source_requires_path():
+    cfg = CFG.with_(workload_source="imported")
+    with pytest.raises(ValueError, match="workload_path"):
+        ImportedSource().generate(cfg, _stream(), HOMES)
+
+
+def test_imported_source_cycles_templates(tmp_path):
+    from repro.workflow.generator import diamond_workflow
+    from repro.workflow.io import save_workflow
+
+    save_workflow(diamond_workflow("dia"), tmp_path / "dia.json")
+    cfg = CFG.with_(workload_source="imported", workload_path=str(tmp_path / "dia.json"))
+    pairs = ImportedSource().generate(cfg, _stream(), HOMES)
+    assert len(pairs) == 24
+    assert len({wf.wid for _, wf in pairs}) == 24  # re-keyed unique ids
+    for _, wf in pairs:
+        assert wf.n_tasks == 4
