@@ -15,11 +15,20 @@ resource node ``p_h`` in its RSS, the estimated finish time of task ``τ``::
                                                      transfers overlap
     FT(τ, p_h)  = ST + load(τ)/c_h                   Eq. (6)
 
-:class:`ResourceView` holds the candidate arrays for one scheduling cycle
-and evaluates ``FT`` for *all* candidates in one vectorized expression (this
-is the phase-1 hot path).  ``add_load`` implements Algorithm 1 line 15: the
-scheduler's local record of the chosen node is bumped so the next pick in
-the same cycle sees the load it just added.
+:class:`ResourceView` holds the candidate table for one scheduling cycle and
+evaluates ``FT`` for *all* candidates (the phase-1 hot path).  ``add_load``
+implements Algorithm 1 line 15: the scheduler's local record of the chosen
+node is bumped so the next pick in the same cycle sees the load it just
+added.
+
+Performance note: the typical view is tiny — the RSS holds O(log2 n)
+records — and at that size the fixed overhead of materializing numpy arrays
+dwarfs the arithmetic.  The view therefore keeps plain-Python candidate
+lists and serves :meth:`best`/:meth:`best_ft` (what every bundled phase-1
+policy actually calls) through a scalar fast path whenever the bandwidth
+provider exposes scalar lookups; IEEE arithmetic makes the scalar and
+vectorized paths bit-identical, and the vectorized :meth:`ft_vector` API is
+unchanged for the pooled list heuristics and large (oracle-mode) views.
 """
 
 from __future__ import annotations
@@ -33,13 +42,20 @@ __all__ = ["BandwidthProvider", "ResourceView", "TaskInput"]
 #: One dependent input: ``(source_node_id, megabits)``.
 TaskInput = tuple[int, float]
 
+#: Candidate counts up to this size take the scalar fast path in
+#: ``best``/``best_ft`` (crossover measured on the bench harness; both
+#: paths produce bit-identical floats, so the value only affects speed).
+_SCALAR_MAX = 64
+
 
 class BandwidthProvider(Protocol):
     """Bandwidth/latency knowledge available to a scheduler.
 
     Implementations: the ground-truth topology (oracle) or the
     landmark-based estimator of :mod:`repro.net.landmarks`; actual
-    transfers always use the ground truth.
+    transfers always use the ground truth.  Providers may additionally
+    expose scalar ``bw_to(src, dst)``/``lat_to(src, dst)`` lookups to
+    enable the small-view fast path.
     """
 
     def bw_between(self, src: int, targets: np.ndarray) -> np.ndarray:
@@ -57,12 +73,36 @@ class OracleBandwidth:
     def __init__(self, topology) -> None:
         self._bw = topology._bandwidth
         self._lat = topology._latency
+        # Per-source row caches as plain lists (scalar fast path): indexing
+        # a Python list returns a float ~3x faster than numpy scalar
+        # indexing, and rows are touched repeatedly across cycles.
+        self._bw_rows: dict[int, tuple[list[float], list[float]]] = {}
 
     def bw_between(self, src: int, targets: np.ndarray) -> np.ndarray:
         return self._bw[src, targets]
 
     def latency_between(self, src: int, targets: np.ndarray) -> np.ndarray:
         return self._lat[src, targets]
+
+    def bw_to(self, src: int, dst: int) -> float:
+        return self.rows(src)[0][dst]
+
+    def lat_to(self, src: int, dst: int) -> float:
+        return self.rows(src)[1][dst]
+
+    def rows(self, src: int) -> tuple[list[float], list[float]]:
+        """``(bandwidth_row, latency_row)`` from ``src`` as plain lists.
+
+        Rows are static for a whole run, so each is converted once and the
+        scalar fast path indexes Python floats from then on.
+        """
+        row = self._bw_rows.get(src)
+        if row is None:
+            row = self._bw_rows[src] = (
+                self._bw[src].tolist(),
+                self._lat[src].tolist(),
+            )
+        return row
 
 
 class LandmarkBandwidth:
@@ -75,6 +115,10 @@ class LandmarkBandwidth:
     def __init__(self, estimator, topology) -> None:
         self._meas = estimator.measurements
         self._lat = topology._latency
+        #: src -> (estimated bandwidth row, latency row); estimates are
+        #: static per run, so each queried source pays the O(n log n) row
+        #: derivation once.
+        self._rows: dict[int, tuple[list[float], list[float]]] = {}
 
     def bw_between(self, src: int, targets: np.ndarray) -> np.ndarray:
         est = np.minimum(self._meas[src][None, :], self._meas[targets]).max(axis=1)
@@ -83,6 +127,25 @@ class LandmarkBandwidth:
 
     def latency_between(self, src: int, targets: np.ndarray) -> np.ndarray:
         return self._lat[src, targets]
+
+    def bw_to(self, src: int, dst: int) -> float:
+        return self.rows(src)[0][dst]
+
+    def lat_to(self, src: int, dst: int) -> float:
+        return self.rows(src)[1][dst]
+
+    def rows(self, src: int) -> tuple[list[float], list[float]]:
+        """``(estimated bandwidth row, latency row)`` from ``src``.
+
+        est(a, b) = max over landmarks of min(bw(a, L), bw(L, b)) — exact
+        min/max arithmetic, so the row matches ``bw_between`` bit for bit.
+        """
+        row = self._rows.get(src)
+        if row is None:
+            est = np.minimum(self._meas[src][None, :], self._meas).max(axis=1)
+            est[src] = np.inf
+            row = self._rows[src] = (est.tolist(), self._lat[src].tolist())
+        return row
 
 
 class ResourceView:
@@ -101,6 +164,20 @@ class ResourceView:
         The scheduling node (source of task images).
     """
 
+    __slots__ = (
+        "_ids",
+        "_caps",
+        "_loads",
+        "_ids_arr",
+        "_caps_arr",
+        "_loads_arr",
+        "bandwidth",
+        "home_id",
+        "writeback",
+        "_index",
+        "_scalar",
+    )
+
     def __init__(
         self,
         ids: Sequence[int],
@@ -112,22 +189,47 @@ class ResourceView:
     ):
         if len(ids) == 0:
             raise ValueError("ResourceView needs at least one candidate node")
-        self.ids = np.asarray(ids, dtype=np.int64)
-        self.capacities = np.asarray(capacities, dtype=np.float64)
-        self.loads = np.asarray(loads, dtype=np.float64)
-        if len(self.ids) != len(self.capacities) or len(self.ids) != len(self.loads):
+        self._ids = [int(i) for i in ids]
+        self._caps = [float(c) for c in capacities]
+        self._loads = [float(x) for x in loads]
+        if len(self._ids) != len(self._caps) or len(self._ids) != len(self._loads):
             raise ValueError("ids, capacities and loads must align")
-        if np.any(self.capacities <= 0):
+        if any(c <= 0 for c in self._caps):
             raise ValueError("capacities must be positive")
+        # Lazy numpy mirrors: materialized only when the vectorized API is
+        # used (pooled-list heuristics, tests); kept in sync by add_load.
+        self._ids_arr: np.ndarray | None = None
+        self._caps_arr: np.ndarray | None = None
+        self._loads_arr: np.ndarray | None = None
         self.bandwidth = bandwidth
         self.home_id = int(home_id)
         #: persistent write-back of Algorithm 1 line 15 (e.g. into the
         #: home's gossip RSS record) applied on every ``add_load``.
         self.writeback = writeback
-        self._index = {int(nid): k for k, nid in enumerate(self.ids)}
+        self._index = {nid: k for k, nid in enumerate(self._ids)}
+        self._scalar = len(self._ids) <= _SCALAR_MAX and hasattr(bandwidth, "rows")
 
     def __len__(self) -> int:
-        return len(self.ids)
+        return len(self._ids)
+
+    # ------------------------------------------------------- numpy mirrors
+    @property
+    def ids(self) -> np.ndarray:
+        if self._ids_arr is None:
+            self._ids_arr = np.asarray(self._ids, dtype=np.int64)
+        return self._ids_arr
+
+    @property
+    def capacities(self) -> np.ndarray:
+        if self._caps_arr is None:
+            self._caps_arr = np.asarray(self._caps, dtype=np.float64)
+        return self._caps_arr
+
+    @property
+    def loads(self) -> np.ndarray:
+        if self._loads_arr is None:
+            self._loads_arr = np.asarray(self._loads, dtype=np.float64)
+        return self._loads_arr
 
     # ------------------------------------------------------------- estimates
     def queue_delays(self) -> np.ndarray:
@@ -159,10 +261,70 @@ class ResourceView:
         st = np.maximum(self.queue_delays(), self.ltd_vector(image_mb, inputs))
         return st + load / self.capacities
 
+    # ---- scalar fast path --------------------------------------------------
+    def _best_scalar(
+        self, load: float, image_mb: float, inputs: Sequence[TaskInput]
+    ) -> tuple[int, int, float]:
+        """``(index, node_id, ft)`` of the earliest-finish candidate.
+
+        Pure-Python evaluation of Eq. (4)–(6) over the candidate lists;
+        every operation (division, addition, max, first-minimum) matches
+        the vectorized float64 expression bit for bit.
+        """
+        ids = self._ids
+        caps = self._caps
+        loads = self._loads
+        rows = self.bandwidth.rows
+        home = self.home_id
+        inf = np.inf
+        # Transfer sources: the image from home first, then each dependent
+        # input in order — the exact accumulation order of ltd_vector (max
+        # is order-exact anyway).
+        sources = []
+        if image_mb > 0.0:
+            sources.append((home, image_mb))
+        for src, mb in inputs:
+            if mb > 0.0:
+                sources.append((src, mb))
+
+        n = len(ids)
+        if sources:
+            ltd = [0.0] * n
+            for src, mb in sources:
+                bw_row, lat_row = rows(src)
+                for k in range(n):
+                    nid = ids[k]
+                    if nid != src:
+                        b = bw_row[nid]
+                        # b == 0 must yield inf like numpy division, not raise.
+                        t = mb / b + lat_row[nid] if b else inf
+                        if t > ltd[k]:
+                            ltd[k] = t
+        else:
+            ltd = None
+
+        best_k = 0
+        best_ft = inf
+        for k in range(n):
+            cap = caps[k]
+            st = loads[k] / cap
+            if ltd is not None:
+                d = ltd[k]
+                if d > st:
+                    st = d
+            ft = st + load / cap
+            if ft < best_ft:
+                best_ft = ft
+                best_k = k
+        return best_k, ids[best_k], float(best_ft)
+
     def best(
         self, load: float, image_mb: float, inputs: Sequence[TaskInput]
     ) -> tuple[int, float]:
         """Formula (9): the candidate with the earliest estimated finish."""
+        if self._scalar:
+            _, nid, ft = self._best_scalar(load, image_mb, inputs)
+            return nid, ft
         ft = self.ft_vector(load, image_mb, inputs)
         k = int(np.argmin(ft))
         return int(self.ids[k]), float(ft[k])
@@ -170,6 +332,8 @@ class ResourceView:
     def best_ft(self, load: float, image_mb: float, inputs: Sequence[TaskInput]) -> float:
         """min over candidates of FT (the dynamic part of a schedule-point
         RPM)."""
+        if self._scalar:
+            return self._best_scalar(load, image_mb, inputs)[2]
         return float(self.ft_vector(load, image_mb, inputs).min())
 
     # -------------------------------------------------------------- mutation
@@ -182,8 +346,11 @@ class ResourceView:
         k = self._index.get(int(node_id))
         if k is None:
             raise KeyError(f"node {node_id} not in this resource view")
-        self.loads[k] += load
+        new = self._loads[k] + load
+        self._loads[k] = new
+        if self._loads_arr is not None:
+            self._loads_arr[k] = new
         if on_update is not None:
-            on_update(int(node_id), float(self.loads[k]))
+            on_update(int(node_id), new)
         if self.writeback is not None:
-            self.writeback(int(node_id), float(self.loads[k]))
+            self.writeback(int(node_id), new)

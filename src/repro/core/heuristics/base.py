@@ -29,7 +29,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class DispatchDecision:
     """One task-to-node assignment produced by a phase-1 policy.
 
@@ -44,7 +44,7 @@ class DispatchDecision:
     stamps: dict[str, float] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class SchedulingContext:
     """Everything a phase-1 policy may consult during one cycle.
 

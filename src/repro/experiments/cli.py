@@ -5,6 +5,8 @@ Subcommands
 ``run``        one simulation, printing the summary and hourly metrics,
 ``campaign``   an (algorithm × seed) sweep across worker processes with
                on-disk result caching,
+``bench``      time the end-to-end perf scenarios and write a
+               machine-readable ``BENCH_*.json`` report,
 ``figure``     regenerate a paper figure (4–14 or ``table2``) as ASCII + CSV,
 ``table``      print Table I (the experimental setting) or Table II,
 ``list``       list registered algorithm bundles,
@@ -17,6 +19,8 @@ Examples
     repro run --algorithm dsmf -n 120 --hours 24 --seed 3
     repro campaign -a dsmf dheft --seeds 1 2 3 4 --jobs 4
     repro campaign --scenario poisson-steady -a dsmf --seeds 1 2 3
+    repro bench --quick --scenarios paper-fig4 --output BENCH_PR3.json
+    repro bench --baseline BENCH_PR3.json --profile-top 15
     repro figure 4 --profile small --csv out/fig4.csv
     repro table 1
 """
@@ -99,6 +103,29 @@ def build_parser() -> argparse.ArgumentParser:
                       help="force fresh runs; skip cache reads and writes")
     camp.add_argument("--csv", default=None, help="also write the per-run table to CSV")
     camp.add_argument("--quiet", action="store_true", help="suppress per-run progress")
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the end-to-end perf scenarios; write a BENCH_*.json report",
+    )
+    # Names validated lazily in _cmd_bench (keeps the per-command-import
+    # convention: `repro run` never loads the perf/cProfile machinery).
+    bench.add_argument(
+        "--scenarios", "-s", nargs="+", default=None, metavar="NAME",
+        help="presets to time: paper-fig4, poisson-steady, fig11-grid "
+             "(default: all)",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="smoke-sized configs (CI; same code paths, smaller grid)")
+    bench.add_argument("--repeats", type=int, default=1,
+                       help="timing repetitions per scenario; best wall time is kept")
+    bench.add_argument("--profile-top", type=int, default=0, metavar="N",
+                       help="embed the N hottest repo functions (cProfile)")
+    bench.add_argument("--output", "-o", default="BENCH_PR3.json",
+                       help="report path (default BENCH_PR3.json)")
+    bench.add_argument("--baseline", default=None, metavar="REPORT.json",
+                       help="previous report to compute wall-clock speedups against")
+    bench.add_argument("--quiet", action="store_true", help="suppress per-scenario progress")
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("figure", choices=sorted(FIGURES, key=lambda s: (len(s), s)))
@@ -245,6 +272,48 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.perf.bench import run_bench, validate_report, write_report
+
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read baseline report {args.baseline}: {exc}")
+    progress = None
+    if not args.quiet:
+        def progress(entry):  # noqa: ANN001
+            print(f"  [{entry['name']}] {entry['wall_seconds']:.2f}s wall, "
+                  f"{entry['events']} events ({entry['events_per_sec']:.0f}/s), "
+                  f"{entry['n_done']}/{entry['n_workflows']} workflows done",
+                  file=sys.stderr)
+    try:
+        report = run_bench(
+            scenarios=args.scenarios,
+            quick=args.quick,
+            repeats=args.repeats,
+            profile_top=args.profile_top,
+            baseline=baseline,
+            progress=progress,
+        )
+    except ValueError as exc:  # unknown scenario name (lists the valid ones)
+        raise SystemExit(str(exc))
+    problems = validate_report(report)
+    if problems:  # pragma: no cover - defensive (the harness emits valid reports)
+        raise SystemExit("invalid bench report: " + "; ".join(problems))
+    path = write_report(report, args.output)
+    print(f"wrote {path}")
+    for name, factor in report.get("speedup", {}).items():
+        print(f"  {name}: {factor:.2f}x vs baseline "
+              f"({report['baseline']['scenarios'][name]['wall_seconds']:.2f}s -> "
+              f"{dict((s['name'], s) for s in report['scenarios'])[name]['wall_seconds']:.2f}s)")
+    return 0
+
+
 def _cmd_figure(args) -> int:
     harness = FIGURES[args.figure]
     progress = None
@@ -294,6 +363,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "table":

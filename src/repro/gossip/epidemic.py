@@ -24,6 +24,7 @@ same scheduling cycle see the load they just added.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Callable
 
 import numpy as np
@@ -32,6 +33,9 @@ from repro.gossip.messages import NodeStateRecord
 from repro.gossip.newscast import NewscastOverlay
 
 __all__ = ["EpidemicGossip"]
+
+#: C-level sort key for the freshness eviction (hot path).
+_BY_TIMESTAMP = attrgetter("timestamp")
 
 LoadProvider = Callable[[int], tuple[float, float]]
 """Callback ``node_id -> (total_load_MI, capacity_MIPS)``."""
@@ -106,32 +110,40 @@ class EpidemicGossip:
     def run_cycle(self, now: float) -> None:
         """One push round for every live node (cycle-driven execution)."""
         live = self.overlay.live
-        # Stamp fresh self-records first so this cycle ships current loads.
-        self_records: dict[int, NodeStateRecord] = {}
+        load_provider = self.load_provider
+        ttl = self.ttl
+        push_size = self.push_size
+        sample = self.overlay.sample
+        fanout = self.fanout
+        rng_choice = self.rng.choice
+        messages = 0
+        shipped = 0
         for i in live:
-            load, capacity = self.load_provider(i)
-            self_records[i] = NodeStateRecord(
-                node_id=i, capacity=capacity, total_load=load, timestamp=now, ttl=self.ttl
-            )
-
-        for i in live:
+            # Stamp a fresh self-record so this cycle ships current loads
+            # (stamping only reads node state, which gossip never mutates,
+            # so inlining it into the push loop is order-neutral).
+            load, capacity = load_provider(i)
+            self_record = NodeStateRecord(i, capacity, load, now, ttl)
             rss_i = self.rss[i]
-            targets = self.overlay.sample(i, self.fanout)
+            targets = sample(i, fanout)
             if not targets:
                 continue
             # Sample up to push_size forwardable known records once per
             # sender; all targets receive the same digest (one "message").
             forwardable = [r for r in rss_i.values() if r.ttl > 0]
-            if len(forwardable) > self.push_size:
-                idx = self.rng.choice(len(forwardable), size=self.push_size, replace=False)
-                digest = [forwardable[int(k)].aged() for k in idx]
+            if len(forwardable) > push_size:
+                idx = rng_choice(len(forwardable), size=push_size, replace=False)
+                digest = [forwardable[k].aged() for k in idx.tolist()]
             else:
                 digest = [r.aged() for r in forwardable]
-            digest.append(self_records[i])
+            digest.append(self_record)
+            n_digest = len(digest)
             for t in targets:
-                self.messages_sent += 1
-                self.records_shipped += len(digest)
+                messages += 1
+                shipped += n_digest
                 self._deliver(t, i, digest)
+        self.messages_sent += messages
+        self.records_shipped += shipped
 
         if self.expiry is not None:
             self._expire(now)
@@ -140,21 +152,27 @@ class EpidemicGossip:
         rss = self.rss.get(target)
         if rss is None:  # target churned out mid-cycle
             return
+        rss_get = rss.get
         for rec in records:
-            if rec.node_id == target:
+            nid = rec.node_id
+            if nid == target:
                 continue
-            cur = rss.get(rec.node_id)
-            if cur is None or rec.fresher_than(cur):
-                rss[rec.node_id] = rec
-        if len(rss) > self.rss_capacity:
-            # Evict the stalest entries beyond capacity.
-            by_age = sorted(rss.items(), key=lambda kv: kv[1].timestamp, reverse=True)
-            self.rss[target] = dict(by_age[: self.rss_capacity])
+            cur = rss_get(nid)
+            if cur is None or rec.timestamp > cur.timestamp:
+                rss[nid] = rec
+        cap = self.rss_capacity
+        if len(rss) > cap:
+            # Evict the stalest entries beyond capacity.  Keys equal each
+            # record's node_id, so sorting the values alone reproduces the
+            # items() sort exactly (stable, same iteration order).
+            by_age = sorted(rss.values(), key=_BY_TIMESTAMP, reverse=True)
+            del by_age[cap:]
+            self.rss[target] = {r.node_id: r for r in by_age}
 
     def _expire(self, now: float) -> None:
         assert self.expiry is not None
         horizon = now - self.expiry
-        for i, rss in self.rss.items():
+        for rss in self.rss.values():
             dead = [nid for nid, rec in rss.items() if rec.timestamp < horizon]
             for nid in dead:
                 del rss[nid]

@@ -15,9 +15,14 @@ out, joining nodes bootstrap from a random live seed.
 
 from __future__ import annotations
 
+from operator import itemgetter
+
 import numpy as np
 
 __all__ = ["NewscastOverlay"]
+
+#: C-level sort key for freshness ordering (hot path).
+_BY_FRESHNESS = itemgetter(1)
 
 
 class NewscastOverlay:
@@ -48,6 +53,12 @@ class NewscastOverlay:
         self.live: set[int] = set(node_ids)
         # cache[i] : dict peer_id -> freshness timestamp
         self.cache: dict[int, dict[int, float]] = {i: {} for i in node_ids}
+        # Membership version + per-node live-peer memo: several protocols
+        # sample the same node between shuffles (epidemic then aggregation
+        # each cycle), so the filtered peer list is reused until any cache
+        # or liveness mutation bumps the version.
+        self._version = 0
+        self._peers_memo: dict[int, tuple[int, list[int]]] = {}
         self._bootstrap_random(node_ids)
 
     # ---------------------------------------------------------------- setup
@@ -67,6 +78,7 @@ class NewscastOverlay:
     # ---------------------------------------------------------------- churn
     def add_node(self, node_id: int, now: float) -> None:
         """Join: bootstrap the cache from a random live seed."""
+        self._version += 1
         self.live.add(node_id)
         cache: dict[int, float] = {}
         candidates = [p for p in self.live if p != node_id]
@@ -76,14 +88,16 @@ class NewscastOverlay:
             cache.pop(node_id, None)
             cache[seed] = now
         self.cache[node_id] = dict(
-            sorted(cache.items(), key=lambda kv: kv[1], reverse=True)[: self.cache_size]
+            sorted(cache.items(), key=_BY_FRESHNESS, reverse=True)[: self.cache_size]
         )
 
     def remove_node(self, node_id: int) -> None:
         """Leave: the node's cache dies with it; remote descriptors of it
         age out naturally (no global purge — matching real gossip)."""
+        self._version += 1
         self.live.discard(node_id)
         self.cache.pop(node_id, None)
+        self._peers_memo.pop(node_id, None)
 
     # ---------------------------------------------------------------- cycle
     def run_cycle(self, now: float) -> None:
@@ -93,20 +107,26 @@ class NewscastOverlay:
         union of their caches plus fresh descriptors of each other, keeping
         the freshest ``cache_size`` entries.
         """
-        order = np.fromiter(self.live, dtype=np.int64, count=len(self.live))
+        live = self.live
+        order = np.fromiter(live, dtype=np.int64, count=len(live))
         self.rng.shuffle(order)
-        for i in order:
-            i = int(i)
+        for i in order.tolist():
             cache = self.cache.get(i)
             if cache is None:
                 continue
-            live_peers = [p for p in cache if p in self.live]
+            # Fast path: with no dead descriptors every entry qualifies
+            # (C-level superset check; identical list to the filter below).
+            if live.issuperset(cache):
+                live_peers = list(cache)
+            else:
+                live_peers = [p for p in cache if p in live]
             if not live_peers:
                 # Degenerate cache (all entries churned out): reseed.
-                candidates = [p for p in self.live if p != i]
+                candidates = [p for p in live if p != i]
                 if candidates:
                     p = int(self.rng.choice(np.asarray(candidates, dtype=np.int64)))
                     cache[p] = now
+                    self._version += 1
                 continue
             j = live_peers[int(self.rng.integers(len(live_peers)))]
             self._shuffle_pair(i, j, now)
@@ -114,35 +134,64 @@ class NewscastOverlay:
     def _shuffle_pair(self, i: int, j: int, now: float) -> None:
         ci, cj = self.cache[i], self.cache[j]
         merged: dict[int, float] = dict(ci)
+        merged_get = merged.get
         for p, ts in cj.items():
-            if p not in merged or ts > merged[p]:
+            cur = merged_get(p)
+            if cur is None or ts > cur:
                 merged[p] = ts
         merged[i] = now
         merged[j] = now
-        keep = sorted(merged.items(), key=lambda kv: kv[1], reverse=True)
+        keep = sorted(merged.items(), key=_BY_FRESHNESS, reverse=True)
+        cache_size = self.cache_size
         new_i: dict[int, float] = {}
         new_j: dict[int, float] = {}
+        ni = nj = 0
         for p, ts in keep:
-            if p != i and len(new_i) < self.cache_size:
+            if ni >= cache_size and nj >= cache_size:
+                break
+            if p != i and ni < cache_size:
                 new_i[p] = ts
-            if p != j and len(new_j) < self.cache_size:
+                ni += 1
+            if p != j and nj < cache_size:
                 new_j[p] = ts
+                nj += 1
         self.cache[i] = new_i
         self.cache[j] = new_j
+        self._version += 1
 
     # -------------------------------------------------------------- sampling
     def sample(self, node_id: int, k: int) -> list[int]:
         """Return up to ``k`` distinct random live peers from the cache."""
-        cache = self.cache.get(node_id)
-        if not cache:
-            return []
-        peers = [p for p in cache if p in self.live and p != node_id]
+        memo = self._peers_memo.get(node_id)
+        if memo is not None and memo[0] == self._version:
+            peers = memo[1]
+        else:
+            cache = self.cache.get(node_id)
+            if not cache:
+                return []
+            live = self.live
+            if live.issuperset(cache):
+                # Fast path (no dead descriptors); a node never caches
+                # itself, but keep the self-filter for robustness to
+                # hand-built caches.
+                peers = [p for p in cache if p != node_id]
+            else:
+                peers = [p for p in cache if p in live and p != node_id]
+            self._peers_memo[node_id] = (self._version, peers)
         if not peers:
             return []
         if len(peers) <= k:
             return peers
+        if k == 1:
+            # Stream-identical fast path: Generator.choice(n, size=1,
+            # replace=False) consumes exactly one bounded draw (Floyd's
+            # algorithm with an empty exclusion set and no tail shuffle),
+            # so a direct integers() call replays the same value while
+            # skipping choice()'s per-call setup — this is the
+            # once-per-node-per-cycle aggregation pairing.
+            return [peers[int(self.rng.integers(0, len(peers)))]]
         idx = self.rng.choice(len(peers), size=k, replace=False)
-        return [peers[int(t)] for t in idx]
+        return [peers[t] for t in idx.tolist()]
 
     def known_live(self, node_id: int) -> list[int]:
         """All live peers currently in the node's cache."""

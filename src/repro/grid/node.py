@@ -35,6 +35,22 @@ class PeerNode:
         never volatile, matching §IV.B).
     """
 
+    __slots__ = (
+        "nid",
+        "capacity",
+        "is_home",
+        "volatile",
+        "alive",
+        "epoch",
+        "ready",
+        "running",
+        "completion_event",
+        "suspended_remaining",
+        "tasks_executed",
+        "busy_time",
+        "_load_cache",
+    )
+
     def __init__(self, nid: int, capacity: float, is_home: bool = True, volatile: bool = False):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -53,6 +69,10 @@ class PeerNode:
         # counters for diagnostics
         self.tasks_executed = 0
         self.busy_time = 0.0
+        #: Memoized ``total_load`` (None = recompute).  The gossip layer
+        #: reads the load of every live node every cycle, most of which are
+        #: idle between events; every ready/running mutation invalidates.
+        self._load_cache: Optional[float] = None
 
     # -------------------------------------------------------------- queries
     def total_load(self) -> float:
@@ -61,15 +81,40 @@ class PeerNode:
         The paper estimates queueing *conservatively* with full task loads,
         so the running task contributes its whole load too.
         """
-        load = self.running.load if self.running is not None else 0.0
-        for d in self.ready:
-            load += d.load
-        return load
+        cached = self._load_cache
+        if cached is None:
+            cached = self.running.load if self.running is not None else 0.0
+            for d in self.ready:
+                cached += d.load
+            self._load_cache = cached
+        return cached
+
+    def invalidate_load(self) -> None:
+        """Drop the memoized total load (call after any out-of-band
+        mutation of ``ready``/``running``, e.g. churn cleanup)."""
+        self._load_cache = None
 
     def runnable_tasks(self) -> list[TaskDispatch]:
         """Ready-set tasks whose image and dependent data have all arrived
         (§II.A step 9: only those can be selected for execution)."""
         return [d for d in self.ready if d.runnable]
+
+    def poll_runnable(self) -> list[TaskDispatch]:
+        """One-pass phase-2 scan: the runnable tasks, with lazily cancelled
+        entries pruned from the ready set along the way (replaces the old
+        separate any()/filter/runnable passes on the hot path)."""
+        ready = self.ready
+        runnable: list[TaskDispatch] = []
+        saw_cancelled = False
+        for d in ready:
+            if d.cancelled:
+                saw_cancelled = True
+            elif d.pending_inputs == 0 and d.start_time is None:
+                runnable.append(d)
+        if saw_cancelled:
+            self.ready = [d for d in ready if not d.cancelled]
+            self._load_cache = None
+        return runnable
 
     @property
     def busy(self) -> bool:
@@ -80,6 +125,7 @@ class PeerNode:
     def enqueue(self, dispatch: TaskDispatch) -> None:
         """Phase 1 migrated a task here: add it to the ready set."""
         self.ready.append(dispatch)
+        self._load_cache = None
 
     def remove(self, dispatch: TaskDispatch) -> None:
         """Drop a (cancelled) dispatch from the ready set if present."""
@@ -87,6 +133,8 @@ class PeerNode:
             self.ready.remove(dispatch)
         except ValueError:
             pass
+        else:
+            self._load_cache = None
 
     def start(self, dispatch: TaskDispatch, now: float) -> float:
         """Assign the CPU to ``dispatch``; returns its execution time."""
@@ -100,6 +148,10 @@ class PeerNode:
         self.ready.remove(dispatch)
         dispatch.start_time = now
         self.running = dispatch
+        # The load *value* is unchanged, but a fresh summation would now
+        # start from the running task — different float association — so
+        # the memo must be recomputed, not kept.
+        self._load_cache = None
         et = dispatch.load / self.capacity
         self.busy_time += et
         return et
@@ -112,6 +164,7 @@ class PeerNode:
         d.finish_time = now
         self.running = None
         self.completion_event = None
+        self._load_cache = None
         self.tasks_executed += 1
         return d
 
@@ -124,6 +177,7 @@ class PeerNode:
         self.running = None
         self.completion_event = None
         self.suspended_remaining = None
+        self._load_cache = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self.alive else "dead"

@@ -32,7 +32,7 @@ class WorkflowStatus(enum.Enum):
     FAILED = "failed"
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskDispatch:
     """A task migrated to a resource node, waiting in its ready set.
 
@@ -41,7 +41,9 @@ class TaskDispatch:
     computed at dispatch time; the phase-2 policy of the same algorithm
     bundle reads the matching stamp.  ``pending_inputs`` counts transfers
     (image + dependent data) still in flight; the task becomes *runnable*
-    when it reaches zero.
+    when it reaches zero.  ``slots=True``: dispatches are the highest-volume
+    mutable state object (one per migrated task, touched by every phase-2
+    scan), so attribute access stays dict-free.
     """
 
     wid: str
@@ -93,6 +95,21 @@ class WorkflowExecution:
         denominator baseline of the efficiency metric.
     """
 
+    __slots__ = (
+        "wf",
+        "home_id",
+        "submit_time",
+        "eft",
+        "status",
+        "completion_time",
+        "failure_reason",
+        "finished",
+        "dispatched",
+        "_pending_precs",
+        "schedule_points",
+        "_inputs_cache",
+    )
+
     def __init__(self, wf: Workflow, home_id: int, submit_time: float, eft: float):
         self.wf = wf
         self.home_id = home_id
@@ -113,6 +130,9 @@ class WorkflowExecution:
         self.schedule_points: set[int] = {
             tid for tid, n in self._pending_precs.items() if n == 0
         }
+        #: tid -> cached ``inputs_for`` result; valid while the precedents'
+        #: locations stand (cleared wholesale on churn invalidation).
+        self._inputs_cache: dict[int, list[tuple[int, float]]] = {}
 
     # --------------------------------------------------------------- events
     def mark_dispatched(self, tid: int) -> None:
@@ -148,6 +168,10 @@ class WorkflowExecution:
     def invalidate_task(self, tid: int) -> None:
         """Rescheduling extension: forget a previously finished/dispatched
         task (its node churned out), restoring precedence bookkeeping."""
+        # Churn moved/erased finished outputs: every cached input-location
+        # list is suspect, so drop them all (churn is rare; the cache is a
+        # steady-state optimization).
+        self._inputs_cache.clear()
         if tid in self.finished:
             del self.finished[tid]
             for s in self.wf.successors[tid]:
@@ -170,12 +194,19 @@ class WorkflowExecution:
     def inputs_for(self, tid: int) -> list[tuple[int, float]]:
         """``(source_node, megabits)`` per dependent-data edge into ``tid``.
 
-        Only valid for schedule points (all precedents finished).
+        Only valid for schedule points (all precedents finished).  The
+        result is cached — a schedule point's precedent locations are
+        frozen until churn invalidation — and must be treated as
+        read-only by callers.
         """
-        out = []
-        for p, data in self.wf.precedents[tid].items():
-            if data > 0.0:
-                out.append((self.finished[p][0], data))
+        out = self._inputs_cache.get(tid)
+        if out is None:
+            out = []
+            finished = self.finished
+            for p, data in self.wf.precedents[tid].items():
+                if data > 0.0:
+                    out.append((finished[p][0], data))
+            self._inputs_cache[tid] = out
         return out
 
     def completion_duration(self) -> Optional[float]:

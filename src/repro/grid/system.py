@@ -211,6 +211,11 @@ class P2PGridSystem:
         )
         self._fullahead_plan = None
         self._ran = False
+        # Static per-node arrays for full-ahead GlobalViews: ids and
+        # capacities never change mid-run, so submit-time (re)planning only
+        # refreshes the load vector instead of rebuilding everything.
+        self._node_ids_arr = np.asarray([n.nid for n in self.nodes], dtype=np.int64)
+        self._capacities_arr = np.asarray([n.capacity for n in self.nodes])
 
     # ------------------------------------------------------------------ setup
     def _node_state(self, nid: int) -> tuple[float, float]:
@@ -443,10 +448,9 @@ class P2PGridSystem:
         """Algorithm 2: assign the CPU when it is free (paper step 4/9)."""
         if not node.alive or node.busy:
             return
-        # Lazily drop cancelled entries so ready sets stay small.
-        if any(d.cancelled for d in node.ready):
-            node.ready = [d for d in node.ready if not d.cancelled]
-        runnable = node.runnable_tasks()
+        # Single pass: collect runnable tasks and lazily prune cancelled
+        # entries so ready sets stay small.
+        runnable = node.poll_runnable()
         if not runnable:
             return
         dispatch = self.bundle.phase2.select(runnable, self.sim.now)
@@ -506,11 +510,9 @@ class P2PGridSystem:
         ]
         if not wxs:
             return
-        ids = np.asarray([n.nid for n in self.nodes], dtype=np.int64)
-        caps = np.asarray([n.capacity for n in self.nodes])
         view = GlobalView(
-            node_ids=ids,
-            capacities=caps,
+            node_ids=self._node_ids_arr,
+            capacities=self._capacities_arr,
             bandwidth=self.topology._bandwidth,
             latency=self.topology._latency,
             avg_capacity=self._oracle_avg_capacity,
@@ -647,6 +649,7 @@ class P2PGridSystem:
         node.ready.clear()
         node.running = None
         node.completion_event = None
+        node.invalidate_load()
         self.transfers.cancel_inbound(nid)
         self.overlay.remove_node(nid)
         self.epidemic.remove_node(nid)

@@ -1,0 +1,27 @@
+"""Performance harness: timed end-to-end scenarios with machine-readable
+reports (``repro bench``).
+
+See :mod:`repro.perf.bench` for the scenario presets and the report schema.
+"""
+
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    BenchScenario,
+    DEFAULT_REPORT_NAME,
+    bench_scenario_names,
+    get_bench_scenario,
+    run_bench,
+    validate_report,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchScenario",
+    "DEFAULT_REPORT_NAME",
+    "bench_scenario_names",
+    "get_bench_scenario",
+    "run_bench",
+    "validate_report",
+    "write_report",
+]

@@ -108,6 +108,24 @@ class Simulator:
         heapq.heappush(self._heap, (ev.time, ev.seq, ev))
         return ev
 
+    def reschedule(self, event: Event, delay: float) -> Event:
+        """Re-arm a *fired* event ``delay`` seconds from now, reusing the
+        object (allocation-free re-arm for periodic drivers).
+
+        The caller must guarantee the event is no longer in the queue —
+        i.e. its callback has just run.  Sequence numbers are consumed
+        exactly as :meth:`schedule` would, so same-instant ordering is
+        unchanged; only the ``Event`` allocation is saved.
+        """
+        if delay < 0:
+            raise SimulatorError(f"cannot schedule into the past (delay={delay})")
+        event.time = self._now + delay
+        event.seq = self._seq
+        event.cancelled = False
+        self._seq += 1
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
     # ------------------------------------------------------------------- run
     def step(self) -> bool:
         """Execute the single next pending event.

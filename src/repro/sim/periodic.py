@@ -60,8 +60,10 @@ class PeriodicActivity:
         cycle = self.cycle
         self.cycle += 1
         # Re-arm before the callback so a callback exception cannot silently
-        # kill the activity, and so callbacks may stop() the activity.
-        self._event = self.sim.schedule(self.period, self._fire, label=self.label)
+        # kill the activity, and so callbacks may stop() the activity.  The
+        # event object just fired, so it can be reused in place
+        # (allocation-free re-arm; seq consumption is identical).
+        self._event = self.sim.reschedule(self._event, self.period)
         self.callback(cycle)
 
     def stop(self) -> None:

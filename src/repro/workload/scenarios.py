@@ -111,6 +111,15 @@ register_scenario(
     diurnal_period=86400.0,
 )
 register_scenario(
+    "fig11-grid",
+    "Fig. 11-style scalability setting: a large grid (4x the bench node "
+    "count, lighter per-node load) with Table I workflows batch submitted "
+    "— the preset the perf harness uses to time the hot path at scale.",
+    n_nodes=240,
+    load_factor=1,
+    total_time=12 * 3600.0,
+)
+register_scenario(
     "structured-mix",
     "Chain, fork-join, diamond and montage-like workflows in rotation, "
     "sizes drawn from the Table I ranges, batch submitted.",

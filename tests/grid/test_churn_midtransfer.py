@@ -1,0 +1,135 @@
+"""Churn regression: a node departing mid-transfer cancels everything once.
+
+The perf optimizations lean on the kernel's lazy event deletion (cancelled
+events stay heap-resident) and on ready-set pruning; this pins the exact
+cancellation contract: when a node churns out in ``fail`` mode, its
+in-flight inbound transfers and its execution event are each cancelled
+*exactly once*, its dispatches are cancelled, and a second ``kill_node``
+is a strict no-op.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.grid.system import P2PGridSystem
+from repro.sim.engine import Event
+
+
+@pytest.fixture
+def cancel_counter(monkeypatch):
+    """Count Event.cancel() invocations per event object."""
+    counts: dict[int, int] = {}
+    orig = Event.cancel
+
+    def counting(self):
+        counts[id(self)] = counts.get(id(self), 0) + 1
+        return orig(self)
+
+    monkeypatch.setattr(Event, "cancel", counting)
+    return counts
+
+
+def _run_and_kill_midtransfer():
+    """Full run with an in-sim probe that kills the first node caught with
+    transfers in flight (exactly how the churn process operates).
+
+    Returns ``(system, result, captured)`` where ``captured`` holds the
+    victim state snapshotted at the kill instant.
+    """
+    config = ExperimentConfig(
+        n_nodes=24,
+        load_factor=2,
+        total_time=24 * 3600.0,
+        seed=3,
+        task_range=(4, 16),
+        data_range=(2000.0, 8000.0),  # big payloads -> long transfers
+        churn_mode="fail",
+    )
+    system = P2PGridSystem(config)
+    captured: dict = {}
+
+    def probe():
+        if captured:
+            return
+        for node in system.nodes:
+            if node.alive and system.transfers.active_count(node.nid) > 0:
+                transfers = list(system.transfers.inbound[node.nid])
+                captured["node"] = node
+                captured["kill_time"] = system.sim.now
+                captured["transfer_events"] = [
+                    tr.event for tr in transfers if tr.event is not None
+                ]
+                captured["exec_event"] = node.completion_event
+                captured["resident"] = list(node.ready) + (
+                    [node.running] if node.running else []
+                )
+                system.kill_node(node.nid)
+                # Immediate post-kill state, before any other event runs:
+                captured["post_ready"] = list(node.ready)
+                captured["post_running"] = node.running
+                captured["post_completion_event"] = node.completion_event
+                captured["post_active"] = system.transfers.active_count(node.nid)
+                captured["second_cancel_count"] = system.transfers.cancel_inbound(
+                    node.nid
+                )
+                return
+        system.sim.schedule(60.0, probe, label="probe")
+
+    system.sim.schedule(60.0, probe, label="probe")
+    result = system.run()
+    assert captured, "no mid-transfer moment found; scenario needs retuning"
+    return system, result, captured
+
+
+def test_kill_mid_transfer_cancels_each_event_exactly_once(cancel_counter):
+    system, _, cap = _run_and_kill_midtransfer()
+    node = cap["node"]
+
+    assert not node.alive
+    assert cap["transfer_events"], "victim should have armed transfer events"
+    # Every in-flight inbound transfer event: cancelled exactly once.
+    for ev in cap["transfer_events"]:
+        assert ev.cancelled
+        assert cancel_counter[id(ev)] == 1
+    # The execution event (if the CPU was busy): cancelled exactly once.
+    if cap["exec_event"] is not None:
+        assert cap["exec_event"].cancelled
+        assert cancel_counter[id(cap["exec_event"])] == 1
+    # Transfer bookkeeping was gone immediately; the second cancel pass at
+    # the kill instant found nothing left to cancel.
+    assert cap["post_active"] == 0
+    assert cap["second_cancel_count"] == 0
+    # Resident dispatches are cancelled (the flag the lazy ready-set
+    # pruning relies on) and the node was emptied at the kill instant.
+    for dispatch in cap["resident"]:
+        assert dispatch.cancelled
+    assert cap["post_ready"] == [] and cap["post_running"] is None
+    assert cap["post_completion_event"] is None
+
+    # kill_node is idempotent: nothing new gets cancelled on a second call.
+    before = dict(cancel_counter)
+    system.kill_node(node.nid)
+    assert cancel_counter == before
+
+
+def test_simulation_survives_and_finishes_after_midrun_kill():
+    system, result, cap = _run_and_kill_midtransfer()
+    node = cap["node"]
+    owners = {d.wid for d in cap["resident"]}
+    assert owners, "victim should have held at least one dispatch"
+    # Owning workflows failed (fail churn mode, no rescheduling), with the
+    # churn reason recorded; the rest of the system kept going.
+    for wid in owners:
+        wx = system.executions[wid]
+        assert wx.status.value == "failed"
+        assert "churned node" in wx.failure_reason
+    assert result.n_failed >= len(owners)
+    assert result.n_done > 0, "unaffected workflows must still complete"
+    # The dead node never executed anything after the kill instant.
+    assert all(
+        d.finish_time is None or d.finish_time <= cap["kill_time"]
+        for d in cap["resident"]
+    )
+    assert node.running is None and node.completion_event is None

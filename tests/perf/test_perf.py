@@ -1,0 +1,131 @@
+"""Tests for the performance harness (``repro.perf`` / ``repro bench``)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    bench_scenario_names,
+    get_bench_scenario,
+    run_bench,
+    validate_report,
+    write_report,
+)
+
+
+def test_scenario_registry_names():
+    names = bench_scenario_names()
+    assert names == ["paper-fig4", "poisson-steady", "fig11-grid"]
+    with pytest.raises(ValueError, match="unknown bench scenario"):
+        get_bench_scenario("nope")
+
+
+def test_scenario_configs_build_both_sizes():
+    for name in bench_scenario_names():
+        sc = get_bench_scenario(name)
+        full = sc.config(quick=False)
+        quick = sc.config(quick=True)
+        assert quick.n_nodes <= full.n_nodes
+        assert quick.total_time <= full.total_time
+    assert get_bench_scenario("fig11-grid").config().n_nodes == 240
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    """One timed quick run of the smallest scenario, shared by the tests."""
+    return run_bench(scenarios=["paper-fig4"], quick=True, profile_top=5)
+
+
+def test_run_bench_produces_valid_report(quick_report):
+    assert validate_report(quick_report) == []
+    assert quick_report["schema"] == BENCH_SCHEMA
+    [entry] = quick_report["scenarios"]
+    assert entry["name"] == "paper-fig4"
+    assert entry["quick"] is True
+    assert entry["events"] > 0
+    assert entry["wall_seconds"] > 0
+    assert entry["events_per_sec"] > 0
+    assert entry["n_done"] <= entry["n_workflows"]
+    assert entry["peak_rss_kb"] is None or entry["peak_rss_kb"] > 0
+    # cProfile integration: repo functions captured
+    assert entry["profile_top"], "profile_top requested but empty"
+    assert all("function" in row and "cumtime" in row for row in entry["profile_top"])
+
+
+def test_speedup_against_baseline(quick_report):
+    report = run_bench(scenarios=["paper-fig4"], quick=True, baseline=quick_report)
+    assert "paper-fig4" in report["speedup"]
+    assert report["speedup"]["paper-fig4"] > 0
+    assert report["baseline"]["scenarios"]["paper-fig4"]["wall_seconds"] > 0
+    # Same config, same code: the simulated outcome must be identical.
+    assert (
+        report["scenarios"][0]["result_digest"]
+        == quick_report["scenarios"][0]["result_digest"]
+    )
+
+
+def test_baseline_quick_mismatch_yields_no_speedup(quick_report):
+    full_shaped = {
+        "version": "x",
+        "scenarios": [
+            {**quick_report["scenarios"][0], "quick": False}
+        ],
+    }
+    report = run_bench(scenarios=["paper-fig4"], quick=True, baseline=full_shaped)
+    assert report["speedup"] == {}
+
+
+def test_validate_report_catches_problems():
+    assert validate_report({}) != []
+    assert validate_report({"schema": BENCH_SCHEMA, "scenarios": []}) != []
+    bad_entry = {"schema": BENCH_SCHEMA, "scenarios": [{"name": "x"}]}
+    problems = validate_report(bad_entry)
+    assert any("missing" in p for p in problems)
+
+
+def test_write_report_roundtrip(tmp_path, quick_report):
+    path = write_report(quick_report, tmp_path / "BENCH_TEST.json")
+    loaded = json.loads(path.read_text())
+    assert validate_report(loaded) == []
+    assert loaded["scenarios"][0]["events"] == quick_report["scenarios"][0]["events"]
+
+
+def test_cli_bench_quick(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    rc = main([
+        "bench", "--quick", "--scenarios", "paper-fig4",
+        "--output", "BENCH_CLI.json", "--quiet",
+    ])
+    assert rc == 0
+    assert os.path.exists(tmp_path / "BENCH_CLI.json")
+    report = json.loads((tmp_path / "BENCH_CLI.json").read_text())
+    assert validate_report(report) == []
+    out = capsys.readouterr().out
+    assert "BENCH_CLI.json" in out
+
+
+def test_cli_bench_unknown_scenario(tmp_path):
+    with pytest.raises(SystemExit, match="unknown bench scenario"):
+        main([
+            "bench", "--quick", "--scenarios", "paper-fig4", "bogus",
+            "--output", str(tmp_path / "b.json"),
+        ])
+
+
+def test_run_bench_rejects_unknown_scenario_before_timing():
+    with pytest.raises(ValueError, match="unknown bench scenario"):
+        run_bench(scenarios=["bogus", "paper-fig4"], quick=True)
+
+
+def test_cli_bench_bad_baseline(tmp_path):
+    with pytest.raises(SystemExit, match="cannot read baseline"):
+        main([
+            "bench", "--quick", "--scenarios", "paper-fig4",
+            "--output", str(tmp_path / "b.json"),
+            "--baseline", str(tmp_path / "missing.json"),
+        ])

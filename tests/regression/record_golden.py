@@ -1,0 +1,53 @@
+"""Re-record the golden determinism fingerprints.
+
+Usage::
+
+    PYTHONPATH=src python tests/regression/record_golden.py
+
+Only run this when a PR *intentionally* changes simulation semantics (new
+event ordering, different RNG consumption, a model fix); performance
+refactors must replay the existing file bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from regression.golden import GOLDEN_PATH, golden_specs  # noqa: E402
+
+from repro.experiments.campaign import result_digest  # noqa: E402
+from repro.grid.system import P2PGridSystem  # noqa: E402
+
+
+def main() -> int:
+    fingerprints: dict[str, str] = {}
+    t0 = time.perf_counter()
+    for key, config in golden_specs():
+        t1 = time.perf_counter()
+        result = P2PGridSystem(config).run()
+        digest = result_digest(result)
+        fingerprints[key] = digest
+        print(f"  {key:30s} {digest[:16]}  ({time.perf_counter() - t1:.2f}s, "
+              f"{result.events_executed} events)")
+    payload = {
+        "_comment": (
+            "Golden determinism fingerprints (result_digest per cell), "
+            "recorded before the PR 3 hot-path optimizations. Regenerate "
+            "only for intentional semantic changes: "
+            "PYTHONPATH=src python tests/regression/record_golden.py"
+        ),
+        "fingerprints": fingerprints,
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(fingerprints)} cells, "
+          f"{time.perf_counter() - t0:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

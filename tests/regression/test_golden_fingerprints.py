@@ -1,0 +1,61 @@
+"""Golden-fingerprint regression harness.
+
+Replays the recorded grid (4 bundles × 2 seeds × 2 scenarios) and asserts
+every cell's :func:`result_digest` is bit-identical to the file recorded
+*before* the hot-path optimizations.  This is the safety net that lets this
+PR — and every future perf refactor — touch the scheduling core: a change
+to a single scheduled event, RNG draw, or metric sample fails here.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from regression.golden import GOLDEN_PATH, golden_config, golden_specs, load_golden
+
+from repro.experiments.campaign import result_digest
+from repro.grid.system import P2PGridSystem
+
+_KEYS = [key for key, _ in golden_specs()]
+
+
+def test_golden_file_covers_the_full_grid():
+    recorded = load_golden()["fingerprints"]
+    assert sorted(recorded) == sorted(_KEYS), (
+        "golden_fingerprints.json is out of sync with the spec grid; "
+        "re-record via tests/regression/record_golden.py"
+    )
+
+
+@pytest.mark.parametrize("key", _KEYS)
+def test_replay_matches_golden_fingerprint(key):
+    recorded = load_golden()["fingerprints"][key]
+    algorithm, rest = key.split("#s", 1)
+    seed, scenario = rest.split("@", 1)
+    config = golden_config(algorithm, int(seed), scenario)
+    result = P2PGridSystem(config).run()
+    assert result_digest(result) == recorded, (
+        f"{key} no longer replays bit-identically to the recorded golden "
+        f"fingerprint ({GOLDEN_PATH}). If this PR intentionally changes "
+        "simulation semantics, re-record the goldens and call it out in the "
+        "PR description; a pure performance refactor must never trip this."
+    )
+
+
+def test_digest_is_sensitive_to_outcome_changes():
+    """The digest actually covers outcomes (guards against a vacuous file)."""
+    import dataclasses
+
+    config = golden_config("dsmf", 1, "paper-fig4")
+    result = P2PGridSystem(config).run()
+    base = result_digest(result)
+    rec = result.records[0]
+    result.records[0] = dataclasses.replace(
+        rec, completion_time=(rec.completion_time or 0.0) + 1.0
+    )
+    assert result_digest(result) != base

@@ -1,0 +1,168 @@
+"""Edge cases of the event kernel the hot-path optimizations lean on.
+
+The lazy-deletion and allocation-free-re-arm machinery only works if the
+kernel's corner semantics are pinned down: cancelling an event that already
+popped, zero-delay self-rescheduling, strict ``seq`` ordering at equal
+instants, past scheduling, and ``reschedule`` reuse.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator, SimulatorError
+from repro.sim.periodic import PeriodicActivity
+
+
+class TestCancelAfterPop:
+    def test_cancel_own_event_during_callback_is_noop(self):
+        """An event may be cancelled while it is executing (it already
+        popped): the callback still completes, nothing re-fires."""
+        sim = Simulator()
+        fired = []
+        holder = {}
+
+        def cb():
+            holder["ev"].cancel()  # cancel *this* event mid-flight
+            fired.append(sim.now)
+
+        holder["ev"] = sim.schedule(1.0, cb)
+        sim.run()
+        assert fired == [1.0]
+        assert sim.events_executed == 1
+
+    def test_cancel_after_run_completes_is_noop(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.run()
+        ev.cancel()  # already fired; must not blow up or corrupt the queue
+        assert sim.pending() == 0
+        sim.run()  # idempotent
+        assert sim.events_executed == 1
+
+    def test_cancelled_then_rescheduled_event_fires_fresh(self):
+        """reschedule() after a cancel re-arms the same object cleanly."""
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append(sim.now))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+        sim.reschedule(ev, 2.0)
+        assert not ev.cancelled
+        sim.run()
+        assert fired == [2.0]
+
+
+class TestZeroDelaySelfRescheduling:
+    def test_zero_delay_runs_after_events_already_queued_at_now(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: (order.append("a"), sim.schedule(0.0, lambda: order.append("a0"))))
+        sim.schedule(1.0, lambda: order.append("b"))
+        sim.run()
+        # The zero-delay event lands *after* everything already scheduled
+        # for t=1.0, by seq order.
+        assert order == ["a", "b", "a0"]
+
+    def test_zero_delay_chain_terminates_and_keeps_clock(self):
+        sim = Simulator()
+        counter = {"n": 0}
+
+        def reschedule_self():
+            counter["n"] += 1
+            if counter["n"] < 50:
+                sim.schedule(0.0, reschedule_self)
+
+        sim.schedule(5.0, reschedule_self)
+        sim.run()
+        assert counter["n"] == 50
+        assert sim.now == 5.0
+        assert sim.events_executed == 50
+
+    def test_periodic_zero_phase_with_zero_delay_events(self):
+        sim = Simulator()
+        seen = []
+        PeriodicActivity(sim, 10.0, lambda c: seen.append((sim.now, c)), phase=0.0)
+        sim.run(until=25.0)
+        assert seen == [(0.0, 0), (10.0, 1), (20.0, 2)]
+
+
+class TestSameInstantSeqOrdering:
+    def test_interleaved_sources_ordered_by_seq(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append(0))        # seq 0
+        sim.schedule_at(2.0, lambda: order.append(1))     # seq 1
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: order.append(2)))  # seq 3 at t=2
+        sim.schedule(2.0, lambda: order.append(3))        # seq 3? no: seq assigned at schedule time
+        sim.run()
+        # seqs: 0,1,2(inner scheduled later),3 — inner event was created at
+        # t=1 so it carries the *highest* seq and runs last.
+        assert order == [0, 1, 3, 2]
+
+    def test_reschedule_consumes_seq_like_schedule(self):
+        """reschedule() must keep FIFO fairness with fresh events."""
+        sim = Simulator()
+        order = []
+        activity = PeriodicActivity(sim, 1.0, lambda c: order.append(("p", c)))
+        sim.schedule(2.0, lambda: order.append(("x",)))
+        sim.run(until=2.0)
+        # At t=2 the periodic event (re-armed at t=1, earlier seq than...)
+        # — the plain event was scheduled at t=0 with seq 1, the re-arm
+        # happened at t=1 with a later seq, so the plain event runs first.
+        assert order == [("p", 0), ("x",), ("p", 1)]
+        activity.stop()
+
+
+class TestSchedulingInThePast:
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulatorError, match="past"):
+            sim.schedule(-0.001, lambda: None)
+
+    def test_absolute_time_before_now_raises(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulatorError, match="past"):
+            sim.schedule_at(9.999, lambda: None)
+
+    def test_negative_reschedule_raises(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulatorError, match="past"):
+            sim.reschedule(ev, -1.0)
+
+    def test_past_error_raised_from_inside_callback(self):
+        sim = Simulator()
+
+        def cb():
+            sim.schedule_at(sim.now - 1.0, lambda: None)
+
+        sim.schedule(5.0, cb)
+        with pytest.raises(SimulatorError, match="past"):
+            sim.run()
+
+
+class TestRescheduleReuse:
+    def test_periodic_reuses_one_event_object(self):
+        """The allocation-free re-arm really does reuse the Event."""
+        sim = Simulator()
+        events = []
+        activity = PeriodicActivity(sim, 1.0, lambda c: events.append(activity._event))
+        sim.run(until=5.0)
+        assert len(events) == 5
+        assert len({id(e) for e in events}) == 1
+
+    def test_rescheduled_event_updates_time_and_seq(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        first_seq = ev.seq
+        sim.run()
+        sim.reschedule(ev, 3.0)
+        assert ev.time == 4.0
+        assert ev.seq > first_seq
+        fired_at = []
+        ev.callback = lambda: fired_at.append(sim.now)
+        sim.run()
+        assert fired_at == [4.0]
