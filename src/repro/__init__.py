@@ -14,6 +14,8 @@ heuristic — together with every substrate its evaluation depends on:
   rest-path-makespan (RPM) analysis,
 * :mod:`repro.workload` — workload sources × arrival processes and the
   named scenario registry (what is submitted, and when),
+* :mod:`repro.availability` — churn models × recovery policies (who is
+  alive, when — and what happens to tasks lost in a disconnection),
 * :mod:`repro.grid` — the P2P grid runtime (peer nodes, transfers, churn),
 * :mod:`repro.core` — the dual-phase scheduling engine, DSMF, the seven
   comparison heuristics and the full-ahead HEFT/SMF baselines,
@@ -30,6 +32,8 @@ Quickstart::
 from repro._version import __version__
 from repro.api import (
     available_algorithms,
+    available_churn_models,
+    available_recovery_policies,
     available_scenarios,
     quick_run,
     run_campaign,
@@ -39,6 +43,8 @@ from repro.api import (
 __all__ = [
     "__version__",
     "available_algorithms",
+    "available_churn_models",
+    "available_recovery_policies",
     "available_scenarios",
     "quick_run",
     "run_campaign",

@@ -21,6 +21,8 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "available_algorithms",
+    "available_churn_models",
+    "available_recovery_policies",
     "available_scenarios",
     "quick_run",
     "run_campaign",
@@ -37,11 +39,27 @@ def available_algorithms() -> list[str]:
 
 
 def available_scenarios() -> list[str]:
-    """Workload scenario presets accepted by ``quick_run``/``run_campaign``
-    (see :mod:`repro.workload.scenarios`)."""
+    """Scenario presets (workload and availability) accepted by
+    ``quick_run``/``run_campaign`` (see :mod:`repro.workload.scenarios`)."""
     from repro.workload.scenarios import scenario_names
 
     return scenario_names()
+
+
+def available_churn_models() -> list[str]:
+    """Availability models accepted as the ``churn_model`` override
+    (see :mod:`repro.availability.models`)."""
+    from repro.availability.models import churn_model_names
+
+    return churn_model_names()
+
+
+def available_recovery_policies() -> list[str]:
+    """Recovery policies accepted as the ``recovery_policy`` override
+    (see :mod:`repro.availability.recovery`)."""
+    from repro.availability.recovery import recovery_policy_names
+
+    return recovery_policy_names()
 
 
 def run_experiment(config: "ExperimentConfig") -> "RunResult":

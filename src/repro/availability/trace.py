@@ -1,0 +1,116 @@
+"""Availability traces: persist and replay join/leave event logs.
+
+Failure-trace archives (the Failure Trace Archive, Grid'5000 logs, the
+SETI@home availability dumps mined by Guazzone 2014) describe resource
+dynamics as timestamped per-node *sessions* — exactly a sequence of join
+and leave events.  This module is the repro-side interchange format for
+that shape: a JSON list of ``[time, node, kind]`` rows.
+
+Every simulation records its realized availability events
+(:attr:`repro.grid.system.P2PGridSystem.availability_events`), so any
+churn model's output can be saved with :func:`save_availability_trace`
+and replayed bit-compatibly through
+:class:`repro.availability.models.TraceChurn` — the availability analogue
+of the workload layer's submission traces.
+
+All values are normalized to plain Python ``float``/``int``/``str`` at
+the save boundary: numpy scalars do not survive a JSON round-trip (and
+``revive_node`` lookups must never see ``np.int64`` keys), so the trace
+layer is strict about types.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "AvailabilityEvent",
+    "TRACE_SCHEMA",
+    "load_availability_trace",
+    "save_availability_trace",
+]
+
+#: Bump when the on-disk trace layout changes.
+TRACE_SCHEMA = 1
+
+#: Recognized event kinds.
+_KINDS = ("leave", "join")
+
+
+@dataclass(frozen=True)
+class AvailabilityEvent:
+    """One availability transition: ``node`` leaves or (re)joins at ``time``."""
+
+    time: float
+    node: int
+    kind: str  # "leave" | "join"
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"availability event at negative time {self.time}")
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown availability event kind {self.kind!r}; "
+                f"expected one of {_KINDS}"
+            )
+
+
+def save_availability_trace(
+    events: Iterable[AvailabilityEvent], path: "str | Path"
+) -> Path:
+    """Write an event log as JSON; returns the path.
+
+    Times and node ids are coerced to plain ``float``/``int`` so logs
+    assembled from numpy-sampled models serialize cleanly.
+    """
+    rows = [[float(e.time), int(e.node), str(e.kind)] for e in events]
+    payload = {"schema": TRACE_SCHEMA, "events": rows}
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out
+
+
+def load_availability_trace(path: "str | Path") -> list[AvailabilityEvent]:
+    """Read a trace written by :func:`save_availability_trace`.
+
+    Events keep file order (the replay scheduler preserves it for
+    same-instant events), and must be non-decreasing in time.
+    """
+    p = Path(path)
+    if not p.is_file():
+        raise ValueError(f"availability trace not found: {p}")
+    try:
+        payload = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{p} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "events" not in payload:
+        raise ValueError(f"{p}: expected an object with an 'events' list")
+    if payload.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"{p}: unsupported trace schema {payload.get('schema')!r} "
+            f"(expected {TRACE_SCHEMA})"
+        )
+    rows = payload["events"]
+    if not isinstance(rows, list):
+        raise ValueError(f"{p}: 'events' must be a list")
+    events: list[AvailabilityEvent] = []
+    last_t = 0.0
+    for i, row in enumerate(rows):
+        if not (isinstance(row, Sequence) and len(row) == 3):
+            raise ValueError(f"{p}: event #{i} is not a [time, node, kind] row")
+        t, node, kind = row
+        if not isinstance(t, (int, float)) or isinstance(t, bool):
+            raise ValueError(f"{p}: event #{i} has non-numeric time {t!r}")
+        if not isinstance(node, int) or isinstance(node, bool):
+            raise ValueError(f"{p}: event #{i} has non-integer node {node!r}")
+        ev = AvailabilityEvent(time=float(t), node=int(node), kind=str(kind))
+        if ev.time < last_t:
+            raise ValueError(
+                f"{p}: event #{i} goes back in time ({ev.time} < {last_t})"
+            )
+        last_t = ev.time
+        events.append(ev)
+    return events

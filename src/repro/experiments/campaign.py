@@ -55,7 +55,9 @@ __all__ = [
 #: Bump to invalidate every existing cache entry when the stored layout or
 #: the simulation semantics change without a version bump.
 #: 2: submission moved to the repro.workload subsystem (new config fields).
-CACHE_SCHEMA = 2
+#: 3: repro.availability subsystem (churn_model/recovery_policy fields,
+#:    availability series on RunResult).
+CACHE_SCHEMA = 3
 
 def default_cache_dir() -> Path:
     """Default on-disk cache location (read per call, so tests/notebooks
@@ -68,12 +70,13 @@ def default_cache_dir() -> Path:
 # --------------------------------------------------------------------------
 
 def _workload_path_digest(path_str: str) -> str:
-    """Content digest of the file(s) behind ``workload_path``.
+    """Content digest of the file(s) behind a path-valued config field.
 
-    Path-backed workloads (imported DAGs, submission traces) must key the
-    cache by what the files *contain*, not just their name — otherwise
-    editing a DAG silently replays stale cached results.  Missing paths
-    hash to a marker (the run itself will fail with the real error).
+    Path-backed inputs (imported DAGs, submission traces, availability
+    traces) must key the cache by what the files *contain*, not just
+    their name — otherwise editing a file silently replays stale cached
+    results.  Missing paths hash to a marker (the run itself will fail
+    with the real error).
     """
     path = Path(path_str)
     h = hashlib.sha256()
@@ -105,12 +108,14 @@ def config_hash(config: "ExperimentConfig | Mapping") -> str:
         config.describe() if isinstance(config, ExperimentConfig) else dict(config)
     )
     wpath = payload.get("workload_path")
+    apath = payload.get("availability_path")
     blob = json.dumps(
         {
             "schema": CACHE_SCHEMA,
             "version": __version__,
             "config": payload,
             "workload_files": _workload_path_digest(wpath) if wpath else None,
+            "availability_files": _workload_path_digest(apath) if apath else None,
         },
         sort_keys=True,
         separators=(",", ":"),

@@ -32,7 +32,13 @@ import ast
 import sys
 from typing import Sequence
 
-from repro.api import available_algorithms, available_scenarios, quick_run
+from repro.api import (
+    available_algorithms,
+    available_churn_models,
+    available_recovery_policies,
+    available_scenarios,
+    quick_run,
+)
 from repro.experiments.config import ScaleProfile
 from repro.experiments.figures import FIGURES, table1_settings
 from repro.experiments.report import ascii_plot, ascii_table, write_series_csv, write_table_csv
@@ -70,6 +76,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="DAG file/directory or submission trace (for the "
              "imported-dag / trace-replay scenarios)",
     )
+    run.add_argument(
+        "--churn-model", default=None, choices=available_churn_models(),
+        help="availability model driving node joins/leaves "
+             "(default paper-interval; see repro.availability)",
+    )
+    run.add_argument(
+        "--recovery", default=None, choices=available_recovery_policies(),
+        help="fate of tasks lost in churn_mode=fail "
+             "(fail | reschedule | checkpoint)",
+    )
 
     camp = sub.add_parser(
         "campaign",
@@ -92,6 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
              "(--set overrides win; see `repro scenarios`)",
     )
     camp.add_argument(
+        "--churn-model", default=None, choices=available_churn_models(),
+        help="availability model applied to every cell (--set overrides win)",
+    )
+    camp.add_argument(
+        "--recovery", default=None, choices=available_recovery_policies(),
+        help="recovery policy applied to every cell (--set overrides win)",
+    )
+    camp.add_argument(
         "--set", dest="overrides", action="append", default=[],
         metavar="FIELD=VALUE",
         help="override any ExperimentConfig field (repeatable), "
@@ -112,8 +136,8 @@ def build_parser() -> argparse.ArgumentParser:
     # convention: `repro run` never loads the perf/cProfile machinery).
     bench.add_argument(
         "--scenarios", "-s", nargs="+", default=None, metavar="NAME",
-        help="presets to time: paper-fig4, poisson-steady, fig11-grid "
-             "(default: all)",
+        help="presets to time: paper-fig4, poisson-steady, fig11-grid, "
+             "fig10-dynamic (default: all)",
     )
     bench.add_argument("--quick", action="store_true",
                        help="smoke-sized configs (CI; same code paths, smaller grid)")
@@ -169,6 +193,10 @@ def _cmd_run(args) -> int:
         kw["dynamic_factor"] = df
     if args.workload_path is not None:
         kw["workload_path"] = args.workload_path
+    if args.churn_model is not None:
+        kw["churn_model"] = args.churn_model
+    if args.recovery is not None:
+        kw["recovery_policy"] = args.recovery
     try:
         result = quick_run(
             algorithm=args.algorithm,
@@ -226,6 +254,10 @@ def _cmd_campaign(args) -> int:
             from repro.workload.scenarios import apply_scenario
 
             base = apply_scenario(base, args.scenario)
+        if args.churn_model:
+            base = base.with_(churn_model=args.churn_model)
+        if args.recovery:
+            base = base.with_(recovery_policy=args.recovery)
         overrides = _parse_overrides(args.overrides)
         if overrides:
             base = base.with_(**overrides)
@@ -376,11 +408,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "scenarios":
         from repro.workload.scenarios import get_scenario
 
-        rows = [
-            [name, get_scenario(name).description]
-            for name in available_scenarios()
-        ]
-        print(ascii_table(["scenario", "description"], rows))
+        rows = []
+        for name in available_scenarios():
+            sc = get_scenario(name)
+            rows.append([name, sc.kind, sc.description])
+        print(ascii_table(["scenario", "kind", "description"], rows))
         return 0
     return 2  # pragma: no cover
 

@@ -93,20 +93,54 @@ class ExperimentConfig:
 
     # --------------------------------------------------------------- churn
     #: Ratio of churning nodes per scheduling interval (Fig. 12–14's df).
+    #: Also sizes the correlated model's failure batches.
     dynamic_factor: float = 0.0
     #: Fraction of nodes that permanently stay (and host all workflows)
-    #: when ``dynamic_factor`` > 0; §IV.B uses 500 of 1000.
+    #: when churn is active; §IV.B uses 500 of 1000.
     permanent_fraction: float = 0.5
     #: What disconnection does to resident tasks.  ``"suspend"`` (default)
     #: stalls them until the node rejoins — matching the paper's
     #: observation that degraded throughput comes from "large-load tasks
     #: which cannot be finished quickly" while finished workflows keep
-    #: stable ACT/AE.  ``"fail"`` kills the owning workflows outright
-    #: (harsh ablation; this is what makes rescheduling future work).
+    #: stable ACT/AE.  ``"fail"`` loses them; the fate of the owning
+    #: workflow is then the ``recovery_policy``'s call.
     churn_mode: str = "suspend"
-    #: Paper's future-work extension: re-activate tasks lost to churn
-    #: (only meaningful with ``churn_mode="fail"``).
+    #: Deprecated alias for ``recovery_policy="reschedule"`` (kept for
+    #: back-compat; normalized into ``recovery_policy`` on construction).
     reschedule_failed: bool = False
+
+    # -------------------------------------------------------- availability
+    #: Who is alive, when (see :mod:`repro.availability.models`):
+    #: ``paper-interval`` (the paper's fixed per-interval batch, default),
+    #: ``sessions`` (exponential/Weibull node lifetimes), ``trace``
+    #: (replay a join/leave event log), ``correlated`` (a random Waxman
+    #: subtree drops at once) or ``ramp`` (growth/shrink).  Any model
+    #: other than the default activates churn even with df = 0.
+    churn_model: str = "paper-interval"
+    #: Fate of tasks lost in ``churn_mode="fail"`` (see
+    #: :mod:`repro.availability.recovery`): ``fail`` (owning workflow
+    #: fails — the paper's position), ``reschedule`` (lost tasks become
+    #: schedule points again) or ``checkpoint`` (dispatch-time input
+    #: checkpoints at the home re-enter lost tasks at their last completed
+    #: predecessor frontier).
+    recovery_policy: str = "fail"
+    #: Mean volatile-node session length (``sessions`` model, seconds).
+    session_mean: float = 2 * 3600.0
+    #: Weibull shape of session lengths (1.0 = exponential; < 1 gives the
+    #: heavy-tailed sessions real availability traces show).
+    session_shape: float = 1.0
+    #: Mean offline gap before a departed node rejoins
+    #: (``sessions``/``correlated`` models; 0 = instant rejoin).
+    rejoin_delay_mean: float = 1800.0
+    #: Mean time between correlated batch-failure events (seconds).
+    failure_interval: float = 4 * 3600.0
+    #: ``ramp`` model direction: ``up`` (volatile nodes join over the
+    #: window) or ``down`` (they progressively leave).
+    ramp_direction: str = "up"
+    #: Fraction of the horizon over which the ramp completes.
+    ramp_window: float = 0.5
+    #: Join/leave event trace for ``churn_model="trace"``.
+    availability_path: Optional[str] = None
 
     # -------------------------------------------------------------- metrics
     metrics_interval: float = 3600.0
@@ -187,6 +221,16 @@ class ExperimentConfig:
             raise ValueError(f"unknown rss_mode {self.rss_mode!r}")
         if self.churn_mode not in ("suspend", "fail"):
             raise ValueError(f"unknown churn_mode {self.churn_mode!r}")
+        if self.session_mean <= 0 or self.session_shape <= 0:
+            raise ValueError("session_mean and session_shape must be positive")
+        if self.rejoin_delay_mean < 0:
+            raise ValueError("rejoin_delay_mean must be >= 0")
+        if self.failure_interval <= 0:
+            raise ValueError("failure_interval must be positive")
+        if self.ramp_direction not in ("up", "down"):
+            raise ValueError(f"unknown ramp_direction {self.ramp_direction!r}")
+        if not 0.0 < self.ramp_window <= 1.0:
+            raise ValueError("ramp_window must be in (0, 1]")
         if not 0.0 < self.arrival_spread <= 1.0:
             raise ValueError("arrival_spread must be in (0, 1]")
         if self.burst_on <= 0 or self.burst_off < 0:
@@ -223,6 +267,23 @@ class ExperimentConfig:
                 f"unknown structured_family {self.structured_family!r}; "
                 f"available: {', '.join(structured_family_names())}"
             )
+        from repro.availability.models import churn_model_names
+        from repro.availability.recovery import recovery_policy_names
+
+        if self.churn_model not in churn_model_names():
+            raise ValueError(
+                f"unknown churn_model {self.churn_model!r}; "
+                f"available: {', '.join(churn_model_names())}"
+            )
+        if self.recovery_policy not in recovery_policy_names():
+            raise ValueError(
+                f"unknown recovery_policy {self.recovery_policy!r}; "
+                f"available: {', '.join(recovery_policy_names())}"
+            )
+        if self.reschedule_failed and self.recovery_policy == "fail":
+            # Promote the legacy flag to its policy (deterministic, so
+            # config hashing and provenance stay stable per input).
+            object.__setattr__(self, "recovery_policy", "reschedule")
         if self.scenario is not None:
             from repro.workload.scenarios import scenario_names
 
@@ -236,6 +297,15 @@ class ExperimentConfig:
     def with_(self, **overrides) -> "ExperimentConfig":
         """Functional update (configs are frozen)."""
         return replace(self, **overrides)
+
+    def churn_enabled(self) -> bool:
+        """Whether availability dynamics are active (volatile nodes exist).
+
+        The paper-interval model only acts when ``dynamic_factor`` > 0;
+        every other churn model defines its own intensity and is active
+        whenever selected.
+        """
+        return self.dynamic_factor > 0.0 or self.churn_model != "paper-interval"
 
     def describe(self) -> dict:
         """Plain-dict dump (for EXPERIMENTS.md provenance lines)."""

@@ -1,64 +1,16 @@
-"""Node churn (substrate S13, paper §IV.B).
+"""Node churn (substrate S13, paper §IV.B) — back-compat shim.
 
-The *dynamic factor* df is the ratio of churning nodes to the total node
-count per scheduling interval: with df = 0.1 and 1000 nodes, every interval
-100 nodes disconnect and 100 (re)join.  Home nodes never churn ("we just
-consider the dynamic cases where the churning nodes are not home nodes");
-the volatile population is resource-only.
+The churn driver moved into the pluggable availability subsystem:
+:class:`repro.availability.models.PaperIntervalChurn` is the paper's
+fixed per-interval batch model (bit-identical to the class that used to
+live here), alongside session-based, trace-driven, correlated-failure and
+ramp models selected via ``ExperimentConfig.churn_model``.
 
-Each churn tick first revives nodes from the departed pool (joiners arrive
-fresh — empty ready set, empty gossip state) and then disconnects a new
-batch of victims, so a departed node stays away for at least one full
-interval.  A disconnecting node loses its running task, its ready set and
-all inbound transfers; the owning workflows fail (the paper defers
-rescheduling to future work) unless the ``reschedule_failed`` extension is
-enabled.
+``ChurnProcess`` remains as an alias so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
-
-import numpy as np
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.grid.system import P2PGridSystem
+from repro.availability.models import PaperIntervalChurn as ChurnProcess
 
 __all__ = ["ChurnProcess"]
-
-
-class ChurnProcess:
-    """Periodic join/leave driver bound to a grid system."""
-
-    def __init__(self, system: "P2PGridSystem", rng: np.random.Generator):
-        self.system = system
-        self.rng = rng
-        cfg = system.config
-        self.batch = int(round(cfg.dynamic_factor * cfg.n_nodes))
-        self.volatile_ids = [n.nid for n in system.nodes if n.volatile]
-        self.departed: list[int] = []
-        self.total_departures = 0
-        self.total_joins = 0
-
-    def tick(self, cycle: int) -> None:
-        """One churn interval: revive last batch, then disconnect a new one."""
-        if self.batch <= 0 or not self.volatile_ids:
-            return
-        # --- joins: the previously departed batch returns fresh ----------
-        joiners = self.departed
-        self.departed = []
-        for nid in joiners:
-            self.system.revive_node(nid)
-        self.total_joins += len(joiners)
-
-        # --- leaves: sample new victims among alive volatile nodes -------
-        alive = [nid for nid in self.volatile_ids if self.system.nodes[nid].alive]
-        k = min(self.batch, len(alive))
-        if k == 0:
-            return
-        victims = self.rng.choice(np.asarray(alive, dtype=np.int64), size=k, replace=False)
-        for nid in victims:
-            nid = int(nid)
-            self.system.kill_node(nid)
-            self.departed.append(nid)
-        self.total_departures += k

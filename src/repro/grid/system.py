@@ -35,6 +35,9 @@ from typing import Optional
 
 import numpy as np
 
+from repro.availability.models import ChurnModel, make_churn_model
+from repro.availability.recovery import make_recovery_policy
+from repro.availability.trace import AvailabilityEvent
 from repro.core.dual_phase import Phase1Runner
 from repro.core.estimates import LandmarkBandwidth, OracleBandwidth
 from repro.core.fullahead.planner import GlobalView
@@ -44,7 +47,6 @@ from repro.experiments.config import ExperimentConfig
 from repro.gossip.aggregation import AggregationGossip
 from repro.gossip.epidemic import EpidemicGossip
 from repro.gossip.newscast import NewscastOverlay
-from repro.grid.churn import ChurnProcess
 from repro.grid.node import PeerNode
 from repro.grid.state import TaskDispatch, WorkflowExecution, WorkflowStatus
 from repro.grid.transfers import TransferManager
@@ -107,7 +109,7 @@ class P2PGridSystem:
         # ------------------------------------------------------- nodes (S10)
         cap_rng = self.rng.stream("capacities")
         caps = cap_rng.choice(np.asarray(config.capacities), size=config.n_nodes)
-        dynamic = config.dynamic_factor > 0.0
+        dynamic = config.churn_enabled()
         n_perm = (
             int(round(config.permanent_fraction * config.n_nodes))
             if dynamic
@@ -204,10 +206,19 @@ class P2PGridSystem:
         self._seq = 0
         #: full-ahead: (wid, producer_tid) -> consumers awaiting its data.
         self._deferred_edges: dict[tuple[str, int], list[tuple[TaskDispatch, float]]] = {}
-        self.collector = MetricsCollector()
+        self.collector = MetricsCollector(n_nodes=config.n_nodes)
         self.phase1 = Phase1Runner(self)
-        self.churn: Optional[ChurnProcess] = (
-            ChurnProcess(self, self.rng.stream("churn")) if dynamic else None
+        #: Realized availability transitions, in event order — saveable via
+        #: :func:`repro.availability.save_availability_trace` and replayable
+        #: through the ``trace`` churn model.
+        self.availability_events: list[AvailabilityEvent] = []
+        self._alive_count = config.n_nodes
+        #: Lost-to-churn task keys still awaiting re-entry + completion —
+        #: a task counts as *recovered* only when it actually finishes.
+        self._lost_task_keys: set[tuple[str, int]] = set()
+        self.recovery = make_recovery_policy(config.recovery_policy)
+        self.churn: Optional[ChurnModel] = (
+            make_churn_model(self, self.rng.stream("churn")) if dynamic else None
         )
         self._fullahead_plan = None
         self._ran = False
@@ -247,9 +258,10 @@ class P2PGridSystem:
         # equal timestamps).
         PeriodicActivity(self.sim, cfg.gossip_interval, self._gossip_cycle, label="gossip")
         if self.churn is not None:
-            PeriodicActivity(
-                self.sim, cfg.schedule_interval, self.churn.tick, label="churn"
-            )
+            # The model schedules its own events (the paper-interval model
+            # arms the same periodic activity the legacy code did here, so
+            # the default event sequence is unchanged).
+            self.churn.start()
         if not self.bundle.full_ahead:
             PeriodicActivity(
                 self.sim, cfg.schedule_interval, self._phase1_cycle, label="phase1"
@@ -276,9 +288,10 @@ class P2PGridSystem:
         self.collector.sample(
             self.sim.now,
             rss_mean=self.epidemic.mean_known_nodes(),
-            alive_nodes=sum(1 for n in self.nodes if n.alive),
+            alive_nodes=self._alive_count,
         )
         wall = _wallclock.perf_counter() - started
+        avg_alive = self.collector.avg_alive_fraction(cfg.total_time)
         return RunResult(
             algorithm=cfg.algorithm,
             seed=cfg.seed,
@@ -295,6 +308,12 @@ class P2PGridSystem:
             records=self.collector.records,
             samples=self.collector.samples,
             config=cfg.describe(),
+            n_departures=self.collector.n_departures,
+            n_revivals=self.collector.n_revivals,
+            n_tasks_lost=self.collector.n_tasks_lost,
+            n_tasks_recovered=self.collector.n_tasks_recovered,
+            avg_alive_fraction=avg_alive,
+            availability_ae=self.collector.ae * avg_alive,
         )
 
     # --------------------------------------------------------- periodic ticks
@@ -311,7 +330,7 @@ class P2PGridSystem:
         self.collector.sample(
             self.sim.now,
             rss_mean=self.epidemic.mean_known_nodes(),
-            alive_nodes=sum(1 for n in self.nodes if n.alive),
+            alive_nodes=self._alive_count,
         )
 
     # ------------------------------------------------------------ submission
@@ -375,14 +394,15 @@ class P2PGridSystem:
             if self.config.churn_mode == "suspend":
                 # The data's host is temporarily offline: retry next cycle.
                 return False
-            if self.config.reschedule_failed:
-                for src in dead_sources:
-                    for p in wx.wf.precedents[tid]:
-                        if p in wx.finished and wx.finished[p][0] == src:
-                            wx.invalidate_task(p)
+            # fail mode: the recovery policy decides — fail the workflow,
+            # invalidate dead producers for a re-run, or (checkpoint)
+            # return a patched input list re-served from the home.
+            patched = self.recovery.on_dead_sources(
+                self, wx, tid, inputs, dead_sources
+            )
+            if patched is None:
                 return False
-            self._fail_workflow(wx, reason=f"dependent data lost on node {dead_sources[0]}")
-            return False
+            inputs = patched
 
         wx.mark_dispatched(tid)
         task = wx.wf.tasks[tid]
@@ -470,6 +490,9 @@ class P2PGridSystem:
         if wx.status is not WorkflowStatus.RUNNING:
             return  # workflow already failed; the result is discarded
         wx.mark_finished(dispatch.tid, node.nid, self.sim.now)
+        if self._lost_task_keys and dispatch.key() in self._lost_task_keys:
+            self._lost_task_keys.discard(dispatch.key())
+            self.collector.task_recovered()
         self._absorb_virtual_and_check(wx)
         if self.bundle.full_ahead:
             self._release_deferred_edges(wx, dispatch.tid, node.nid)
@@ -609,6 +632,17 @@ class P2PGridSystem:
                 self._transfer_arrived(consumer)
 
     # ------------------------------------------------------------------ churn
+    def _record_churn(self, kind: str, nid: int) -> None:
+        """Log one availability transition and update the alive census."""
+        now = self.sim.now
+        self.availability_events.append(AvailabilityEvent(now, nid, kind))
+        if kind == "leave":
+            self._alive_count -= 1
+            self.collector.node_departed(now, self._alive_count)
+        else:
+            self._alive_count += 1
+            self.collector.node_revived(now, self._alive_count)
+
     def kill_node(self, nid: int) -> None:
         """Disconnect a volatile node.
 
@@ -618,14 +652,16 @@ class P2PGridSystem:
         tasks here simply stall (the paper's "large-load tasks which cannot
         be finished quickly").
 
-        ``fail`` churn mode: resident tasks are lost; owning workflows fail
-        (or, with the ``reschedule_failed`` extension, their lost tasks
-        become schedule points again).
+        ``fail`` churn mode: resident tasks are lost; their fate is the
+        recovery policy's call (fail the owning workflow, reschedule the
+        lost tasks, or re-enter them from the home's dispatch checkpoint).
         """
+        nid = int(nid)  # numpy scalars must not reach lookups or traces
         node = self.nodes[nid]
         if not node.alive:
             return
         node.alive = False
+        self._record_churn("leave", nid)
         if self.config.churn_mode == "suspend":
             if node.completion_event is not None:
                 node.suspended_remaining = max(
@@ -662,10 +698,9 @@ class P2PGridSystem:
             wx = self.executions[dispatch.wid]
             if wx.status is not WorkflowStatus.RUNNING:
                 continue
-            if self.config.reschedule_failed:
-                self._reschedule_lost(wx, dispatch.tid, nid)
-            else:
-                self._fail_workflow(wx, reason=f"task lost on churned node {nid}")
+            self.collector.task_lost()
+            self._lost_task_keys.add(dispatch.key())
+            self.recovery.on_task_lost(self, wx, dispatch.tid, nid)
 
     def revive_node(self, nid: int) -> None:
         """A departed node rejoins.
@@ -674,9 +709,11 @@ class P2PGridSystem:
         running task is re-armed, queued tasks become eligible again).
         ``fail`` mode: returns fresh and empty.
         """
+        nid = int(nid)
         node = self.nodes[nid]
         if node.alive:
             return
+        self._record_churn("join", nid)
         if self.config.churn_mode == "suspend":
             node.alive = True
             node.epoch += 1

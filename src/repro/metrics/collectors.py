@@ -60,18 +60,35 @@ class Sample:
     ae: float
     rss_mean: float = 0.0
     alive_nodes: int = 0
+    #: Cumulative node departures/revivals up to this instant (availability
+    #: subsystem; both stay 0 on static grids).
+    departed: int = 0
+    revived: int = 0
 
 
 class MetricsCollector:
-    """Incremental accumulation of the paper's three headline metrics."""
+    """Incremental accumulation of the paper's three headline metrics,
+    plus the availability series churn models feed (departure/revival
+    counts, lost/recovered tasks, and the time-weighted alive fraction
+    behind the availability-weighted AE)."""
 
-    def __init__(self) -> None:
+    def __init__(self, n_nodes: int = 0) -> None:
         self.records: list[WorkflowRecord] = []
         self.samples: list[Sample] = []
         self._n_done = 0
         self._sum_ct = 0.0
         self._sum_eff = 0.0
         self._n_failed = 0
+        # Availability accounting: a step-function integral of the alive
+        # count over time (exact, fed per churn event — not sampled).
+        self._total_nodes = n_nodes
+        self._alive = n_nodes
+        self._alive_t = 0.0
+        self._alive_integral = 0.0
+        self._n_departures = 0
+        self._n_revivals = 0
+        self._n_tasks_lost = 0
+        self._n_tasks_recovered = 0
 
     # --------------------------------------------------------------- events
     def workflow_done(self, record: WorkflowRecord) -> None:
@@ -99,8 +116,49 @@ class MetricsCollector:
                 ae=self.ae,
                 rss_mean=rss_mean,
                 alive_nodes=alive_nodes,
+                departed=self._n_departures,
+                revived=self._n_revivals,
             )
         )
+
+    # --------------------------------------------------------- availability
+    def _alive_step(self, time: float, alive: int) -> None:
+        self._alive_integral += self._alive * (time - self._alive_t)
+        self._alive_t = time
+        self._alive = alive
+
+    def node_departed(self, time: float, alive: int) -> None:
+        """A node disconnected; ``alive`` is the post-transition count."""
+        self._n_departures += 1
+        self._alive_step(time, alive)
+
+    def node_revived(self, time: float, alive: int) -> None:
+        """A node rejoined; ``alive`` is the post-transition count."""
+        self._n_revivals += 1
+        self._alive_step(time, alive)
+
+    def task_lost(self) -> None:
+        """A dispatched task died with its node."""
+        self._n_tasks_lost += 1
+
+    def task_recovered(self) -> None:
+        """A churn-lost task was re-entered by the recovery policy and has
+        now actually finished (so ``n_tasks_recovered <= n_tasks_lost``,
+        with equality only when every re-entered task completed)."""
+        self._n_tasks_recovered += 1
+
+    def avg_alive_fraction(self, horizon: float) -> float:
+        """Time-weighted mean fraction of nodes alive over ``[0, horizon]``.
+
+        1.0 on static grids (and when the collector was built without a
+        node count).  This weights the efficiency metric: availability-
+        weighted AE = AE × this fraction, crediting an algorithm only for
+        the capacity that actually existed.
+        """
+        if self._total_nodes <= 0 or horizon <= 0:
+            return 1.0
+        integral = self._alive_integral + self._alive * (horizon - self._alive_t)
+        return integral / (horizon * self._total_nodes)
 
     # -------------------------------------------------------------- queries
     @property
@@ -110,6 +168,22 @@ class MetricsCollector:
     @property
     def n_failed(self) -> int:
         return self._n_failed
+
+    @property
+    def n_departures(self) -> int:
+        return self._n_departures
+
+    @property
+    def n_revivals(self) -> int:
+        return self._n_revivals
+
+    @property
+    def n_tasks_lost(self) -> int:
+        return self._n_tasks_lost
+
+    @property
+    def n_tasks_recovered(self) -> int:
+        return self._n_tasks_recovered
 
     @property
     def act(self) -> float:
@@ -141,6 +215,18 @@ class RunResult:
     records: list[WorkflowRecord] = field(default_factory=list)
     samples: list[Sample] = field(default_factory=list)
     config: dict = field(default_factory=dict)
+    # Availability subsystem outputs (all neutral on static grids).
+    n_departures: int = 0
+    n_revivals: int = 0
+    n_tasks_lost: int = 0
+    #: Lost tasks that were re-entered by the recovery policy *and*
+    #: subsequently finished (always <= ``n_tasks_lost``).
+    n_tasks_recovered: int = 0
+    #: Time-weighted mean fraction of nodes alive over the horizon.
+    avg_alive_fraction: float = 1.0
+    #: AE × avg_alive_fraction — efficiency credited against the capacity
+    #: that actually existed under churn.
+    availability_ae: float = 0.0
 
     # ------------------------------------------------------------- series
     def series(self, metric: str) -> tuple[list[float], list[float]]:

@@ -4,10 +4,11 @@ The paper's scalability study (Fig. 11) and every "make the hot path
 faster" PR need a fixed, machine-readable performance baseline.  This
 module provides it:
 
-* three end-to-end presets — the Fig. 4 base setting (``paper-fig4``), a
-  streaming-arrival variant (``poisson-steady``) and a Fig. 11-style
-  large-grid run (``fig11-grid``) — each a single-process, fully
-  deterministic simulation;
+* four end-to-end presets — the Fig. 4 base setting (``paper-fig4``), a
+  streaming-arrival variant (``poisson-steady``), a Fig. 11-style
+  large-grid run (``fig11-grid``) and a Fig. 10-style dynamic grid
+  (``fig10-dynamic``, paper-interval churn with rescheduling) — each a
+  single-process, fully deterministic simulation;
 * :func:`run_bench`, which times them (wall clock, events/second, peak
   RSS) with optional cProfile hot-spot capture and optional comparison
   against a previously written report;
@@ -114,6 +115,20 @@ def _fig11(quick: bool) -> ExperimentConfig:
     return cfg
 
 
+def _fig10(quick: bool) -> ExperimentConfig:
+    return ExperimentConfig(
+        algorithm="dsmf",
+        n_nodes=40 if quick else 60,
+        load_factor=2 if quick else 3,
+        total_time=(8 if quick else 24) * 3600.0,
+        seed=7,
+        task_range=(2, 30),
+        dynamic_factor=0.2,
+        churn_mode="fail",
+        recovery_policy="reschedule",
+    )
+
+
 _SCENARIOS: dict[str, BenchScenario] = {
     s.name: s
     for s in (
@@ -134,6 +149,13 @@ _SCENARIOS: dict[str, BenchScenario] = {
             "Fig. 11-style large grid: 240 nodes, load factor 1, 12 "
             "simulated hours (gossip- and view-dominated).",
             _fig11,
+        ),
+        BenchScenario(
+            "fig10-dynamic",
+            "Fig. 10-style dynamic grid: df=0.2 paper-interval churn in "
+            "fail mode with rescheduling (availability hot path: kill/"
+            "revive sweeps, ready-set cleanup, re-entered schedule points).",
+            _fig10,
         ),
     )
 }

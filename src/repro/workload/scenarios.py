@@ -34,11 +34,17 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named workload preset (config overrides + documentation)."""
+    """A named scenario preset (config overrides + documentation).
+
+    ``kind`` groups presets by the axis they exercise: ``workload`` (what
+    arrives, when) or ``availability`` (who is alive, when) — purely
+    informational, for listings.
+    """
 
     name: str
     description: str
     overrides: Mapping[str, object] = field(default_factory=dict)
+    kind: str = "workload"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "overrides", MappingProxyType(dict(self.overrides)))
@@ -47,13 +53,15 @@ class Scenario:
 _REGISTRY: dict[str, Scenario] = {}
 
 
-def register_scenario(name: str, description: str, **overrides) -> Scenario:
+def register_scenario(
+    name: str, description: str, kind: str = "workload", **overrides
+) -> Scenario:
     """Add a scenario to the registry (library users may add their own)."""
     if name in _REGISTRY:
         raise ValueError(f"scenario {name!r} is already registered")
     if "scenario" in overrides or "seed" in overrides or "algorithm" in overrides:
         raise ValueError("scenario overrides cannot set scenario/seed/algorithm")
-    sc = Scenario(name=name, description=description, overrides=overrides)
+    sc = Scenario(name=name, description=description, overrides=overrides, kind=kind)
     _REGISTRY[name] = sc
     return sc
 
@@ -151,4 +159,49 @@ register_scenario(
     "Replay an exact (submit_time, home, workflow) submission trace; "
     "requires --set workload_path=TRACE.json.",
     workload_source="trace",
+)
+
+# ----------------------------- availability presets -----------------------
+# The churn axis (repro.availability): who is alive, when — composed with
+# the workload axis above (a preset may set fields from both).
+
+register_scenario(
+    "weibull-sessions",
+    "Heavy-tailed Weibull node sessions (shape 0.7, 2 h mean) with "
+    "exponential rejoin delays; lost tasks are rescheduled.",
+    kind="availability",
+    churn_model="sessions",
+    session_shape=0.7,
+    session_mean=2 * 3600.0,
+    rejoin_delay_mean=1800.0,
+    churn_mode="fail",
+    recovery_policy="reschedule",
+)
+register_scenario(
+    "flash-crowd-failure",
+    "Correlated batch failures: a random Waxman subtree of volatile nodes "
+    "drops at once every ~2 h; checkpointed inputs re-enter lost tasks.",
+    kind="availability",
+    churn_model="correlated",
+    dynamic_factor=0.15,
+    failure_interval=2 * 3600.0,
+    rejoin_delay_mean=1800.0,
+    churn_mode="fail",
+    recovery_policy="checkpoint",
+)
+register_scenario(
+    "grid-rampup",
+    "Grid growth: volatile nodes start offline and join one by one over "
+    "the first 40% of the horizon (suspend semantics; nothing is lost).",
+    kind="availability",
+    churn_model="ramp",
+    ramp_direction="up",
+    ramp_window=0.4,
+)
+register_scenario(
+    "trace-churn",
+    "Replay an exact join/leave availability trace (FTA-style); requires "
+    "--set availability_path=TRACE.json.",
+    kind="availability",
+    churn_model="trace",
 )

@@ -1,0 +1,286 @@
+"""Unit tests for the pluggable churn models."""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.availability.models import (
+    CorrelatedFailures,
+    PaperIntervalChurn,
+    SessionChurn,
+    TraceChurn,
+    churn_model_names,
+    make_churn_model,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.grid.system import P2PGridSystem
+from repro.sim.rng import spawn_generator
+from repro.workload.scenarios import apply_scenario
+
+
+# ---------------------------------------------------------------------------
+# A frozen copy of the pre-subsystem ``repro.grid.churn.ChurnProcess`` —
+# the equivalence oracle.  Do not "fix" or modernize this class: it must
+# stay byte-for-byte the legacy sampling logic.
+# ---------------------------------------------------------------------------
+class _LegacyChurnProcess:
+    def __init__(self, system, rng):
+        self.system = system
+        self.rng = rng
+        cfg = system.config
+        self.batch = int(round(cfg.dynamic_factor * cfg.n_nodes))
+        self.volatile_ids = [n.nid for n in system.nodes if n.volatile]
+        self.departed = []
+        self.total_departures = 0
+        self.total_joins = 0
+
+    def tick(self, cycle):
+        if self.batch <= 0 or not self.volatile_ids:
+            return
+        joiners = self.departed
+        self.departed = []
+        for nid in joiners:
+            self.system.revive_node(nid)
+        self.total_joins += len(joiners)
+        alive = [nid for nid in self.volatile_ids if self.system.nodes[nid].alive]
+        k = min(self.batch, len(alive))
+        if k == 0:
+            return
+        victims = self.rng.choice(np.asarray(alive, dtype=np.int64), size=k, replace=False)
+        for nid in victims:
+            nid = int(nid)
+            self.system.kill_node(nid)
+            self.departed.append(nid)
+        self.total_departures += k
+
+
+class _StubNode:
+    def __init__(self, nid, volatile):
+        self.nid = nid
+        self.volatile = volatile
+        self.alive = True
+        self.is_home = not volatile
+
+
+class _StubSystem:
+    """Just enough of P2PGridSystem for a churn model to drive."""
+
+    def __init__(self, n=30, n_perm=15, **config_overrides):
+        cfg = dict(
+            dynamic_factor=0.2,
+            n_nodes=n,
+            schedule_interval=900.0,
+            total_time=12 * 3600.0,
+            session_mean=3600.0,
+            session_shape=1.0,
+            rejoin_delay_mean=600.0,
+            failure_interval=3600.0,
+            ramp_direction="up",
+            ramp_window=0.5,
+            availability_path=None,
+            churn_model="paper-interval",
+        )
+        cfg.update(config_overrides)
+        self.config = SimpleNamespace(**cfg)
+        self.nodes = [_StubNode(i, i >= n_perm) for i in range(n)]
+        self.log: list[tuple[str, int]] = []
+
+    def kill_node(self, nid):
+        self.log.append(("kill", nid))
+        self.nodes[nid].alive = False
+
+    def revive_node(self, nid):
+        self.log.append(("revive", nid))
+        self.nodes[nid].alive = True
+
+
+class TestPaperIntervalEquivalence:
+    def test_kill_revive_sequence_matches_legacy_churn_process(self):
+        """The new default model must consume the RNG and pick victims
+        exactly as the legacy ``ChurnProcess`` did, tick for tick."""
+        for seed in (1, 2, 7):
+            legacy_sys = _StubSystem()
+            new_sys = _StubSystem()
+            legacy = _LegacyChurnProcess(legacy_sys, spawn_generator(seed, "churn"))
+            new = PaperIntervalChurn(new_sys, spawn_generator(seed, "churn"))
+            for cycle in range(12):
+                legacy.tick(cycle)
+                new.tick(cycle)
+            assert legacy_sys.log == new_sys.log
+            assert legacy.departed == new.departed
+            assert (legacy.total_departures, legacy.total_joins) == (
+                new.total_departures,
+                new.total_joins,
+            )
+
+    def test_departed_pool_holds_python_ints(self):
+        """Boundary normalization: no numpy scalars in the departed pool
+        (they would break JSON trace round-trips and dict lookups)."""
+        system = _StubSystem()
+        model = PaperIntervalChurn(system, spawn_generator(1, "churn"))
+        model.tick(0)
+        assert model.departed
+        assert all(type(nid) is int for nid in model.departed)
+        assert all(type(nid) is int for _, nid in system.log)
+
+
+class TestSessionChurn:
+    def _model(self, **cfg):
+        return SessionChurn(_StubSystem(**cfg), spawn_generator(3, "churn"))
+
+    def test_exponential_lifetime_mean(self):
+        model = self._model(session_mean=3600.0, session_shape=1.0)
+        draws = [model.lifetime() for _ in range(4000)]
+        assert all(d >= 0 for d in draws)
+        assert np.mean(draws) == pytest.approx(3600.0, rel=0.10)
+
+    def test_weibull_lifetime_mean_and_tail(self):
+        """Shape 0.7 keeps the requested mean but grows the tail."""
+        model = self._model(session_mean=3600.0, session_shape=0.7)
+        draws = np.array([model.lifetime() for _ in range(6000)])
+        assert np.mean(draws) == pytest.approx(3600.0, rel=0.10)
+        # Heavy tail: the 99th percentile exceeds the exponential's ~4.6x
+        # mean (for k=0.7 it is ~8.9x the mean).
+        assert np.quantile(draws, 0.99) > 6.0 * 3600.0
+
+    def test_weibull_scale_formula(self):
+        model = self._model(session_mean=1000.0, session_shape=0.7)
+        assert model._scale == pytest.approx(1000.0 / math.gamma(1 + 1 / 0.7))
+
+    def test_zero_rejoin_delay_is_instant(self):
+        model = self._model(rejoin_delay_mean=0.0)
+        assert model.rejoin_delay() == 0.0
+
+    def test_nodes_cycle_through_sessions_end_to_end(self):
+        cfg = ExperimentConfig(
+            algorithm="dsmf", n_nodes=30, load_factor=1, total_time=8 * 3600.0,
+            seed=5, task_range=(2, 6), churn_model="sessions",
+            session_mean=1800.0, rejoin_delay_mean=600.0,
+        )
+        system = P2PGridSystem(cfg)
+        result = system.run()
+        assert result.n_departures > 0
+        assert result.n_revivals > 0
+        assert 0.0 < result.avg_alive_fraction < 1.0
+        assert result.availability_ae == pytest.approx(
+            result.ae * result.avg_alive_fraction
+        )
+
+
+class TestGridRamp:
+    def _run(self, direction):
+        cfg = ExperimentConfig(
+            algorithm="dsmf", n_nodes=30, load_factor=1, total_time=6 * 3600.0,
+            seed=4, task_range=(2, 6), churn_model="ramp",
+            ramp_direction=direction, ramp_window=0.5,
+        )
+        system = P2PGridSystem(cfg)
+        return system, system.run()
+
+    def test_rampup_starts_empty_and_fills(self):
+        system, result = self._run("up")
+        n_volatile = sum(1 for n in system.nodes if n.volatile)
+        assert n_volatile > 0
+        # Every volatile node left at t=0 and came back during the window.
+        assert result.n_departures == n_volatile
+        assert result.n_revivals == n_volatile
+        assert all(n.alive for n in system.nodes)
+        ups = [e for e in system.availability_events if e.kind == "join"]
+        assert [e.time for e in ups] == sorted(e.time for e in ups)
+        assert result.avg_alive_fraction < 1.0
+
+    def test_rampdown_drains_the_volatile_population(self):
+        system, result = self._run("down")
+        n_volatile = sum(1 for n in system.nodes if n.volatile)
+        assert result.n_departures == n_volatile
+        assert result.n_revivals == 0
+        assert all(n.alive == n.is_home for n in system.nodes)
+
+
+class TestCorrelatedFailures:
+    def _system(self):
+        base = ExperimentConfig(
+            algorithm="dsmf", n_nodes=40, load_factor=1, total_time=6 * 3600.0,
+            seed=9, task_range=(2, 6),
+        )
+        return P2PGridSystem(apply_scenario(base, "flash-crowd-failure"))
+
+    def test_subtree_is_connected_volatile_and_bounded(self):
+        system = self._system()
+        model = system.churn
+        assert isinstance(model, CorrelatedFailures)
+        root = next(n.nid for n in system.nodes if n.volatile)
+        victims = model.subtree(root)
+        assert victims[0] == root
+        assert 1 <= len(victims) <= model.batch
+        assert all(system.nodes[v].volatile for v in victims)
+        # Connected: every victim after the root has a neighbor earlier in
+        # the BFS order.
+        for i, v in enumerate(victims[1:], start=1):
+            assert any(u in model.adjacency[v] for u in victims[:i])
+
+    def test_batch_rejoins_together(self):
+        base = ExperimentConfig(
+            algorithm="dsmf", n_nodes=40, load_factor=1, total_time=6 * 3600.0,
+            seed=9, task_range=(2, 6),
+        )
+        cfg = apply_scenario(base, "flash-crowd-failure").with_(
+            failure_interval=1200.0, rejoin_delay_mean=600.0
+        )
+        system = P2PGridSystem(cfg)
+        result = system.run()
+        assert result.n_departures > 0
+        # Every departure is matched by a revival (rejoin delay 30 min,
+        # horizon 6 h) except possibly the last batch.
+        assert result.n_revivals >= result.n_departures - system.churn.batch
+
+
+class TestFactoryAndValidation:
+    def test_registry_names(self):
+        assert churn_model_names() == [
+            "correlated", "paper-interval", "ramp", "sessions", "trace",
+        ]
+
+    def test_unknown_model_rejected_by_factory(self):
+        stub = _StubSystem(churn_model="nope")
+        with pytest.raises(ValueError, match="unknown churn_model"):
+            make_churn_model(stub, spawn_generator(1, "churn"))
+
+    def test_unknown_model_rejected_by_config(self):
+        with pytest.raises(ValueError, match="unknown churn_model"):
+            ExperimentConfig(churn_model="nope")
+
+    def test_trace_model_requires_availability_path(self):
+        stub = _StubSystem(churn_model="trace", availability_path=None)
+        with pytest.raises(ValueError, match="availability_path"):
+            TraceChurn(stub, spawn_generator(1, "churn"))
+
+    def test_trace_model_rejects_non_volatile_node_events(self, tmp_path):
+        from repro.availability import AvailabilityEvent, save_availability_trace
+
+        path = tmp_path / "trace.json"
+        # Node 0 is a home (permanent) node in the stub: must be rejected —
+        # homes and permanent nodes never churn, whatever the trace says.
+        save_availability_trace([AvailabilityEvent(10.0, 0, "leave")], path)
+        stub = _StubSystem(churn_model="trace", availability_path=str(path))
+        with pytest.raises(ValueError, match="not volatile"):
+            TraceChurn(stub, spawn_generator(1, "churn"))
+
+    def test_trace_model_rejects_out_of_range_nodes(self, tmp_path):
+        from repro.availability import AvailabilityEvent, save_availability_trace
+
+        path = tmp_path / "trace.json"
+        save_availability_trace([AvailabilityEvent(10.0, 99, "leave")], path)
+        stub = _StubSystem(churn_model="trace", availability_path=str(path))
+        with pytest.raises(ValueError, match="outside"):
+            TraceChurn(stub, spawn_generator(1, "churn"))
+
+    def test_non_default_model_enables_churn_without_df(self):
+        cfg = ExperimentConfig(churn_model="sessions")
+        assert cfg.churn_enabled()
+        assert not ExperimentConfig().churn_enabled()
+        assert ExperimentConfig(dynamic_factor=0.1).churn_enabled()

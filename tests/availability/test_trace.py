@@ -1,0 +1,147 @@
+"""Availability-trace save/load and replay determinism."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.availability import (
+    AvailabilityEvent,
+    load_availability_trace,
+    save_availability_trace,
+)
+from repro.experiments.campaign import result_digest
+from repro.experiments.config import ExperimentConfig
+from repro.grid.system import P2PGridSystem
+from repro.workload.scenarios import apply_scenario
+
+
+class TestEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="negative time"):
+            AvailabilityEvent(-1.0, 3, "leave")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown availability event kind"):
+            AvailabilityEvent(1.0, 3, "explode")
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        events = [
+            AvailabilityEvent(0.0, 5, "leave"),
+            AvailabilityEvent(0.0, 6, "leave"),
+            AvailabilityEvent(90.5, 5, "join"),
+        ]
+        path = tmp_path / "trace.json"
+        save_availability_trace(events, path)
+        assert load_availability_trace(path) == events
+
+    def test_numpy_scalars_normalized_on_save(self, tmp_path):
+        """np.int64/np.float64 must serialize as plain JSON numbers and
+        come back as Python int/float."""
+        events = [
+            AvailabilityEvent(np.float64(12.5), int(np.int64(7)), "leave"),
+        ]
+        path = tmp_path / "trace.json"
+        save_availability_trace(
+            [AvailabilityEvent(float(e.time), int(e.node), e.kind) for e in events],
+            path,
+        )
+        [loaded] = load_availability_trace(path)
+        assert type(loaded.node) is int
+        assert type(loaded.time) is float
+        raw = json.loads(path.read_text())
+        assert raw["events"] == [[12.5, 7, "leave"]]
+
+    def test_save_coerces_numpy_event_fields(self, tmp_path):
+        # Even if a caller hands raw numpy-typed events, save() coerces.
+        ev = AvailabilityEvent(np.float64(3.0), 4, "join")
+        path = tmp_path / "trace.json"
+        save_availability_trace([ev], path)
+        [loaded] = load_availability_trace(path)
+        assert loaded == AvailabilityEvent(3.0, 4, "join")
+
+
+class TestLoadRejections:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValueError, match="not found"):
+            load_availability_trace(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_availability_trace(p)
+
+    def test_wrong_schema(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"schema": 99, "events": []}))
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            load_availability_trace(p)
+
+    def test_non_monotone_times(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps(
+            {"schema": 1, "events": [[10.0, 3, "leave"], [5.0, 3, "join"]]}
+        ))
+        with pytest.raises(ValueError, match="back in time"):
+            load_availability_trace(p)
+
+    def test_non_integer_node(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"schema": 1, "events": [[10.0, "x", "leave"]]}))
+        with pytest.raises(ValueError, match="non-integer node"):
+            load_availability_trace(p)
+
+
+class TestReplayDeterminism:
+    def test_session_run_replays_bit_identically_through_trace_model(self, tmp_path):
+        """Record the availability events of a Weibull-session run, replay
+        them through the trace model: the *entire simulated outcome* must
+        be bit-identical (same kills at the same instants, same recovery,
+        same metrics) — the availability analogue of workload trace
+        replay."""
+        base = ExperimentConfig(
+            algorithm="dsmf", seed=2, n_nodes=30, load_factor=1,
+            total_time=5 * 3600.0, task_range=(2, 8),
+        )
+        cfg = apply_scenario(base, "weibull-sessions")
+        original = P2PGridSystem(cfg)
+        result = original.run()
+        assert original.availability_events, "session run produced no churn"
+
+        path = tmp_path / "trace.json"
+        save_availability_trace(original.availability_events, path)
+
+        replay_cfg = apply_scenario(base, "trace-churn").with_(
+            churn_mode=cfg.churn_mode,
+            recovery_policy=cfg.recovery_policy,
+            availability_path=str(path),
+        )
+        replay = P2PGridSystem(replay_cfg)
+        replay_result = replay.run()
+        assert result_digest(replay_result) == result_digest(result)
+        assert replay.availability_events == original.availability_events
+
+    def test_trace_events_beyond_horizon_are_dropped(self, tmp_path):
+        path = tmp_path / "trace.json"
+        save_availability_trace(
+            [
+                AvailabilityEvent(60.0, 29, "leave"),
+                AvailabilityEvent(1e9, 29, "join"),  # far past the horizon
+            ],
+            path,
+        )
+        cfg = ExperimentConfig(
+            algorithm="dsmf", seed=1, n_nodes=30, load_factor=1,
+            total_time=2 * 3600.0, task_range=(2, 4),
+            churn_model="trace", availability_path=str(path),
+        )
+        system = P2PGridSystem(cfg)
+        result = system.run()
+        assert result.n_departures == 1
+        assert result.n_revivals == 0
+        assert not system.nodes[29].alive

@@ -143,3 +143,47 @@ def test_paper_profile_is_identity():
 
 def test_profile_overrides_known_for_all_profiles():
     assert set(PROFILE_OVERRIDES) == set(ScaleProfile)
+
+
+# ----------------------------- availability fields -------------------------
+
+def test_availability_defaults_are_paper_neutral():
+    cfg = ExperimentConfig()
+    assert cfg.churn_model == "paper-interval"
+    assert cfg.recovery_policy == "fail"
+    assert not cfg.churn_enabled()
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"churn_model": "bogus"},
+        {"recovery_policy": "bogus"},
+        {"session_mean": 0.0},
+        {"session_mean": -1.0},
+        {"session_shape": 0.0},
+        {"rejoin_delay_mean": -1.0},
+        {"failure_interval": 0.0},
+        {"ramp_direction": "sideways"},
+        {"ramp_window": 0.0},
+        {"ramp_window": 1.5},
+    ],
+)
+def test_invalid_availability_fields_rejected(overrides):
+    with pytest.raises(ValueError):
+        ExperimentConfig(**overrides)
+
+
+def test_reschedule_failed_flag_normalizes_to_policy():
+    assert ExperimentConfig(reschedule_failed=True).recovery_policy == "reschedule"
+    assert ExperimentConfig(reschedule_failed=False).recovery_policy == "fail"
+    # An explicit policy wins over the legacy flag.
+    cfg = ExperimentConfig(reschedule_failed=True, recovery_policy="checkpoint")
+    assert cfg.recovery_policy == "checkpoint"
+
+
+def test_churn_enabled_per_model():
+    assert not ExperimentConfig(churn_model="paper-interval").churn_enabled()
+    assert ExperimentConfig(dynamic_factor=0.2).churn_enabled()
+    for model in ("sessions", "trace", "correlated", "ramp"):
+        assert ExperimentConfig(churn_model=model).churn_enabled()

@@ -20,7 +20,7 @@ from repro.perf.bench import (
 
 def test_scenario_registry_names():
     names = bench_scenario_names()
-    assert names == ["paper-fig4", "poisson-steady", "fig11-grid"]
+    assert names == ["paper-fig4", "poisson-steady", "fig11-grid", "fig10-dynamic"]
     with pytest.raises(ValueError, match="unknown bench scenario"):
         get_bench_scenario("nope")
 

@@ -22,14 +22,32 @@ from pathlib import Path
 from repro.experiments.config import ExperimentConfig
 from repro.workload.scenarios import apply_scenario
 
-__all__ = ["GOLDEN_ALGORITHMS", "GOLDEN_PATH", "GOLDEN_SCENARIOS", "GOLDEN_SEEDS",
-           "golden_config", "golden_specs", "load_golden"]
+__all__ = ["AVAILABILITY_GOLDEN_PATH", "AVAILABILITY_SCENARIOS", "AVAILABILITY_TRACE_PATH",
+           "GOLDEN_ALGORITHMS", "GOLDEN_PATH", "GOLDEN_SCENARIOS", "GOLDEN_SEEDS",
+           "availability_config", "availability_specs", "golden_config", "golden_specs",
+           "load_availability_golden", "load_golden"]
 
 GOLDEN_PATH = Path(__file__).with_name("golden_fingerprints.json")
 
 GOLDEN_ALGORITHMS = ("dsmf", "dheft", "heft", "smf")
 GOLDEN_SEEDS = (1, 2)
 GOLDEN_SCENARIOS = ("paper-fig4", "poisson-steady")
+
+# ------------------------- availability preset grid -----------------------
+# The churn-axis presets get their own fingerprint file (the workload-axis
+# file above is append-only history and must never move); dsmf, seed 1,
+# same base scale.  ``trace-churn`` replays the committed trace below —
+# itself the recorded availability log of the weibull-sessions cell, so
+# the whole grid regenerates from one script.
+
+AVAILABILITY_GOLDEN_PATH = Path(__file__).with_name("golden_availability.json")
+AVAILABILITY_TRACE_PATH = Path(__file__).with_name("data") / "availability_trace.json"
+AVAILABILITY_SCENARIOS = (
+    "weibull-sessions",
+    "flash-crowd-failure",
+    "grid-rampup",
+    "trace-churn",
+)
 
 #: Small enough that the 16-cell grid replays in well under a minute, large
 #: enough that every subsystem (gossip views, landmark estimation, phase-1
@@ -62,4 +80,24 @@ def golden_specs() -> list[tuple[str, ExperimentConfig]]:
 def load_golden() -> dict:
     """The recorded fingerprint file as a dict."""
     with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+def availability_config(scenario: str) -> ExperimentConfig:
+    """The exact config of one availability-preset golden cell."""
+    base = ExperimentConfig(algorithm="dsmf", seed=1, **_BASE)
+    cfg = apply_scenario(base, scenario)
+    if scenario == "trace-churn":
+        cfg = cfg.with_(availability_path=str(AVAILABILITY_TRACE_PATH))
+    return cfg
+
+
+def availability_specs() -> list[tuple[str, ExperimentConfig]]:
+    """``(scenario, config)`` per availability cell, in recording order."""
+    return [(s, availability_config(s)) for s in AVAILABILITY_SCENARIOS]
+
+
+def load_availability_golden() -> dict:
+    """The recorded availability fingerprint file as a dict."""
+    with AVAILABILITY_GOLDEN_PATH.open() as fh:
         return json.load(fh)

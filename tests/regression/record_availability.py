@@ -1,0 +1,82 @@
+"""Record the availability-preset golden fingerprints (and their trace).
+
+Usage::
+
+    PYTHONPATH=src python tests/regression/record_availability.py
+
+Regenerates, in order:
+
+1. ``data/availability_trace.json`` — the realized join/leave log of the
+   ``weibull-sessions`` golden cell (the committed trace the
+   ``trace-churn`` cell replays);
+2. ``golden_availability.json`` — one result-digest fingerprint per
+   availability scenario preset.
+
+Only run this when a PR *intentionally* changes churn/recovery semantics;
+refactors must replay the existing file bit-identically.  The workload
+golden file (``golden_fingerprints.json``) is recorded separately by
+``record_golden.py`` and must never move for the default churn model.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from regression.golden import (  # noqa: E402
+    AVAILABILITY_GOLDEN_PATH,
+    AVAILABILITY_TRACE_PATH,
+    availability_config,
+    availability_specs,
+)
+
+from repro.availability import save_availability_trace  # noqa: E402
+from repro.experiments.campaign import result_digest  # noqa: E402
+from repro.grid.system import P2PGridSystem  # noqa: E402
+
+
+def record_trace() -> None:
+    """Run the weibull-sessions cell and persist its availability log."""
+    system = P2PGridSystem(availability_config("weibull-sessions"))
+    system.run()
+    AVAILABILITY_TRACE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    save_availability_trace(system.availability_events, AVAILABILITY_TRACE_PATH)
+    print(f"wrote {AVAILABILITY_TRACE_PATH} "
+          f"({len(system.availability_events)} events)")
+
+
+def main() -> int:
+    t0 = time.perf_counter()
+    record_trace()
+    fingerprints: dict[str, str] = {}
+    for scenario, config in availability_specs():
+        t1 = time.perf_counter()
+        result = P2PGridSystem(config).run()
+        digest = result_digest(result)
+        fingerprints[scenario] = digest
+        print(f"  {scenario:22s} {digest[:16]}  ({time.perf_counter() - t1:.2f}s, "
+              f"{result.events_executed} events, dep={result.n_departures} "
+              f"lost={result.n_tasks_lost} rec={result.n_tasks_recovered})")
+    payload = {
+        "_comment": (
+            "Golden fingerprints (result_digest per availability scenario "
+            "preset), dsmf seed 1 at the regression base scale. Regenerate "
+            "only for intentional churn/recovery semantic changes: "
+            "PYTHONPATH=src python tests/regression/record_availability.py"
+        ),
+        "fingerprints": fingerprints,
+    }
+    AVAILABILITY_GOLDEN_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {AVAILABILITY_GOLDEN_PATH} ({len(fingerprints)} cells, "
+          f"{time.perf_counter() - t0:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Golden fingerprints for the availability scenario presets.
+
+Replays each churn-axis preset (dsmf, seed 1, regression base scale) and
+asserts its :func:`result_digest` matches ``golden_availability.json`` —
+pinning churn-model sampling, recovery-policy behavior and the replayed
+trace bit-for-bit, exactly as ``test_golden_fingerprints`` pins the
+default-churn workload grid.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from regression.golden import (
+    AVAILABILITY_GOLDEN_PATH,
+    AVAILABILITY_SCENARIOS,
+    AVAILABILITY_TRACE_PATH,
+    availability_config,
+    load_availability_golden,
+)
+
+from repro.experiments.campaign import result_digest
+from repro.grid.system import P2PGridSystem
+
+
+def test_golden_file_covers_every_availability_preset():
+    recorded = load_availability_golden()["fingerprints"]
+    assert sorted(recorded) == sorted(AVAILABILITY_SCENARIOS), (
+        "golden_availability.json is out of sync with the preset grid; "
+        "re-record via tests/regression/record_availability.py"
+    )
+
+
+def test_committed_trace_is_loadable_and_nonempty():
+    from repro.availability import load_availability_trace
+
+    events = load_availability_trace(AVAILABILITY_TRACE_PATH)
+    assert events, "the committed availability trace must not be empty"
+    assert all(type(e.node) is int for e in events)
+
+
+@pytest.mark.parametrize("scenario", AVAILABILITY_SCENARIOS)
+def test_replay_matches_availability_fingerprint(scenario):
+    recorded = load_availability_golden()["fingerprints"][scenario]
+    result = P2PGridSystem(availability_config(scenario)).run()
+    assert result_digest(result) == recorded, (
+        f"{scenario} no longer replays bit-identically to the recorded "
+        f"fingerprint ({AVAILABILITY_GOLDEN_PATH}). If this PR intentionally "
+        "changes churn/recovery semantics, re-record via "
+        "tests/regression/record_availability.py and call it out in the PR "
+        "description."
+    )
