@@ -110,10 +110,12 @@ class Phase1Runner:
             if target != home_id:
                 system.epidemic.apply_local_update(home_id, target, new_load, now)
 
-        return ResourceView(
-            ids=ids,
-            capacities=caps,
-            loads=loads,
+        # Trusted fast path: the lists above are plain ints/floats from
+        # node/gossip state, so per-element validation is skipped.
+        return ResourceView.trusted(
+            ids,
+            caps,
+            loads,
             bandwidth=system.scheduler_bandwidth,
             home_id=home_id,
             writeback=writeback,

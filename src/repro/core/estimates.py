@@ -176,6 +176,7 @@ class ResourceView:
         "writeback",
         "_index",
         "_scalar",
+        "_qd",
     )
 
     def __init__(
@@ -208,6 +209,41 @@ class ResourceView:
         self.writeback = writeback
         self._index = {nid: k for k, nid in enumerate(self._ids)}
         self._scalar = len(self._ids) <= _SCALAR_MAX and hasattr(bandwidth, "rows")
+        # Memoized per-candidate queueing delays (loads[k] / caps[k]) for
+        # the scalar fast path: a scheduling cycle evaluates many tasks
+        # against the same view between load mutations, and ``add_load``
+        # refreshes the single affected slot with the identical division.
+        self._qd: list[float] | None = None
+
+    @classmethod
+    def trusted(
+        cls,
+        ids: list[int],
+        capacities: list[float],
+        loads: list[float],
+        bandwidth: BandwidthProvider,
+        home_id: int,
+        writeback: Callable[[int, float], None] | None = None,
+    ) -> "ResourceView":
+        """Construction fast path for the per-cycle scheduler: the caller
+        guarantees plain non-empty ``int``/``float`` lists with positive
+        capacities, so the per-element conversion/validation of
+        ``__init__`` is skipped (the lists are owned by the view from here
+        on)."""
+        view = cls.__new__(cls)
+        view._ids = ids
+        view._caps = capacities
+        view._loads = loads
+        view._ids_arr = None
+        view._caps_arr = None
+        view._loads_arr = None
+        view.bandwidth = bandwidth
+        view.home_id = home_id
+        view.writeback = writeback
+        view._index = {nid: k for k, nid in enumerate(ids)}
+        view._scalar = len(ids) <= _SCALAR_MAX and hasattr(bandwidth, "rows")
+        view._qd = None
+        return view
 
     def __len__(self) -> int:
         return len(self._ids)
@@ -273,10 +309,13 @@ class ResourceView:
         """
         ids = self._ids
         caps = self._caps
-        loads = self._loads
         rows = self.bandwidth.rows
         home = self.home_id
         inf = np.inf
+        qd = self._qd
+        if qd is None:
+            # Same divisions as the loop formerly performed per call.
+            qd = self._qd = [x / c for x, c in zip(self._loads, self._caps)]
         # Transfer sources: the image from home first, then each dependent
         # input in order — the exact accumulation order of ltd_vector (max
         # is order-exact anyway).
@@ -287,35 +326,33 @@ class ResourceView:
             if mb > 0.0:
                 sources.append((src, mb))
 
-        n = len(ids)
+        best_k = 0
+        best_ft = inf
         if sources:
-            ltd = [0.0] * n
+            ltd = [0.0] * len(ids)
             for src, mb in sources:
                 bw_row, lat_row = rows(src)
-                for k in range(n):
-                    nid = ids[k]
+                for k, nid in enumerate(ids):
                     if nid != src:
                         b = bw_row[nid]
                         # b == 0 must yield inf like numpy division, not raise.
                         t = mb / b + lat_row[nid] if b else inf
                         if t > ltd[k]:
                             ltd[k] = t
-        else:
-            ltd = None
-
-        best_k = 0
-        best_ft = inf
-        for k in range(n):
-            cap = caps[k]
-            st = loads[k] / cap
-            if ltd is not None:
+            for k, st in enumerate(qd):
                 d = ltd[k]
                 if d > st:
                     st = d
-            ft = st + load / cap
-            if ft < best_ft:
-                best_ft = ft
-                best_k = k
+                ft = st + load / caps[k]
+                if ft < best_ft:
+                    best_ft = ft
+                    best_k = k
+        else:
+            for k, st in enumerate(qd):
+                ft = st + load / caps[k]
+                if ft < best_ft:
+                    best_ft = ft
+                    best_k = k
         return best_k, ids[best_k], float(best_ft)
 
     def best(
@@ -350,6 +387,8 @@ class ResourceView:
         self._loads[k] = new
         if self._loads_arr is not None:
             self._loads_arr[k] = new
+        if self._qd is not None:
+            self._qd[k] = new / self._caps[k]
         if on_update is not None:
             on_update(int(node_id), new)
         if self.writeback is not None:

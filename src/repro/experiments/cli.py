@@ -137,7 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--scenarios", "-s", nargs="+", default=None, metavar="NAME",
         help="presets to time: paper-fig4, poisson-steady, fig11-grid, "
-             "fig10-dynamic (default: all)",
+             "fig10-dynamic, metro-1k (default: all)",
     )
     bench.add_argument("--quick", action="store_true",
                        help="smoke-sized configs (CI; same code paths, smaller grid)")
@@ -145,10 +145,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timing repetitions per scenario; best wall time is kept")
     bench.add_argument("--profile-top", type=int, default=0, metavar="N",
                        help="embed the N hottest repo functions (cProfile)")
-    bench.add_argument("--output", "-o", default="BENCH_PR3.json",
-                       help="report path (default BENCH_PR3.json)")
-    bench.add_argument("--baseline", default=None, metavar="REPORT.json",
-                       help="previous report to compute wall-clock speedups against")
+    bench.add_argument("--output", "-o", default="BENCH_PR5.json",
+                       help="report path (default BENCH_PR5.json)")
+    bench.add_argument(
+        "--baseline", nargs="?", const="auto", default=None, metavar="REPORT.json",
+        help="previous report to compute wall-clock speedups against; with "
+             "no path, auto-discovers the newest BENCH_PR*.json in the "
+             "current directory (run from the repo root; --output is "
+             "excluded)",
+    )
+    bench.add_argument(
+        "--regression-threshold", type=float, default=None, metavar="FACTOR",
+        help="exit non-zero when any common scenario's speedup vs the "
+             "baseline falls below FACTOR (e.g. 0.8 tolerates a 1.25x "
+             "slowdown); requires --baseline",
+    )
     bench.add_argument("--quiet", action="store_true", help="suppress per-scenario progress")
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -307,15 +318,34 @@ def _cmd_campaign(args) -> int:
 def _cmd_bench(args) -> int:
     import json
 
-    from repro.perf.bench import run_bench, validate_report, write_report
+    from repro.perf.bench import (
+        discover_baseline,
+        run_bench,
+        speedup_regressions,
+        validate_report,
+        write_report,
+    )
 
+    if args.regression_threshold is not None and not args.baseline:
+        raise SystemExit("--regression-threshold requires --baseline")
     baseline = None
-    if args.baseline:
+    baseline_path = args.baseline
+    if baseline_path == "auto":
+        found = discover_baseline(".", exclude=args.output)
+        if found is None:
+            raise SystemExit(
+                "--baseline: no BENCH_PR*.json found in the current "
+                "directory to auto-discover (run from the repo root or "
+                "pass an explicit report path)"
+            )
+        baseline_path = str(found)
+        print(f"baseline: {baseline_path} (auto-discovered)", file=sys.stderr)
+    if baseline_path:
         try:
-            with open(args.baseline) as fh:
+            with open(baseline_path) as fh:
                 baseline = json.load(fh)
         except (OSError, ValueError) as exc:
-            raise SystemExit(f"cannot read baseline report {args.baseline}: {exc}")
+            raise SystemExit(f"cannot read baseline report {baseline_path}: {exc}")
     progress = None
     if not args.quiet:
         def progress(entry):  # noqa: ANN001
@@ -343,6 +373,10 @@ def _cmd_bench(args) -> int:
         print(f"  {name}: {factor:.2f}x vs baseline "
               f"({report['baseline']['scenarios'][name]['wall_seconds']:.2f}s -> "
               f"{dict((s['name'], s) for s in report['scenarios'])[name]['wall_seconds']:.2f}s)")
+    if args.regression_threshold is not None:
+        problems = speedup_regressions(report, args.regression_threshold)
+        if problems:
+            raise SystemExit("performance regression: " + "; ".join(problems))
     return 0
 
 

@@ -92,13 +92,14 @@ class AggregationGossip:
         live = self.overlay.live
         order = np.fromiter(live, dtype=np.int64, count=len(live))
         self.rng.shuffle(order)
-        for i in order:
-            i = int(i)
-            peers = self.overlay.sample(i, 1)
+        sample = self.overlay.sample
+        estimates = list(self._estimates.values())
+        for i in order.tolist():
+            peers = sample(i, 1)
             if not peers:
                 continue
             j = peers[0]
-            for est in self._estimates.values():
+            for est in estimates:
                 vi = est.get(i)
                 vj = est.get(j)
                 if vi is None or vj is None:

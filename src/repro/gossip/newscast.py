@@ -11,6 +11,13 @@ exponential spread.
 The overlay also provides the peer-sampling service used by the epidemic and
 aggregation protocols, and absorbs churn: descriptors of departed nodes age
 out, joining nodes bootstrap from a random live seed.
+
+Performance: every bounded draw on the overlay's stream goes through one
+:class:`~repro.sim.fastrand.FastSampler` — the stream-identical emulation
+of NumPy's bounded generation — which removes the per-call ``Generator``
+overhead (the ROADMAP-named gossip hot spot) without moving a single draw.
+Array shuffles stay in NumPy's C loop via the sampler's sync'd
+:meth:`~repro.sim.fastrand.FastSampler.shuffle`.
 """
 
 from __future__ import annotations
@@ -19,10 +26,19 @@ from operator import itemgetter
 
 import numpy as np
 
+from repro.sim.fastrand import FastSampler
+
 __all__ = ["NewscastOverlay"]
 
 #: C-level sort key for freshness ordering (hot path).
 _BY_FRESHNESS = itemgetter(1)
+
+#: Reusable merge/sort buffers for :meth:`NewscastOverlay._shuffle_pair` —
+#: the simulation is single-threaded and shuffles never nest, so one pair
+#: of scratch containers serves every overlay (two fewer tracked
+#: allocations per shuffle keeps generation-0 GC pressure down).
+_MERGE_SCRATCH: dict[int, float] = {}
+_KEEP_SCRATCH: list[tuple[int, float]] = []
 
 
 class NewscastOverlay:
@@ -33,7 +49,9 @@ class NewscastOverlay:
     node_ids:
         Initially live peers.
     rng:
-        Peer-sampling randomness.
+        Peer-sampling randomness.  All bounded draws are emulated
+        stream-identically (see module docstring); callers must not draw
+        from this generator directly once the overlay owns it.
     cache_size:
         Descriptors kept per node; ``None`` -> ``max(8, 2*ceil(log2 n))``
         which keeps the per-node view O(log n) as the paper requires.
@@ -46,6 +64,7 @@ class NewscastOverlay:
         cache_size: int | None = None,
     ):
         self.rng = rng
+        self._fast = FastSampler(rng)
         n = max(len(node_ids), 2)
         if cache_size is None:
             cache_size = max(8, 2 * int(np.ceil(np.log2(n))))
@@ -59,19 +78,24 @@ class NewscastOverlay:
         # or liveness mutation bumps the version.
         self._version = 0
         self._peers_memo: dict[int, tuple[int, list[int]]] = {}
+        #: False until the first departure: on a never-churned grid every
+        #: cached descriptor is live by construction, so the per-sample
+        #: liveness superset check can be skipped outright.
+        self._had_removals = False
         self._bootstrap_random(node_ids)
 
     # ---------------------------------------------------------------- setup
     def _bootstrap_random(self, node_ids: list[int]) -> None:
-        ids = np.asarray(node_ids, dtype=np.int64)
-        if len(ids) < 2:
+        n = len(node_ids)
+        if n < 2:
             return
-        k = min(self.cache_size, len(ids) - 1)
+        k = min(self.cache_size, n - 1)
+        choice_indices = self._fast.choice_indices
         for i in node_ids:
-            peers = self.rng.choice(ids, size=k + 1, replace=False)
+            # Same draws as rng.choice(ids_array, size=k+1, replace=False).
+            peers = [node_ids[t] for t in choice_indices(n, k + 1)]
             cache = self.cache[i]
             for p in peers:
-                p = int(p)
                 if p != i and len(cache) < self.cache_size:
                     cache[p] = 0.0
 
@@ -83,7 +107,9 @@ class NewscastOverlay:
         cache: dict[int, float] = {}
         candidates = [p for p in self.live if p != node_id]
         if candidates:
-            seed = int(self.rng.choice(np.asarray(candidates, dtype=np.int64)))
+            # Same draw as rng.choice(np.asarray(candidates)) — one bounded
+            # integer — without the array round-trip.
+            seed = candidates[self._fast.integers(len(candidates))]
             cache.update(self.cache.get(seed, {}))
             cache.pop(node_id, None)
             cache[seed] = now
@@ -95,6 +121,7 @@ class NewscastOverlay:
         """Leave: the node's cache dies with it; remote descriptors of it
         age out naturally (no global purge — matching real gossip)."""
         self._version += 1
+        self._had_removals = True
         self.live.discard(node_id)
         self.cache.pop(node_id, None)
         self._peers_memo.pop(node_id, None)
@@ -109,14 +136,18 @@ class NewscastOverlay:
         """
         live = self.live
         order = np.fromiter(live, dtype=np.int64, count=len(live))
-        self.rng.shuffle(order)
+        fast = self._fast
+        fast.shuffle(order)
+        cache_get = self.cache.get
+        integers = fast.integers
+        never_churned = not self._had_removals
         for i in order.tolist():
-            cache = self.cache.get(i)
+            cache = cache_get(i)
             if cache is None:
                 continue
             # Fast path: with no dead descriptors every entry qualifies
             # (C-level superset check; identical list to the filter below).
-            if live.issuperset(cache):
+            if never_churned or live.issuperset(cache):
                 live_peers = list(cache)
             else:
                 live_peers = [p for p in cache if p in live]
@@ -124,16 +155,18 @@ class NewscastOverlay:
                 # Degenerate cache (all entries churned out): reseed.
                 candidates = [p for p in live if p != i]
                 if candidates:
-                    p = int(self.rng.choice(np.asarray(candidates, dtype=np.int64)))
+                    p = candidates[integers(len(candidates))]
                     cache[p] = now
                     self._version += 1
                 continue
-            j = live_peers[int(self.rng.integers(len(live_peers)))]
+            j = live_peers[integers(len(live_peers))]
             self._shuffle_pair(i, j, now)
 
     def _shuffle_pair(self, i: int, j: int, now: float) -> None:
         ci, cj = self.cache[i], self.cache[j]
-        merged: dict[int, float] = dict(ci)
+        merged = _MERGE_SCRATCH
+        merged.clear()
+        merged.update(ci)
         merged_get = merged.get
         for p, ts in cj.items():
             cur = merged_get(p)
@@ -141,8 +174,15 @@ class NewscastOverlay:
                 merged[p] = ts
         merged[i] = now
         merged[j] = now
-        keep = sorted(merged.items(), key=_BY_FRESHNESS, reverse=True)
+        keep = _KEEP_SCRATCH
+        keep.clear()
+        keep.extend(merged.items())
+        keep.sort(key=_BY_FRESHNESS, reverse=True)
         cache_size = self.cache_size
+        # Each output misses at most one entry of `keep` (its own owner),
+        # so both caches are full within the first cache_size + 2 items —
+        # the fill loop never needs the tail.
+        del keep[cache_size + 2:]
         new_i: dict[int, float] = {}
         new_j: dict[int, float] = {}
         ni = nj = 0
@@ -170,28 +210,27 @@ class NewscastOverlay:
             if not cache:
                 return []
             live = self.live
-            if live.issuperset(cache):
-                # Fast path (no dead descriptors); a node never caches
-                # itself, but keep the self-filter for robustness to
-                # hand-built caches.
-                peers = [p for p in cache if p != node_id]
+            if not self._had_removals or live.issuperset(cache):
+                # Fast path (no dead descriptors).  A node never caches
+                # itself — bootstrap, shuffles and joins all filter the
+                # owner — so the C-level copy needs no self-filter.
+                peers = list(cache)
             else:
                 peers = [p for p in cache if p in live and p != node_id]
             self._peers_memo[node_id] = (self._version, peers)
         if not peers:
             return []
-        if len(peers) <= k:
+        n = len(peers)
+        if n <= k:
             return peers
+        fast = self._fast
         if k == 1:
-            # Stream-identical fast path: Generator.choice(n, size=1,
-            # replace=False) consumes exactly one bounded draw (Floyd's
-            # algorithm with an empty exclusion set and no tail shuffle),
-            # so a direct integers() call replays the same value while
-            # skipping choice()'s per-call setup — this is the
-            # once-per-node-per-cycle aggregation pairing.
-            return [peers[int(self.rng.integers(0, len(peers)))]]
-        idx = self.rng.choice(len(peers), size=k, replace=False)
-        return [peers[t] for t in idx.tolist()]
+            # One bounded draw — stream-identical to choice(n, 1,
+            # replace=False) (Floyd with an empty exclusion set and no
+            # tail shuffle); this is the once-per-node-per-cycle
+            # aggregation pairing.
+            return [peers[fast.integers(n)]]
+        return [peers[t] for t in fast.choice_indices(n, k)]
 
     def known_live(self, node_id: int) -> list[int]:
         """All live peers currently in the node's cache."""

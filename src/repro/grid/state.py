@@ -16,7 +16,6 @@ keys the same way).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.workflow.dag import Workflow
@@ -32,7 +31,6 @@ class WorkflowStatus(enum.Enum):
     FAILED = "failed"
 
 
-@dataclass(slots=True)
 class TaskDispatch:
     """A task migrated to a resource node, waiting in its ready set.
 
@@ -41,29 +39,63 @@ class TaskDispatch:
     computed at dispatch time; the phase-2 policy of the same algorithm
     bundle reads the matching stamp.  ``pending_inputs`` counts transfers
     (image + dependent data) still in flight; the task becomes *runnable*
-    when it reaches zero.  ``slots=True``: dispatches are the highest-volume
-    mutable state object (one per migrated task, touched by every phase-2
-    scan), so attribute access stays dict-free.
+    when it reaches zero.
+
+    Dispatches are the highest-volume mutable state object (one per
+    migrated task, touched by every phase-2 scan and ready-set removal),
+    so this is a hand-rolled ``__slots__`` pool object rather than a
+    dataclass: construction is plain attribute assignment on the dispatch
+    hot path, and identity comparison (no generated ``__eq__``) keeps
+    ``list.remove`` on ready sets pointer-fast — dispatch identity is the
+    object itself; ``key()`` is the global name.
     """
 
-    wid: str
-    tid: int
-    load: float
-    image_size: float
-    home_id: int
-    target_id: int
-    dispatch_time: float
-    seq: int
-    ms_stamp: float = 0.0
-    rpm_stamp: float = 0.0
-    sufferage_stamp: float = 0.0
-    deadline_stamp: float = 0.0
-    et_stamp: float = 0.0
-    pending_inputs: int = 0
-    ready_time: Optional[float] = None
-    start_time: Optional[float] = None
-    finish_time: Optional[float] = None
-    cancelled: bool = False
+    __slots__ = (
+        "wid", "tid", "load", "image_size", "home_id", "target_id",
+        "dispatch_time", "seq", "ms_stamp", "rpm_stamp", "sufferage_stamp",
+        "deadline_stamp", "et_stamp", "pending_inputs", "ready_time",
+        "start_time", "finish_time", "cancelled",
+    )
+
+    def __init__(
+        self,
+        wid: str,
+        tid: int,
+        load: float,
+        image_size: float,
+        home_id: int,
+        target_id: int,
+        dispatch_time: float,
+        seq: int,
+        ms_stamp: float = 0.0,
+        rpm_stamp: float = 0.0,
+        sufferage_stamp: float = 0.0,
+        deadline_stamp: float = 0.0,
+        et_stamp: float = 0.0,
+        pending_inputs: int = 0,
+        ready_time: Optional[float] = None,
+        start_time: Optional[float] = None,
+        finish_time: Optional[float] = None,
+        cancelled: bool = False,
+    ):
+        self.wid = wid
+        self.tid = tid
+        self.load = load
+        self.image_size = image_size
+        self.home_id = home_id
+        self.target_id = target_id
+        self.dispatch_time = dispatch_time
+        self.seq = seq
+        self.ms_stamp = ms_stamp
+        self.rpm_stamp = rpm_stamp
+        self.sufferage_stamp = sufferage_stamp
+        self.deadline_stamp = deadline_stamp
+        self.et_stamp = et_stamp
+        self.pending_inputs = pending_inputs
+        self.ready_time = ready_time
+        self.start_time = start_time
+        self.finish_time = finish_time
+        self.cancelled = cancelled
 
     @property
     def runnable(self) -> bool:
@@ -77,6 +109,12 @@ class TaskDispatch:
     def key(self) -> tuple[str, int]:
         """Global identity of the dispatched task."""
         return (self.wid, self.tid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TaskDispatch({self.wid!r}, tid={self.tid}, "
+            f"target={self.target_id}, pending={self.pending_inputs})"
+        )
 
 
 class WorkflowExecution:

@@ -30,6 +30,7 @@ Execution semantics implemented here (paper §II.A, Fig. 1):
 
 from __future__ import annotations
 
+import gc
 import time as _wallclock
 from typing import Optional
 
@@ -283,7 +284,20 @@ class P2PGridSystem:
                     label="fullahead",
                 )
 
-        self.sim.run(until=cfg.total_time)
+        # The event loop allocates container-heavy but almost entirely
+        # acyclic garbage (records, digests, eviction rebuilds) that
+        # reference counting already reclaims; the default gen-0 threshold
+        # (700) makes the cycle collector sweep hundreds of times per run
+        # to find only the occasional completion-event closure cycle.
+        # Raising the threshold for the duration of the loop removes that
+        # overhead (~5-10% wall) at a bounded, transient RSS cost; the
+        # previous setting is always restored.
+        gc_thresholds = gc.get_threshold()
+        gc.set_threshold(100_000, gc_thresholds[1], gc_thresholds[2])
+        try:
+            self.sim.run(until=cfg.total_time)
+        finally:
+            gc.set_threshold(*gc_thresholds)
         self._finalize_records()
         self.collector.sample(
             self.sim.now,

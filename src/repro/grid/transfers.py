@@ -84,7 +84,10 @@ class TransferManager:
         get uniform asynchronous semantics.
         """
         tr = Transfer(src, dst, megabits, on_complete)
-        self.inbound.setdefault(dst, set()).add(tr)
+        group = self.inbound.get(dst)
+        if group is None:
+            group = self.inbound[dst] = set()
+        group.add(tr)
         if self.contention and megabits > 0.0 and src != dst:
             self._arm_contended(dst)
         else:

@@ -9,8 +9,10 @@ from repro.perf.bench import (
     BenchScenario,
     DEFAULT_REPORT_NAME,
     bench_scenario_names,
+    discover_baseline,
     get_bench_scenario,
     run_bench,
+    speedup_regressions,
     validate_report,
     write_report,
 )
@@ -20,8 +22,10 @@ __all__ = [
     "BenchScenario",
     "DEFAULT_REPORT_NAME",
     "bench_scenario_names",
+    "discover_baseline",
     "get_bench_scenario",
     "run_bench",
+    "speedup_regressions",
     "validate_report",
     "write_report",
 ]

@@ -4,20 +4,31 @@ The paper's scalability study (Fig. 11) and every "make the hot path
 faster" PR need a fixed, machine-readable performance baseline.  This
 module provides it:
 
-* four end-to-end presets — the Fig. 4 base setting (``paper-fig4``), a
+* five end-to-end presets — the Fig. 4 base setting (``paper-fig4``), a
   streaming-arrival variant (``poisson-steady``), a Fig. 11-style
-  large-grid run (``fig11-grid``) and a Fig. 10-style dynamic grid
-  (``fig10-dynamic``, paper-interval churn with rescheduling) — each a
+  large-grid run (``fig11-grid``), a Fig. 10-style dynamic grid
+  (``fig10-dynamic``, paper-interval churn with rescheduling) and the
+  1000-node production-scale trajectory point (``metro-1k``) — each a
   single-process, fully deterministic simulation;
 * :func:`run_bench`, which times them (wall clock, events/second, peak
   RSS) with optional cProfile hot-spot capture and optional comparison
   against a previously written report;
-* :func:`write_report` / :func:`validate_report` for the ``BENCH_PR3.json``
+* :func:`discover_baseline` / :func:`speedup_regressions`, the machinery
+  behind ``repro bench --baseline`` auto-discovery and the
+  ``--regression-threshold`` CI gate;
+* :func:`write_report` / :func:`validate_report` for the ``BENCH_PR5.json``
   artifact CI uploads and future PRs diff against.
 
 Determinism means the *simulated outcome* of a bench run never varies —
 only the wall clock does — so a report from another machine is comparable
 in shape even when absolute numbers differ.
+
+Peak-RSS honesty: scenario memory is measured via the kernel's resettable
+high-water mark (``/proc/self/clear_refs`` + ``VmHWM``) where available,
+so ``peak_rss_delta_kb`` reflects *this scenario's own* footprint instead
+of accumulating monotonically across the presets of one invocation (the
+pre-schema-2 behavior); on platforms without that interface the
+``ru_maxrss`` fallback keeps the old cumulative semantics.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ import cProfile
 import json
 import platform
 import pstats
+import re
 import sys
 import time
 from dataclasses import dataclass
@@ -41,17 +53,20 @@ __all__ = [
     "BenchScenario",
     "DEFAULT_REPORT_NAME",
     "bench_scenario_names",
+    "discover_baseline",
     "get_bench_scenario",
     "run_bench",
+    "speedup_regressions",
     "validate_report",
     "write_report",
 ]
 
 #: Bump when the report layout changes (CI asserts on this).
-BENCH_SCHEMA = 1
+#: 2: per-scenario peak-RSS isolation (``peak_rss_delta_kb`` is honest).
+BENCH_SCHEMA = 2
 
 #: The canonical repo-root artifact name for this PR's baseline.
-DEFAULT_REPORT_NAME = "BENCH_PR3.json"
+DEFAULT_REPORT_NAME = "BENCH_PR5.json"
 
 #: Fields every per-scenario entry must carry (CI schema assertion).
 _REQUIRED_SCENARIO_FIELDS = (
@@ -129,6 +144,16 @@ def _fig10(quick: bool) -> ExperimentConfig:
     )
 
 
+def _metro(quick: bool) -> ExperimentConfig:
+    base = ExperimentConfig(algorithm="dsmf", seed=7, task_range=(2, 30))
+    cfg = apply_scenario(base, "metro-1k")
+    if quick:
+        # Keep the full 1000 nodes — the point of the preset is the node
+        # count — and shrink only the horizon for smoke jobs.
+        cfg = cfg.with_(total_time=2 * 3600.0)
+    return cfg
+
+
 _SCENARIOS: dict[str, BenchScenario] = {
     s.name: s
     for s in (
@@ -157,6 +182,13 @@ _SCENARIOS: dict[str, BenchScenario] = {
             "revive sweeps, ready-set cleanup, re-entered schedule points).",
             _fig10,
         ),
+        BenchScenario(
+            "metro-1k",
+            "Production-scale trajectory point: 1000 nodes (4x the paper's "
+            "largest grid), structured-mix workloads, Weibull-session "
+            "churn with rescheduling — tracks the 1k-node frontier.",
+            _metro,
+        ),
     )
 }
 
@@ -181,12 +213,37 @@ def get_bench_scenario(name: str) -> BenchScenario:
 # Measurement
 # --------------------------------------------------------------------------
 
+def _reset_peak_rss() -> bool:
+    """Reset the kernel's peak-RSS high-water mark for this process.
+
+    Writing ``5`` to ``/proc/self/clear_refs`` (Linux) resets ``VmHWM`` to
+    the current RSS, which is what makes per-scenario peak measurements
+    honest within one process.  Returns ``False`` where unsupported; the
+    caller then falls back to the cumulative ``ru_maxrss`` semantics.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as fh:
+            fh.write("5")
+        return True
+    except OSError:  # pragma: no cover - non-Linux / restricted /proc
+        return False
+
+
 def _peak_rss_kb() -> Optional[int]:
     """High-water-mark resident set size of this process, in KiB.
 
-    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalize to KiB.
-    Returns ``None`` where :mod:`resource` is unavailable (Windows).
+    Prefers ``VmHWM`` from ``/proc/self/status`` (resettable via
+    :func:`_reset_peak_rss`); falls back to ``ru_maxrss``, which is KiB on
+    Linux and bytes on macOS.  Returns ``None`` where neither source
+    exists (Windows without :mod:`resource`).
     """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        pass
     try:
         import resource
     except ImportError:  # pragma: no cover - non-POSIX
@@ -251,6 +308,11 @@ def _run_one(
         profiler.disable()
         profile_rows = _profile_top(profiler, profile_top)
         digests.add(_digest(result))
+    # Isolate this scenario's memory footprint: resetting the kernel
+    # high-water mark makes rss_before the current RSS, so the delta below
+    # is what *this* scenario added — not whatever an earlier preset
+    # peaked at (pre-reset, deltas were 0-floored lower bounds).
+    rss_isolated = _reset_peak_rss()
     rss_before = _peak_rss_kb()
     for _ in range(max(1, repeats)):
         system = P2PGridSystem(config)
@@ -279,12 +341,14 @@ def _run_one(
         "wall_seconds": round(wall, 4),
         "wall_seconds_all": [round(w, 4) for w in walls],
         "events_per_sec": round(result.events_executed / wall, 1) if wall > 0 else 0.0,
-        # ru_maxrss is a process-wide high-water mark: monotone across the
-        # scenarios of one invocation.  peak_rss_kb is that cumulative
-        # ceiling after this scenario; peak_rss_delta_kb is how much this
-        # scenario raised it (0 when an earlier scenario already peaked
-        # higher — a lower bound on its own footprint).
+        # With rss_isolated the high-water mark was reset before this
+        # scenario's timed reps: peak_rss_kb is this scenario's own peak
+        # (interpreter baseline included) and peak_rss_delta_kb what it
+        # allocated on top of the pre-scenario RSS.  Without isolation
+        # (non-Linux), both keep the legacy cumulative ru_maxrss
+        # semantics where the delta is only a lower bound.
         "peak_rss_kb": rss_after,
+        "peak_rss_isolated": rss_isolated,
         "peak_rss_delta_kb": (
             None if rss_after is None or rss_before is None
             else rss_after - rss_before
@@ -300,6 +364,56 @@ def _digest(result) -> str:
     from repro.experiments.campaign import result_digest
 
     return result_digest(result)
+
+
+# --------------------------------------------------------------------------
+# Baselines
+# --------------------------------------------------------------------------
+
+_BASELINE_PATTERN = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+def discover_baseline(
+    root: "str | Path" = ".", exclude: "str | Path | None" = None
+) -> Optional[Path]:
+    """The newest committed ``BENCH_PR<N>.json`` under ``root``.
+
+    "Newest" is by PR number, so ``repro bench --baseline`` (no path)
+    always gates against the most recent committed baseline; ``exclude``
+    skips the report currently being written (otherwise a re-run would
+    discover its own previous output).
+    """
+    root = Path(root)
+    exclude_path = Path(exclude).resolve() if exclude is not None else None
+    best: tuple[int, Path] | None = None
+    for path in root.glob("BENCH_PR*.json"):
+        match = _BASELINE_PATTERN.match(path.name)
+        if match is None:
+            continue
+        if exclude_path is not None and path.resolve() == exclude_path:
+            continue
+        number = int(match.group(1))
+        if best is None or number > best[0]:
+            best = (number, path)
+    return best[1] if best else None
+
+
+def speedup_regressions(report: Mapping, threshold: float) -> list[str]:
+    """Scenarios whose wall-clock speedup vs the baseline fell below
+    ``threshold`` (e.g. ``0.8`` = tolerate up to 1.25x slowdown).
+
+    Returns human-readable problem strings (empty = within budget); only
+    scenarios present in both reports are compared, so adding a preset
+    never trips the gate retroactively.
+    """
+    problems = []
+    for name, factor in sorted(report.get("speedup", {}).items()):
+        if factor < threshold:
+            problems.append(
+                f"{name}: {factor:.3f}x vs baseline is below the "
+                f"--regression-threshold of {threshold:g}x"
+            )
+    return problems
 
 
 # --------------------------------------------------------------------------

@@ -1,21 +1,30 @@
-"""Heap-based discrete-event simulator.
+"""Indexed discrete-event engine with a slot-reusing entry pool.
 
 Design notes
 ------------
-* The event heap stores ``(time, seq, Event)`` tuples; ``seq`` is a
-  monotonically increasing integer so simultaneous events execute in
-  scheduling order and runs are fully deterministic.
-* Events can be cancelled in O(1) (lazy deletion: the heap entry stays but is
-  skipped when popped), which the grid runtime uses to cancel in-flight
-  transfers and executions when a node churns out.
-* The loop is intentionally free of object allocation beyond the event
-  tuples; per the hpc-parallel guidance the kernel was profiled and the
-  dominant cost is the user callback, not the dispatcher.
+* The priority queue holds mutable ``[time, seq, Event]`` entry slots in a
+  binary heap; ``seq`` is a monotonically increasing integer so
+  simultaneous events execute in scheduling order and runs are fully
+  deterministic.  Entry comparison never reaches the ``Event`` element:
+  two live entries can never share a ``seq``.
+* Popped entry slots are recycled through a free pool, so steady-state
+  scheduling allocates nothing beyond the ``Event`` handle the caller may
+  hold — and :meth:`Simulator.reschedule` reuses that too, making periodic
+  re-arms fully allocation-free.
+* Events are cancelled in O(1) by lazy deletion: the heap entry stays but
+  is skipped when popped (the grid runtime uses this to cancel in-flight
+  transfers and executions when a node churns out).  Cancelling after the
+  event already fired is a harmless no-op.
+* The exact ``(time, seq)`` pop order, seq consumption and cancel
+  semantics of the original tuple-heap engine are contractual: the
+  randomized oracle test (``tests/sim/test_engine_oracle.py``) drives this
+  queue and a reference copy of the legacy heap with identical
+  schedule/cancel/reschedule sequences and asserts identical behavior.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 __all__ = ["Event", "Simulator", "SimulatorError"]
@@ -71,7 +80,11 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: list[tuple[float, int, Event]] = []
+        #: Heap of ``[time, seq, Event]`` slots (see module docstring).
+        self._heap: list[list] = []
+        #: Recycled entry slots awaiting reuse (their Event ref is cleared
+        #: on pop so fired callbacks are not kept alive by the pool).
+        self._free: list[list] = []
         self._seq = 0
         self._running = False
         self.events_executed = 0
@@ -84,7 +97,7 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of not-yet-cancelled events still in the queue."""
-        return sum(1 for _, _, ev in self._heap if not ev.cancelled)
+        return sum(1 for entry in self._heap if not entry[2].cancelled)
 
     # -------------------------------------------------------------- schedule
     def schedule(self, delay: float, callback: Callable[[], Any], label: str = "") -> Event:
@@ -103,9 +116,18 @@ class Simulator:
             raise SimulatorError(
                 f"cannot schedule into the past (t={time} < now={self._now})"
             )
-        ev = Event(time, self._seq, callback, label)
-        self._seq += 1
-        heapq.heappush(self._heap, (ev.time, ev.seq, ev))
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, seq, callback, label)
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry[0] = time
+            entry[1] = seq
+            entry[2] = ev
+        else:
+            entry = [time, seq, ev]
+        heappush(self._heap, entry)
         return ev
 
     def reschedule(self, event: Event, delay: float) -> Event:
@@ -119,11 +141,21 @@ class Simulator:
         """
         if delay < 0:
             raise SimulatorError(f"cannot schedule into the past (delay={delay})")
-        event.time = self._now + delay
-        event.seq = self._seq
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event.time = time
+        event.seq = seq
         event.cancelled = False
-        self._seq += 1
-        heapq.heappush(self._heap, (event.time, event.seq, event))
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry[0] = time
+            entry[1] = seq
+            entry[2] = event
+        else:
+            entry = [time, seq, event]
+        heappush(self._heap, entry)
         return event
 
     # ------------------------------------------------------------------- run
@@ -132,8 +164,14 @@ class Simulator:
 
         Returns ``True`` if an event ran, ``False`` if the queue is empty.
         """
-        while self._heap:
-            time, _, ev = heapq.heappop(self._heap)
+        heap = self._heap
+        free = self._free
+        while heap:
+            entry = heappop(heap)
+            time = entry[0]
+            ev = entry[2]
+            entry[2] = None
+            free.append(entry)
             if ev.cancelled:
                 continue
             self._now = time
@@ -154,17 +192,35 @@ class Simulator:
         self._running = True
         try:
             heap = self._heap
-            while heap:
-                time, _, ev = heap[0]
-                if until is not None and time > until:
-                    break
-                heapq.heappop(heap)
-                if ev.cancelled:
-                    continue
-                self._now = time
-                self.events_executed += 1
-                ev.callback()
-            if until is not None and self._now < until:
-                self._now = until
+            free = self._free
+            if until is None:
+                while heap:
+                    entry = heappop(heap)
+                    time = entry[0]
+                    ev = entry[2]
+                    entry[2] = None
+                    free.append(entry)
+                    if ev.cancelled:
+                        continue
+                    self._now = time
+                    self.events_executed += 1
+                    ev.callback()
+            else:
+                while heap:
+                    entry = heap[0]
+                    time = entry[0]
+                    if time > until:
+                        break
+                    heappop(heap)
+                    ev = entry[2]
+                    entry[2] = None
+                    free.append(entry)
+                    if ev.cancelled:
+                        continue
+                    self._now = time
+                    self.events_executed += 1
+                    ev.callback()
+                if self._now < until:
+                    self._now = until
         finally:
             self._running = False

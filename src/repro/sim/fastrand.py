@@ -1,0 +1,315 @@
+"""Stream-identical fast paths for NumPy ``Generator`` bounded draws.
+
+The gossip substrate makes hundreds of thousands of tiny bounded draws per
+run — ``Generator.choice(n, size=k, replace=False)`` for peer sampling and
+push digests, ``Generator.integers(0, n)`` for pairings — and each call
+pays 1.5–8 µs of NumPy argument-parsing/array-allocation overhead that
+dwarfs the actual bit generation.  :class:`FastSampler` removes that
+overhead while reproducing the *exact same* random stream, so every golden
+fingerprint replays bit-identically.
+
+How NumPy draws a bounded integer (PCG64 family, ranges < 2**32)
+----------------------------------------------------------------
+* The bit generator serves 32-bit words out of 64-bit raw draws, low half
+  first, buffering the high half in its pickled state
+  (``has_uint32``/``uinteger``).
+* A draw uniform on ``[0, rng]`` inclusive is Lemire's multiply-shift with
+  rejection: ``m = u32 * (rng + 1)``; reject while ``m & 0xFFFFFFFF`` is
+  below ``(2**32 - 1 - rng) % (rng + 1)``; the value is ``m >> 32``.
+* ``choice(n, size=k, replace=False)`` runs Floyd's algorithm (``k``
+  bounded draws on growing ranges, collisions replaced by the range top)
+  followed by a backward Fisher–Yates shuffle of the ``k`` picks (``k - 1``
+  more bounded draws).
+* ``integers(0, n)`` is a single bounded draw on ``[0, n - 1]``; a range of
+  zero consumes nothing.
+
+:class:`FastSampler` replays those reductions in Python directly from
+``bit_generator.random_raw()`` (≈0.3 µs per 64-bit word), mirroring the
+uint32 buffer so the stream stays aligned with the wrapped ``Generator``.
+Consumers that still need real NumPy calls on the *same* stream (e.g.
+``Generator.shuffle`` of a large array, which is faster in C) go through
+:meth:`FastSampler.shuffle`, which pushes the mirrored buffer into the bit
+generator's state, delegates, and reads it back.
+
+Every fast path is verified value- and state-exact against NumPy by
+``tests/sim/test_fastrand.py``; on bit generators without the expected
+buffered-uint32 state layout the sampler transparently falls back to the
+plain ``Generator`` calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FastSampler"]
+
+_M32 = 0xFFFFFFFF
+
+#: Bit generators whose ``next_uint32`` is the buffered low-half-first
+#: split of ``next_uint64`` (the layout the emulation assumes).
+_BUFFERED_U32_BITGENS = frozenset({"PCG64", "PCG64DXSM"})
+
+#: ``(n, k) -> (floyd rng_excl list, shuffle rng_excl list)`` — the bounded
+#: ranges of a choice-without-replacement call are a pure function of its
+#: shape, and gossip uses only a handful of shapes per run, so the range
+#: arithmetic is hoisted out of the draw loops entirely.
+_MULT_CACHE: dict[tuple[int, int], tuple[list[int], list[int]]] = {}
+
+
+class FastSampler:
+    """Low-overhead, stream-identical bounded draws for one ``Generator``.
+
+    All consumers of the wrapped generator's *bounded-draw* stream must go
+    through this sampler (or through :meth:`shuffle`'s sync'd delegation):
+    mixing direct ``Generator`` calls in between would consume the bit
+    generator's internal uint32 buffer without the mirror noticing.
+    """
+
+    __slots__ = (
+        "generator", "_bg", "_raw", "_has", "_buf", "native", "_seen",
+        "_pre", "_pi",
+    )
+
+    #: 64-bit raw words fetched per refill; one vectorized ``random_raw``
+    #: call costs ~2 µs for 64 words vs ~0.3 µs per scalar call, so the
+    #: prefetch amortizes the NumPy call overhead ~10x.  Unconsumed words
+    #: are returned to the bit generator via ``advance(-n)`` when a sync
+    #: hands the stream back to NumPy.
+    _PREFETCH = 64
+
+    def __init__(self, generator: np.random.Generator):
+        self.generator = generator
+        self._bg = generator.bit_generator
+        state = getattr(self._bg, "state", None)
+        self.native = not (
+            isinstance(state, dict)
+            and state.get("bit_generator") in _BUFFERED_U32_BITGENS
+            and "has_uint32" in state
+            and "uinteger" in state
+            and hasattr(self._bg, "random_raw")
+            and hasattr(self._bg, "advance")
+        )
+        if self.native:  # pragma: no cover - exotic bit generators only
+            self._raw = None
+            self._has = False
+            self._buf = 0
+        else:
+            self._raw = self._bg.random_raw
+            self._has = bool(state["has_uint32"])
+            self._buf = int(state["uinteger"])
+        #: Reusable Floyd exclusion set (cleared per call; draws never nest).
+        self._seen: set[int] = set()
+        #: Prefetched 64-bit raw words and the consumption cursor.
+        self._pre: list[int] = []
+        self._pi = 0
+
+    # ------------------------------------------------------------ primitives
+    def _next_raw(self) -> int:
+        """Next 64-bit raw word, served from the prefetch buffer."""
+        pi = self._pi
+        pre = self._pre
+        if pi < len(pre):
+            self._pi = pi + 1
+            return pre[pi]
+        pre = self._pre = self._raw(self._PREFETCH).tolist()
+        self._pi = 1
+        return pre[0]
+
+    def _u32(self) -> int:
+        """Next 32-bit word: the buffered high half if present, else the
+        low half of a fresh 64-bit raw draw (high half buffered)."""
+        if self._has:
+            self._has = False
+            return self._buf
+        d = self._next_raw()
+        self._has = True
+        self._buf = d >> 32
+        return d & _M32
+
+    def _lemire(self, rng: int) -> int:
+        """Uniform on ``[0, rng]`` inclusive — NumPy's buffered bounded
+        Lemire reduction (``rng`` must fit in 32 bits).
+
+        The buffer handling is inlined rather than calling :meth:`_u32`:
+        this is the single-draw hot path (aggregation pairings, Newscast
+        pairings and reseeds) and the method-call overhead would double it.
+        """
+        if rng == 0:
+            return 0
+        rng_excl = rng + 1
+        if self._has:
+            self._has = False
+            v = self._buf
+        else:
+            pi = self._pi
+            pre = self._pre
+            if pi < len(pre):
+                self._pi = pi + 1
+                d = pre[pi]
+            else:
+                pre = self._pre = self._raw(self._PREFETCH).tolist()
+                self._pi = 1
+                d = pre[0]
+            self._has = True
+            self._buf = d >> 32
+            v = d & _M32
+        m = v * rng_excl
+        leftover = m & _M32
+        if leftover < rng_excl:
+            threshold = (_M32 - rng) % rng_excl
+            while leftover < threshold:
+                m = self._u32() * rng_excl
+                leftover = m & _M32
+        return m >> 32
+
+    # ------------------------------------------------------------------- API
+    def integers(self, n: int) -> int:
+        """``int(generator.integers(0, n))`` for ``1 <= n <= 2**32``."""
+        if n <= 1:
+            return 0
+        if self.native:  # pragma: no cover - fallback
+            return int(self.generator.integers(0, n))
+        return self._lemire(n - 1)
+
+    def pick(self, seq):
+        """``seq[generator.integers(0, len(seq))]`` — replicates the scalar
+        ``generator.choice(np.asarray(seq))`` without the array round-trip."""
+        return seq[self.integers(len(seq))]
+
+    def choice_indices(self, n: int, k: int) -> list[int]:
+        """``list(generator.choice(n, size=k, replace=False))`` as ints.
+
+        Floyd's algorithm plus the backward shuffle, fed from one batched
+        ``random_raw`` call (the rejection loops almost never fire for the
+        tiny ranges gossip uses, so the batch size is exact in practice).
+        """
+        if self.native:  # pragma: no cover - fallback
+            return [int(x) for x in self.generator.choice(n, size=k, replace=False)]
+        if k == 1:
+            # Floyd with an empty exclusion set and no tail shuffle: one
+            # bounded draw (the aggregation-pairing hot case).
+            return [self._lemire(n - 1)]
+        # Floyd consumes k bounded draws, the shuffle k - 1 more; with the
+        # (~1e-9 per draw) rejections ignored that is exactly 2k - 1 words.
+        need = 2 * k - 1
+        if k == n:
+            need -= 1  # the first Floyd range is empty and draws nothing
+        if self._has:
+            words = [self._buf]
+            self._has = False
+        else:
+            words = []
+        n_raw = (need - len(words) + 1) // 2
+        if n_raw > 0:
+            pre = self._pre
+            pi = self._pi
+            end = pi + n_raw
+            if end <= len(pre):
+                raws = pre[pi:end]
+                self._pi = end
+            else:
+                raws = pre[pi:]
+                short = n_raw - len(raws)
+                pre = self._pre = self._raw(max(self._PREFETCH, short)).tolist()
+                raws += pre[:short]
+                self._pi = short
+            for d in raws:
+                words.append(d & _M32)
+                words.append(d >> 32)
+        if len(words) > need:
+            self._has = True
+            self._buf = words.pop()
+        # The two loops below are NumPy's reductions inlined (no closure —
+        # at 2k-1 draws per call the function-call overhead would dominate)
+        # with the bounded ranges precomputed per (n, k) shape.  Accept
+        # condition: leftover >= rng_excl short-circuits the (almost never
+        # needed) threshold computation of Lemire's rejection test; the
+        # cursor only outruns the batch after such a rejection.
+        mults = _MULT_CACHE.get((n, k))
+        if mults is None:
+            start = 1 if k == n else n - k
+            mults = _MULT_CACHE[(n, k)] = (
+                [j + 1 for j in range(start, n)],
+                list(range(k, 1, -1)),
+            )
+        floyd_mults, shuffle_mults = mults
+        M = _M32
+        cursor = 0
+        limit = len(words)
+        seen = self._seen
+        seen.clear()
+        if k == n:
+            idx = [0]  # empty first range consumes nothing
+            seen.add(0)
+        else:
+            idx = []
+        m = 0
+        for rng_excl in floyd_mults:
+            while True:
+                v = words[cursor] if cursor < limit else self._u32()
+                cursor += 1
+                m = v * rng_excl
+                leftover = m & M
+                if leftover >= rng_excl or leftover >= (M - rng_excl + 1) % rng_excl:
+                    break
+            val = m >> 32
+            if val in seen:
+                val = rng_excl - 1
+            seen.add(val)
+            idx.append(val)
+        pos = k - 1
+        for rng_excl in shuffle_mults:
+            while True:
+                v = words[cursor] if cursor < limit else self._u32()
+                cursor += 1
+                m = v * rng_excl
+                leftover = m & M
+                if leftover >= rng_excl or leftover >= (M - rng_excl + 1) % rng_excl:
+                    break
+            j = m >> 32
+            idx[pos], idx[j] = idx[j], idx[pos]
+            pos -= 1
+        return idx
+
+    def shuffle(self, array) -> None:
+        """``generator.shuffle(array)`` with the buffer mirror synced.
+
+        Large-array shuffles are much faster in NumPy's C loop; this keeps
+        them there while the mirror stays stream-aligned.
+        """
+        if self.native:  # pragma: no cover - fallback
+            self.generator.shuffle(array)
+            return
+        self.sync_to_numpy()
+        self.generator.shuffle(array)
+        self.sync_from_numpy()
+
+    # ------------------------------------------------------------- interop
+    def sync_to_numpy(self) -> None:
+        """Hand the stream back to NumPy exactly where the emulation stands:
+        rewind the bit generator past the unconsumed prefetched words, then
+        push the mirrored uint32 buffer into its state (in that order —
+        ``advance`` clears the buffer fields)."""
+        if self.native:  # pragma: no cover - fallback
+            return
+        unconsumed = len(self._pre) - self._pi
+        if unconsumed:
+            self._bg.advance(-unconsumed)
+            self._pre = []
+            self._pi = 0
+        state = self._bg.state
+        state["has_uint32"] = int(self._has)
+        state["uinteger"] = int(self._buf)
+        self._bg.state = state
+
+    def sync_from_numpy(self) -> None:
+        """Re-read the buffer after direct ``Generator`` calls (the
+        prefetch is empty at this point: :meth:`sync_to_numpy` must have
+        run before the NumPy calls)."""
+        if self.native:  # pragma: no cover - fallback
+            return
+        self._pre = []
+        self._pi = 0
+        state = self._bg.state
+        self._has = bool(state["has_uint32"])
+        self._buf = int(state["uinteger"])

@@ -205,3 +205,28 @@ register_scenario(
     kind="availability",
     churn_model="trace",
 )
+
+# ----------------------------- scale presets -------------------------------
+# Production-scale trajectory points combining both axes — what the
+# scale-out simulation core (struct-of-arrays state, indexed event engine,
+# batched gossip) exists to make affordable.
+
+register_scenario(
+    "metro-1k",
+    "Production-scale trajectory point: 1000 nodes (4x the paper's largest "
+    "grid), structured-mix workloads, heavy-tailed Weibull session churn "
+    "with rescheduling — the preset the perf harness uses to track the "
+    "1k-node frontier.",
+    kind="scale",
+    n_nodes=1000,
+    load_factor=1,
+    total_time=6 * 3600.0,
+    workload_source="structured",
+    structured_family="mixed",
+    churn_model="sessions",
+    session_shape=0.7,
+    session_mean=2 * 3600.0,
+    rejoin_delay_mean=1800.0,
+    churn_mode="fail",
+    recovery_policy="reschedule",
+)

@@ -24,8 +24,9 @@ from repro.workload.scenarios import apply_scenario
 
 __all__ = ["AVAILABILITY_GOLDEN_PATH", "AVAILABILITY_SCENARIOS", "AVAILABILITY_TRACE_PATH",
            "GOLDEN_ALGORITHMS", "GOLDEN_PATH", "GOLDEN_SCENARIOS", "GOLDEN_SEEDS",
-           "availability_config", "availability_specs", "golden_config", "golden_specs",
-           "load_availability_golden", "load_golden"]
+           "METRO_GOLDEN_PATH", "availability_config", "availability_specs",
+           "golden_config", "golden_specs", "load_availability_golden", "load_golden",
+           "load_metro_golden", "metro_config"]
 
 GOLDEN_PATH = Path(__file__).with_name("golden_fingerprints.json")
 
@@ -100,4 +101,26 @@ def availability_specs() -> list[tuple[str, ExperimentConfig]]:
 def load_availability_golden() -> dict:
     """The recorded availability fingerprint file as a dict."""
     with AVAILABILITY_GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+# ------------------------------ metro-1k cell ------------------------------
+# The PR 5 scale-out core is pinned at production scale too: one
+# 1000-node `metro-1k` cell (dsmf, seed 1) at the bench `--quick` horizon,
+# so the regression job replays the indexed event queue, the batched
+# gossip fast paths and the `__slots__`-pooled runtime state against a
+# grid 25x larger than the base golden cells — in seconds, not minutes.
+
+METRO_GOLDEN_PATH = Path(__file__).with_name("golden_metro.json")
+
+
+def metro_config() -> ExperimentConfig:
+    """The exact config of the metro-1k golden cell (bench quick shape)."""
+    base = ExperimentConfig(algorithm="dsmf", seed=1, task_range=(2, 30))
+    return apply_scenario(base, "metro-1k").with_(total_time=2 * 3600.0)
+
+
+def load_metro_golden() -> dict:
+    """The recorded metro fingerprint file as a dict."""
+    with METRO_GOLDEN_PATH.open() as fh:
         return json.load(fh)

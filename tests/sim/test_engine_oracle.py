@@ -1,0 +1,248 @@
+"""Randomized oracle test: the indexed entry-pool queue vs the legacy heap.
+
+``_LegacySimulator`` below is a verbatim reference copy of the tuple-heap
+engine that shipped before the entry-pool rewrite.  Both engines are driven
+with identical randomized schedule/cancel/reschedule/step sequences and
+must agree on *everything observable*: pop order (via fire logs), the
+simulated clock at each firing, seq consumption, ``events_executed``,
+``pending()`` and cancel-after-pop behavior.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim.engine import Event, Simulator, SimulatorError
+
+
+class _LegacyEvent:
+    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+
+    def __init__(self, time, seq, callback, label=""):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class _LegacySimulator:
+    """The pre-rewrite heap engine, kept as the behavioral oracle."""
+
+    def __init__(self, start_time=0.0):
+        self._now = float(start_time)
+        self._heap = []
+        self._seq = 0
+        self.events_executed = 0
+
+    @property
+    def now(self):
+        return self._now
+
+    def pending(self):
+        return sum(1 for _, _, ev in self._heap if not ev.cancelled)
+
+    def schedule(self, delay, callback, label=""):
+        if delay < 0:
+            raise SimulatorError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, label)
+
+    def schedule_at(self, time, callback, label=""):
+        if time < self._now:
+            raise SimulatorError(
+                f"cannot schedule into the past (t={time} < now={self._now})"
+            )
+        ev = _LegacyEvent(time, self._seq, callback, label)
+        self._seq += 1
+        heapq.heappush(self._heap, (ev.time, ev.seq, ev))
+        return ev
+
+    def reschedule(self, event, delay):
+        if delay < 0:
+            raise SimulatorError(f"cannot schedule into the past (delay={delay})")
+        event.time = self._now + delay
+        event.seq = self._seq
+        event.cancelled = False
+        self._seq += 1
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def step(self):
+        while self._heap:
+            time, _, ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = time
+            self.events_executed += 1
+            ev.callback()
+            return True
+        return False
+
+    def run(self, until=None):
+        heap = self._heap
+        while heap:
+            time, _, ev = heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(heap)
+            if ev.cancelled:
+                continue
+            self._now = time
+            self.events_executed += 1
+            ev.callback()
+        if until is not None and self._now < until:
+            self._now = until
+
+
+class _Driver:
+    """Applies one shared random operation script to one engine."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.log = []
+        self.handles = []  # events scheduled so far, fired or not
+        self.periodic_rearms = 0
+
+    def fire(self, tag, handle_idx, periodic):
+        ev = self.handles[handle_idx]
+        self.log.append((tag, round(self.sim.now, 9), ev.seq))
+        if periodic and self.periodic_rearms < 40:
+            self.periodic_rearms += 1
+            self.sim.reschedule(ev, 3.25)
+
+    def apply(self, ops):
+        for op in ops:
+            kind = op[0]
+            if kind == "schedule":
+                _, delay, tag, periodic = op
+                idx = len(self.handles)
+                ev = self.sim.schedule(
+                    delay, lambda i=idx, t=tag, p=periodic: self.fire(t, i, p), label=tag
+                )
+                self.handles.append(ev)
+                self.log.append(("scheduled", ev.seq))
+            elif kind == "schedule_at":
+                _, at, tag = op
+                idx = len(self.handles)
+                try:
+                    ev = self.sim.schedule_at(
+                        at, lambda i=idx, t=tag: self.fire(t, i, False), label=tag
+                    )
+                except SimulatorError:
+                    self.log.append(("rejected", round(at, 9)))
+                    continue
+                self.handles.append(ev)
+                self.log.append(("scheduled", ev.seq))
+            elif kind == "cancel":
+                _, which = op
+                if self.handles:
+                    # Deterministic pick over the shared handle list; may hit
+                    # fired events (cancel-after-pop must be a no-op).
+                    self.handles[which % len(self.handles)].cancel()
+                    self.log.append(("cancelled", which % len(self.handles)))
+            elif kind == "step":
+                ran = self.sim.step()
+                self.log.append(("step", ran, round(self.sim.now, 9)))
+            elif kind == "run_until":
+                _, horizon = op
+                self.sim.run(until=self.sim.now + horizon)
+                self.log.append(("ran", round(self.sim.now, 9)))
+            elif kind == "pending":
+                self.log.append(("pending", self.sim.pending()))
+        self.sim.run()
+        self.log.append(("drained", round(self.sim.now, 9), self.sim.events_executed))
+
+
+def _random_script(rnd, n_ops):
+    ops = []
+    for _ in range(n_ops):
+        r = rnd.random()
+        if r < 0.45:
+            ops.append((
+                "schedule",
+                round(rnd.uniform(0.0, 20.0), 3),
+                f"ev{len(ops)}",
+                rnd.random() < 0.15,  # some events periodically re-arm
+            ))
+        elif r < 0.55:
+            # Absolute-time scheduling, sometimes intentionally in the past.
+            ops.append(("schedule_at", round(rnd.uniform(-5.0, 60.0), 3), f"at{len(ops)}"))
+        elif r < 0.75:
+            ops.append(("cancel", rnd.randrange(0, 64)))
+        elif r < 0.85:
+            ops.append(("step",))
+        elif r < 0.95:
+            ops.append(("run_until", round(rnd.uniform(0.0, 15.0), 3)))
+        else:
+            ops.append(("pending",))
+    return ops
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_indexed_queue_matches_legacy_heap(seed):
+    rnd = random.Random(seed)
+    ops = _random_script(rnd, 120)
+    new = _Driver(Simulator())
+    old = _Driver(_LegacySimulator())
+    new.apply(ops)
+    old.apply(ops)
+    assert new.log == old.log
+    assert new.sim.events_executed == old.sim.events_executed
+    # seq consumption is part of the contract (same-instant determinism).
+    assert [ev.seq for ev in new.handles] == [ev.seq for ev in old.handles]
+    assert new.sim._seq == old.sim._seq
+
+
+def test_cancel_after_pop_is_noop_and_entry_not_leaked():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    assert sim.step()
+    ev.cancel()  # already fired: must not disturb the queue
+    assert sim.step()
+    assert fired == ["a", "b"]
+    assert sim.pending() == 0
+
+
+def test_entry_pool_recycles_slots():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert len(sim._free) == 5
+    # Refilling the queue drains the pool instead of allocating.
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    assert len(sim._free) == 0
+    sim.run()
+    assert sim.events_executed == 10
+
+
+def test_pool_entries_do_not_pin_events():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim._free and all(entry[2] is None for entry in sim._free)
+
+
+def test_reschedule_reuses_event_object():
+    sim = Simulator()
+    fired = []
+    holder = {}
+
+    def cb():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            assert sim.reschedule(holder["ev"], 2.0) is holder["ev"]
+
+    holder["ev"] = sim.schedule(1.0, cb)
+    sim.run()
+    assert fired == [1.0, 3.0, 5.0]
+    assert isinstance(holder["ev"], Event)
