@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""CI end-to-end check for the ``repro serve`` HTTP API.
+
+Usage::
+
+    python scripts/service_check.py http://127.0.0.1:8642 first
+    python scripts/service_check.py http://127.0.0.1:8642 restarted
+
+``first`` runs against a cold server: submit a small campaign, poll it to
+completion, re-submit the identical manifest and assert it is served
+entirely from cache, then fetch every result by config hash and the
+``/experiments`` index.  ``restarted`` runs against a *new* server process
+on the same cache/index directories and asserts the persistent index
+still lists the first phase's runs (and that the cache still serves
+them).  Every request carries a timeout, so a dead or wedged server makes
+this script exit non-zero instead of hanging.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.campaign import config_hash
+from repro.service.client import ServiceClient
+from repro.service.schemas import manifest_specs
+
+MANIFEST = {
+    "algorithms": ["dsmf"],
+    "seeds": [1, 2],
+    "overrides": {"n_nodes": 40, "load_factor": 1, "total_time": 21600.0},
+}
+
+
+def expected_hashes() -> set[str]:
+    return {config_hash(spec.config) for spec in manifest_specs(MANIFEST)}
+
+
+def submit_and_wait(client: ServiceClient) -> dict:
+    record = client.submit(MANIFEST)
+    print(f"submitted campaign {record['id']} "
+          f"({record['progress']['total']} configs)", flush=True)
+    record = client.wait(record["id"], timeout=240)
+    assert record["status"] == "done", record
+    assert record["error"] is None, record
+    for run in record["runs"]:
+        assert run["status"] == "done", run
+    print(f"campaign {record['id']} done "
+          f"({record['n_cached']}/{record['progress']['total']} from cache)",
+          flush=True)
+    return record
+
+
+def check_results_and_index(client: ServiceClient) -> None:
+    hashes = expected_hashes()
+    for key in sorted(hashes):
+        result = client.result(key)
+        assert result["result_digest"], result
+        assert result["config_hash"] == key
+    listed = {entry["config_hash"] for entry in client.experiments()}
+    missing = hashes - listed
+    assert not missing, f"experiment index is missing {sorted(missing)}"
+    print(f"/experiments lists all {len(hashes)} expected hashes "
+          f"({len(listed)} total)", flush=True)
+
+
+def phase_first(client: ServiceClient) -> None:
+    cold = submit_and_wait(client)
+    assert cold["n_cached"] == 0, f"cold run unexpectedly cached: {cold}"
+    replay = submit_and_wait(client)
+    assert replay["n_cached"] == replay["progress"]["total"], (
+        f"resubmission was not served from cache: {replay}"
+    )
+    assert all(run["from_cache"] for run in replay["runs"]), replay
+    check_results_and_index(client)
+
+
+def phase_restarted(client: ServiceClient) -> None:
+    health = client.health()
+    assert health["experiments"] >= len(expected_hashes()), health
+    check_results_and_index(client)
+    replay = submit_and_wait(client)
+    assert replay["n_cached"] == replay["progress"]["total"], (
+        f"restarted server re-ran cached configs: {replay}"
+    )
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2 or argv[1] not in ("first", "restarted"):
+        print(f"usage: {sys.argv[0]} BASE_URL first|restarted", file=sys.stderr)
+        return 2
+    base_url, phase = argv
+    client = ServiceClient(base_url, timeout=30.0)
+    client.wait_healthy(timeout=60)
+    print(f"service healthy at {base_url} (phase: {phase})", flush=True)
+    (phase_first if phase == "first" else phase_restarted)(client)
+    print(f"phase {phase!r} OK", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

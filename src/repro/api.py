@@ -27,6 +27,7 @@ __all__ = [
     "quick_run",
     "run_campaign",
     "run_experiment",
+    "run_manifest",
 ]
 
 
@@ -147,6 +148,37 @@ def run_campaign(
 
         base = apply_scenario(base if base is not None else ExperimentConfig(), scenario)
     specs = sweep_specs(algorithms, seeds, base=base, **overrides)
+    runner = CampaignRunner(
+        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+    )
+    return runner.run(specs)
+
+
+def run_manifest(
+    manifest: "dict",
+    jobs: int = 1,
+    cache_dir=None,
+    use_cache: bool = True,
+    progress: "Optional[Callable[[CampaignRun], None]]" = None,
+) -> "CampaignResult":
+    """Execute a service-style JSON campaign manifest inline.
+
+    The same validation the HTTP service applies to ``POST /campaigns``
+    (:mod:`repro.service.schemas`), without a server: ``manifest`` is a
+    plain dict with optional ``scenario``, ``algorithms``, ``seeds`` and
+    ``overrides`` keys.  Raises
+    :class:`~repro.service.schemas.ManifestError` — a ``ValueError``
+    subclass — on any invalid manifest::
+
+        from repro import run_manifest
+        campaign = run_manifest({"scenario": "poisson-steady",
+                                 "algorithms": ["dsmf"], "seeds": [1, 2],
+                                 "overrides": {"n_nodes": 40}}, jobs=2)
+    """
+    from repro.experiments.campaign import CampaignRunner
+    from repro.service.schemas import manifest_specs
+
+    specs = manifest_specs(manifest)
     runner = CampaignRunner(
         jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress
     )

@@ -48,6 +48,7 @@ __all__ = [
     "RunSpec",
     "config_hash",
     "default_cache_dir",
+    "load_cached_result",
     "result_digest",
     "sweep_specs",
 ]
@@ -63,6 +64,27 @@ def default_cache_dir() -> Path:
     """Default on-disk cache location (read per call, so tests/notebooks
     can set ``REPRO_CAMPAIGN_CACHE`` after import)."""
     return Path(os.environ.get("REPRO_CAMPAIGN_CACHE", ".repro_cache/campaign"))
+
+
+def load_cached_result(key: str, cache_dir: "str | os.PathLike | None" = None) -> Optional[RunResult]:
+    """Load one cached :class:`RunResult` by its config hash.
+
+    Returns ``None`` on a miss or a corrupt/foreign entry — the service's
+    ``GET /results/{hash}`` route and the index rebuild both depend on
+    this never raising for bad cache files.
+    """
+    cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    path = cache_dir / f"{key}.pkl"
+    if not path.is_file():
+        return None
+    try:
+        with path.open("rb") as fh:
+            result = pickle.load(fh)
+    except Exception:
+        # Corrupt/truncated entry (e.g. an interrupted writer on an old
+        # layout): treat as a miss and let a fresh write replace it.
+        return None
+    return result if isinstance(result, RunResult) else None
 
 
 # --------------------------------------------------------------------------
@@ -348,6 +370,10 @@ class CampaignRunner:
     progress:
         Optional callback invoked with each finished :class:`CampaignRun`
         (cache hits included), in completion order.
+    on_start:
+        Optional callback invoked with ``(spec, cache_key)`` as each
+        *pending* spec (cache miss) is handed to a worker — the status
+        hook the service layer uses for per-config progress.
     """
 
     def __init__(
@@ -358,6 +384,7 @@ class CampaignRunner:
         runner: Callable[[ExperimentConfig], RunResult] = _default_runner,
         mp_context: Optional[str] = None,
         progress: Optional[Callable[[CampaignRun], None]] = None,
+        on_start: Optional[Callable[[RunSpec, str], None]] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -367,23 +394,14 @@ class CampaignRunner:
         self.runner = runner
         self.mp_context = mp_context
         self.progress = progress
+        self.on_start = on_start
 
     # ----------------------------------------------------------------- cache
     def _cache_path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.pkl"
 
     def _cache_load(self, key: str) -> Optional[RunResult]:
-        path = self._cache_path(key)
-        if not path.is_file():
-            return None
-        try:
-            with path.open("rb") as fh:
-                result = pickle.load(fh)
-        except Exception:
-            # Corrupt/truncated entry (e.g. an interrupted writer on an old
-            # layout): treat as a miss and let the fresh write replace it.
-            return None
-        return result if isinstance(result, RunResult) else None
+        return load_cached_result(key, cache_dir=self.cache_dir)
 
     def _cache_store(self, key: str, result: RunResult) -> None:
         self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -428,7 +446,7 @@ class CampaignRunner:
                 pending.append(i)
 
         failures: list[tuple[str, str]] = []
-        for outcome in self._execute_pending(specs, pending):
+        for outcome in self._execute_pending(specs, keys, pending):
             i = outcome.index
             if outcome.error is not None:
                 failures.append((specs[i].label, outcome.error))
@@ -471,20 +489,28 @@ class CampaignRunner:
         if self.progress is not None:
             self.progress(run)
 
-    def _execute_pending(self, specs, pending: list[int]):
+    def _notify_start(self, spec: RunSpec, key: str) -> None:
+        if self.on_start is not None:
+            self.on_start(spec, key)
+
+    def _execute_pending(self, specs, keys, pending: list[int]):
         """Yield one :class:`_Outcome` per pending index (completion order)."""
         if not pending:
             return
         items = [(i, specs[i].config, self.runner) for i in pending]
         if self.jobs == 1 or len(items) == 1:
             for item in items:
+                self._notify_start(specs[item[0]], keys[item[0]])
                 yield _execute(item)
             return
         ctx = get_context(self.mp_context) if self.mp_context else None
         workers = min(self.jobs, len(items))
         try:
             with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-                futures = {pool.submit(_execute, item): item[0] for item in items}
+                futures = {}
+                for item in items:
+                    self._notify_start(specs[item[0]], keys[item[0]])
+                    futures[pool.submit(_execute, item)] = item[0]
                 for fut in as_completed(futures):
                     index = futures[fut]
                     exc = fut.exception()

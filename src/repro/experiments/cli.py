@@ -7,6 +7,8 @@ Subcommands
                on-disk result caching,
 ``bench``      time the end-to-end perf scenarios and write a
                machine-readable ``BENCH_*.json`` report,
+``serve``      run the simulation-as-a-service HTTP API (submit campaign
+               manifests, poll status, fetch cached results by hash),
 ``figure``     regenerate a paper figure (4–14 or ``table2``) as ASCII + CSV,
 ``table``      print Table I (the experimental setting) or Table II,
 ``list``       list registered algorithm bundles,
@@ -21,6 +23,7 @@ Examples
     repro campaign --scenario poisson-steady -a dsmf --seeds 1 2 3
     repro bench --quick --scenarios paper-fig4 --output BENCH_PR3.json
     repro bench --baseline BENCH_PR3.json --profile-top 15
+    repro serve --port 8642 --jobs 4
     repro figure 4 --profile small --csv out/fig4.csv
     repro table 1
 """
@@ -145,22 +148,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timing repetitions per scenario; best wall time is kept")
     bench.add_argument("--profile-top", type=int, default=0, metavar="N",
                        help="embed the N hottest repo functions (cProfile)")
-    bench.add_argument("--output", "-o", default="BENCH_PR5.json",
-                       help="report path (default BENCH_PR5.json)")
+    bench.add_argument("--output", "-o", default=None,
+                       help="report path (default: the current PR's canonical "
+                            "BENCH_PR<N>.json artifact name)")
     bench.add_argument(
         "--baseline", nargs="?", const="auto", default=None, metavar="REPORT.json",
         help="previous report to compute wall-clock speedups against; with "
              "no path, auto-discovers the newest BENCH_PR*.json in the "
-             "current directory (run from the repo root; --output is "
-             "excluded)",
+             "current directory whose quick flag matches this run (run from "
+             "the repo root; --output is excluded)",
     )
     bench.add_argument(
         "--regression-threshold", type=float, default=None, metavar="FACTOR",
         help="exit non-zero when any common scenario's speedup vs the "
-             "baseline falls below FACTOR (e.g. 0.8 tolerates a 1.25x "
-             "slowdown); requires --baseline",
+             "baseline falls below the floor; 0.8 and 1.25 both tolerate "
+             "up to a 1.25x slowdown (values above 1 are read as the max "
+             "slowdown factor); requires --baseline",
     )
     bench.add_argument("--quiet", action="store_true", help="suppress per-scenario progress")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP API over the campaign cache",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8642,
+                     help="TCP port (0 = ephemeral; the bound port is printed)")
+    srv.add_argument("--jobs", "-j", type=int, default=1,
+                     help="worker processes per campaign (1 = inline)")
+    srv.add_argument("--cache-dir", default=None,
+                     help="content-addressed result cache shared with "
+                          "`repro campaign` (default .repro_cache/campaign)")
+    srv.add_argument("--index", default=None, metavar="JSONL",
+                     help="experiment index journal "
+                          "(default <cache-dir>/experiments.jsonl)")
+    srv.add_argument("--no-cache", action="store_true",
+                     help="diagnostics only: force fresh runs (disables the "
+                          "cross-campaign coalescing guarantee)")
+    srv.add_argument("--verbose", action="store_true",
+                     help="log every request to stderr")
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("figure", choices=sorted(FIGURES, key=lambda s: (len(s), s)))
@@ -319,6 +345,7 @@ def _cmd_bench(args) -> int:
     import json
 
     from repro.perf.bench import (
+        DEFAULT_REPORT_NAME,
         discover_baseline,
         run_bench,
         speedup_regressions,
@@ -326,17 +353,21 @@ def _cmd_bench(args) -> int:
         write_report,
     )
 
+    if args.output is None:
+        args.output = DEFAULT_REPORT_NAME
     if args.regression_threshold is not None and not args.baseline:
         raise SystemExit("--regression-threshold requires --baseline")
     baseline = None
     baseline_path = args.baseline
     if baseline_path == "auto":
-        found = discover_baseline(".", exclude=args.output)
+        found = discover_baseline(".", exclude=args.output, quick=args.quick)
         if found is None:
+            mode = "quick" if args.quick else "full-size"
             raise SystemExit(
-                "--baseline: no BENCH_PR*.json found in the current "
+                f"--baseline: no {mode} BENCH_PR*.json found in the current "
                 "directory to auto-discover (run from the repo root or "
-                "pass an explicit report path)"
+                "pass an explicit report path; quick runs only match "
+                "committed quick baselines and vice versa)"
             )
         baseline_path = str(found)
         print(f"baseline: {baseline_path} (auto-discovered)", file=sys.stderr)
@@ -378,6 +409,22 @@ def _cmd_bench(args) -> int:
         if problems:
             raise SystemExit("performance regression: " + "; ".join(problems))
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.app import serve
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    return serve(
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        cache_dir=args.cache_dir,
+        index_path=args.index,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+    )
 
 
 def _cmd_figure(args) -> int:
@@ -431,6 +478,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_campaign(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "table":

@@ -66,7 +66,7 @@ __all__ = [
 BENCH_SCHEMA = 2
 
 #: The canonical repo-root artifact name for this PR's baseline.
-DEFAULT_REPORT_NAME = "BENCH_PR5.json"
+DEFAULT_REPORT_NAME = "BENCH_PR6.json"
 
 #: Fields every per-scenario entry must carry (CI schema assertion).
 _REQUIRED_SCENARIO_FIELDS = (
@@ -374,14 +374,20 @@ _BASELINE_PATTERN = re.compile(r"^BENCH_PR(\d+)\.json$")
 
 
 def discover_baseline(
-    root: "str | Path" = ".", exclude: "str | Path | None" = None
+    root: "str | Path" = ".",
+    exclude: "str | Path | None" = None,
+    quick: Optional[bool] = None,
 ) -> Optional[Path]:
     """The newest committed ``BENCH_PR<N>.json`` under ``root``.
 
     "Newest" is by PR number, so ``repro bench --baseline`` (no path)
     always gates against the most recent committed baseline; ``exclude``
     skips the report currently being written (otherwise a re-run would
-    discover its own previous output).
+    discover its own previous output).  When ``quick`` is given, only
+    reports whose top-level ``quick`` flag matches are considered —
+    speedups are only computed between same-size runs, so a quick smoke
+    gate must discover the committed *quick* baseline and a full bench
+    the full one (reports that can't be read are skipped in that mode).
     """
     root = Path(root)
     exclude_path = Path(exclude).resolve() if exclude is not None else None
@@ -392,26 +398,47 @@ def discover_baseline(
             continue
         if exclude_path is not None and path.resolve() == exclude_path:
             continue
+        if quick is not None:
+            try:
+                report = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if bool(report.get("quick")) != quick:
+                continue
         number = int(match.group(1))
         if best is None or number > best[0]:
             best = (number, path)
     return best[1] if best else None
 
 
+def normalize_threshold(threshold: float) -> float:
+    """Resolve a ``--regression-threshold`` value to a speedup floor.
+
+    Both spellings of "fail on a >25% slowdown" are accepted: ``0.8``
+    (the minimum tolerated speedup factor) and ``1.25`` (the maximum
+    tolerated *slowdown* factor — values above 1 are reciprocated).
+    """
+    if threshold <= 0:
+        raise ValueError(f"--regression-threshold must be positive, got {threshold!r}")
+    return 1.0 / threshold if threshold > 1.0 else threshold
+
+
 def speedup_regressions(report: Mapping, threshold: float) -> list[str]:
-    """Scenarios whose wall-clock speedup vs the baseline fell below
-    ``threshold`` (e.g. ``0.8`` = tolerate up to 1.25x slowdown).
+    """Scenarios whose wall-clock speedup vs the baseline fell below the
+    ``threshold`` floor (``0.8`` and ``1.25`` both mean "tolerate up to a
+    1.25x slowdown" — see :func:`normalize_threshold`).
 
     Returns human-readable problem strings (empty = within budget); only
     scenarios present in both reports are compared, so adding a preset
     never trips the gate retroactively.
     """
+    floor = normalize_threshold(threshold)
     problems = []
     for name, factor in sorted(report.get("speedup", {}).items()):
-        if factor < threshold:
+        if factor < floor:
             problems.append(
                 f"{name}: {factor:.3f}x vs baseline is below the "
-                f"--regression-threshold of {threshold:g}x"
+                f"--regression-threshold floor of {floor:g}x"
             )
     return problems
 

@@ -1,0 +1,246 @@
+"""The ``repro serve`` HTTP API (stdlib ``http.server``, zero new deps).
+
+Routes (all JSON)::
+
+    GET  /healthz            liveness + index/queue counters
+    POST /campaigns          submit a campaign manifest -> 202 + id/hashes
+    GET  /campaigns          list submitted campaigns
+    GET  /campaigns/{id}     poll one campaign (per-config progress)
+    GET  /results/{hash}     a cached RunResult by config hash
+    GET  /experiments        the persistent experiment index
+
+Request handling runs on :class:`~http.server.ThreadingHTTPServer` (one
+thread per connection) while simulation work stays on the queue's single
+worker thread — submissions return immediately with ``202 Accepted`` and
+clients poll.  Every error path returns a structured JSON body
+(``{"error": {"code", "message", ...}}``); manifest validation failures
+are 4xx by construction and can never wedge the worker.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro._version import __version__
+from repro.experiments.campaign import default_cache_dir, load_cached_result
+from repro.service.index import ExperimentIndex
+from repro.service.queue import CampaignQueue
+from repro.service.schemas import ManifestError, parse_manifest, result_to_dict
+
+__all__ = ["ServiceServer", "ServiceState", "build_server", "serve"]
+
+_HASH_RE = re.compile(r"^[0-9a-f]{64}$")
+_CAMPAIGN_RE = re.compile(r"^/campaigns/([A-Za-z0-9_-]+)$")
+_RESULT_RE = re.compile(r"^/results/([0-9a-zA-Z]+)$")
+
+
+class ServiceState:
+    """Shared service state: the cache, the index, and the queue."""
+
+    def __init__(
+        self,
+        cache_dir=None,
+        index_path=None,
+        jobs: int = 1,
+        runner: Optional[Callable] = None,
+        use_cache: bool = True,
+        mp_context: Optional[str] = None,
+    ):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        if index_path is None:
+            index_path = self.cache_dir / "experiments.jsonl"
+        self.index = ExperimentIndex(index_path)
+        #: Cache entries the journal didn't know about (CLI runs against
+        #: the same cache dir, or a fresh/lost journal) — recovered here so
+        #: the index survives restarts even without its journal.
+        self.index_rebuilt = self.index.rebuild_from_cache(self.cache_dir)
+        self.queue = CampaignQueue(
+            cache_dir=self.cache_dir,
+            index=self.index,
+            jobs=jobs,
+            runner=runner,
+            use_cache=use_cache,
+            mp_context=mp_context,
+        )
+
+    def start(self) -> None:
+        self.queue.start()
+
+    def close(self, timeout: Optional[float] = 30.0) -> None:
+        self.queue.stop(timeout)
+        self.index.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: "ServiceServer"
+
+    # ------------------------------------------------------------- plumbing
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(
+        self, status: int, code: str, message: str, field: Optional[str] = None
+    ) -> None:
+        error = {"code": code, "message": message}
+        if field is not None:
+            error["field"] = field
+        self._send_json(status, {"error": error})
+
+    # --------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        state = self.server.state
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path in ("/healthz", "/"):
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "version": __version__,
+                    "campaigns": len(state.queue),
+                    "experiments": len(state.index),
+                    "index_rebuilt": state.index_rebuilt,
+                },
+            )
+            return
+        if path == "/experiments":
+            entries = state.index.entries()
+            self._send_json(200, {"count": len(entries), "experiments": entries})
+            return
+        if path == "/campaigns":
+            campaigns = state.queue.list()
+            self._send_json(200, {"count": len(campaigns), "campaigns": campaigns})
+            return
+        match = _CAMPAIGN_RE.match(path)
+        if match:
+            record = state.queue.get(match.group(1))
+            if record is None:
+                self._send_error_json(
+                    404, "not-found", f"no campaign {match.group(1)!r}"
+                )
+            else:
+                self._send_json(200, record)
+            return
+        match = _RESULT_RE.match(path)
+        if match:
+            key = match.group(1)
+            if not _HASH_RE.match(key):
+                self._send_error_json(
+                    400,
+                    "invalid-hash",
+                    "config hashes are 64 lowercase hex characters",
+                )
+                return
+            result = load_cached_result(key, cache_dir=state.cache_dir)
+            if result is None:
+                self._send_error_json(
+                    404, "not-found", f"no cached result for config hash {key}"
+                )
+                return
+            payload = result_to_dict(result)
+            payload["config_hash"] = key
+            self._send_json(200, payload)
+            return
+        self._send_error_json(404, "not-found", f"no route for GET {path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        state = self.server.state
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/campaigns":
+            self._send_error_json(404, "not-found", f"no route for POST {path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0:
+            self._send_error_json(
+                411, "length-required", "POST /campaigns needs a Content-Length"
+            )
+            return
+        body = self.rfile.read(length)
+        try:
+            manifest = parse_manifest(body)
+            record = state.queue.submit(manifest)
+        except ManifestError as exc:
+            status = 413 if exc.code == "body-too-large" else 400
+            self._send_error_json(status, exc.code, exc.message, exc.field)
+            return
+        record["url"] = f"/campaigns/{record['id']}"
+        self._send_json(202, record)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """One thread per connection; simulation stays on the queue worker."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], state: ServiceState, verbose: bool = False):
+        self.state = state
+        self.verbose = verbose
+        super().__init__(address, _Handler)
+
+
+def build_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    **state_kwargs,
+) -> ServiceServer:
+    """Construct the server and start the queue worker (``port=0`` binds an
+    ephemeral port; read it back from ``server.server_address``)."""
+    state = ServiceState(**state_kwargs)
+    server = ServiceServer((host, port), state, verbose=verbose)
+    state.start()
+    return server
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    verbose: bool = False,
+    **state_kwargs,
+) -> int:
+    """Run the service until SIGTERM/SIGINT; returns the exit code.
+
+    Prints one ``listening on http://...`` line once the socket is bound,
+    so wrappers (CI) can wait for readiness; shuts the queue down cleanly
+    on the way out.
+    """
+    server = build_server(host=host, port=port, verbose=verbose, **state_kwargs)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"repro service listening on http://{bound_host}:{bound_port} "
+        f"(cache {server.state.cache_dir}, index rebuilt "
+        f"{server.state.index_rebuilt} entr{'y' if server.state.index_rebuilt == 1 else 'ies'})",
+        flush=True,
+    )
+
+    def _terminate(signum, frame):  # noqa: ANN001
+        raise SystemExit(0)
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.server_close()
+        server.state.close()
+    return 0

@@ -1,0 +1,123 @@
+"""Thin stdlib client for the ``repro serve`` HTTP API.
+
+Used by the CI service job and the concurrent-submission stress benchmark;
+also the easiest programmatic entry point::
+
+    from repro.service import ServiceClient
+    client = ServiceClient("http://127.0.0.1:8642")
+    record = client.submit({"algorithms": ["dsmf"], "seeds": [1],
+                            "overrides": {"n_nodes": 40}})
+    record = client.wait(record["id"])
+    for run in record["runs"]:
+        print(run["label"], client.result(run["config_hash"])["act"])
+
+Every request carries a timeout, so a dead or wedged server surfaces as
+an exception instead of a hang.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Mapping, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries the server's structured error body."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """Minimal blocking client (urllib; no extra dependencies)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ plumbing
+    def _request(self, method: str, path: str, payload: Optional[Mapping] = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                error = json.loads(body.decode("utf-8")).get("error", {})
+            except ValueError:
+                error = {}
+            raise ServiceError(
+                exc.code,
+                error.get("code", "http-error"),
+                error.get("message", body.decode("utf-8", errors="replace")[:200]),
+            ) from None
+
+    # -------------------------------------------------------------- routes
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, manifest: Mapping) -> dict:
+        """``POST /campaigns``; returns the 202 record (id, runs, hashes)."""
+        return self._request("POST", "/campaigns", payload=manifest)
+
+    def campaign(self, campaign_id: str) -> dict:
+        return self._request("GET", f"/campaigns/{campaign_id}")
+
+    def campaigns(self) -> list[dict]:
+        return self._request("GET", "/campaigns")["campaigns"]
+
+    def result(self, config_hash: str) -> dict:
+        """A cached :class:`RunResult` as JSON (404 -> ServiceError)."""
+        return self._request("GET", f"/results/{config_hash}")
+
+    def experiments(self) -> list[dict]:
+        return self._request("GET", "/experiments")["experiments"]
+
+    # ------------------------------------------------------------- helpers
+    def wait(self, campaign_id: str, timeout: float = 120.0, poll: float = 0.2) -> dict:
+        """Poll until the campaign reaches ``done``/``failed``.
+
+        Raises :class:`TimeoutError` if neither happens within ``timeout``
+        seconds (the hung-request guard the CI job relies on).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.campaign(campaign_id)
+            if record["status"] in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id} still {record['status']!r} "
+                    f"after {timeout:.0f}s "
+                    f"({record['progress']['completed']}/{record['progress']['total']} done)"
+                )
+            time.sleep(poll)
+
+    def wait_healthy(self, timeout: float = 30.0, poll: float = 0.2) -> dict:
+        """Poll ``/healthz`` until the server answers (startup barrier)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except (ServiceError, OSError):
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"service at {self.base_url} not healthy after {timeout:.0f}s"
+                    ) from None
+                time.sleep(poll)

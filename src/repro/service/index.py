@@ -1,0 +1,186 @@
+"""Persistent experiment index: a crash-safe JSON-lines journal.
+
+Every run the service completes is appended to an on-disk journal (one
+JSON object per line, flushed and fsynced per record, so a crash can lose
+at most the record being written — never corrupt earlier ones).  On
+startup the index reloads the journal *and* rebuilds entries for any
+cached result the journal does not know about (e.g. runs produced by the
+CLI against the same cache directory, or a journal lost to a disk swap),
+so ``GET /experiments`` always reflects the content-addressed cache.
+
+Listing semantics: one entry per distinct config hash (the latest record
+wins), in first-seen order — resubmitting a manifest refreshes an entry
+rather than duplicating it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+import threading
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.collectors import RunResult
+
+__all__ = ["ExperimentIndex", "entry_from_result"]
+
+_HASH_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+def entry_from_result(
+    config_hash: str,
+    result: "RunResult",
+    label: Optional[str] = None,
+    campaign_id: Optional[str] = None,
+    source: str = "run",
+    from_cache: bool = False,
+    recorded_at: Optional[float] = None,
+) -> dict:
+    """Build one index entry (a flat JSON-safe summary) for a finished run."""
+    config = result.config if isinstance(result.config, Mapping) else {}
+    return {
+        "config_hash": config_hash,
+        "label": label,
+        "campaign_id": campaign_id,
+        "source": source,
+        "from_cache": bool(from_cache),
+        "algorithm": result.algorithm,
+        "seed": result.seed,
+        "scenario": config.get("scenario"),
+        "n_nodes": result.n_nodes,
+        "n_workflows": result.n_workflows,
+        "n_done": result.n_done,
+        "n_failed": result.n_failed,
+        "act": float(result.act),
+        "ae": float(result.ae),
+        "total_time": float(result.total_time),
+        "recorded_at": time.time() if recorded_at is None else float(recorded_at),
+    }
+
+
+class ExperimentIndex:
+    """Thread-safe persistent index of completed experiments."""
+
+    def __init__(self, path: "str | os.PathLike"):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        #: config_hash -> latest entry; insertion order = first-seen order.
+        self._entries: dict[str, dict] = {}
+        #: Journal lines that failed to parse on load (torn tail writes).
+        self.skipped_lines = 0
+        self._fh = None
+        self._load()
+
+    # ------------------------------------------------------------- journal
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        with self.path.open("r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    self.skipped_lines += 1
+                    continue
+                if not isinstance(entry, dict) or not isinstance(
+                    entry.get("config_hash"), str
+                ):
+                    self.skipped_lines += 1
+                    continue
+                self._entries[entry["config_hash"]] = entry
+
+    def _journal(self):
+        """The append handle, opened lazily; a torn tail (crash mid-write,
+        no trailing newline) is terminated first so the next record starts
+        on its own line."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            needs_newline = False
+            if self.path.is_file() and self.path.stat().st_size > 0:
+                with self.path.open("rb") as fh:
+                    fh.seek(-1, os.SEEK_END)
+                    needs_newline = fh.read(1) != b"\n"
+            self._fh = self.path.open("a", encoding="utf-8")
+            if needs_newline:
+                self._fh.write("\n")
+        return self._fh
+
+    # -------------------------------------------------------------- access
+    def record(self, entry: Mapping) -> None:
+        """Append one entry to the journal (flush + fsync) and the listing."""
+        entry = dict(entry)
+        if not isinstance(entry.get("config_hash"), str):
+            raise ValueError("index entries need a string config_hash")
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            fh = self._journal()
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+            self._entries[entry["config_hash"]] = entry
+
+    def entries(self) -> list[dict]:
+        """Latest entry per config hash, in first-seen order (copies)."""
+        with self._lock:
+            return [dict(e) for e in self._entries.values()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, config_hash: str) -> bool:
+        with self._lock:
+            return config_hash in self._entries
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    # ------------------------------------------------------------- rebuild
+    def rebuild_from_cache(self, cache_dir: "str | os.PathLike") -> int:
+        """Index every cached result the journal doesn't already list.
+
+        Scans ``cache_dir`` for content-addressed ``<hash>.pkl`` entries
+        (the :class:`~repro.experiments.campaign.CampaignRunner` layout)
+        and appends an entry per unknown hash.  Unreadable or foreign
+        pickles are skipped — a rebuild must never take the service down.
+        Returns the number of entries added.
+        """
+        from repro.metrics.collectors import RunResult
+
+        cache_dir = Path(cache_dir)
+        if not cache_dir.is_dir():
+            return 0
+        added = 0
+        for path in sorted(cache_dir.glob("*.pkl")):
+            key = path.stem
+            if not _HASH_RE.match(key) or key in self:
+                continue
+            try:
+                with path.open("rb") as fh:
+                    result = pickle.load(fh)
+            except Exception:
+                continue
+            if not isinstance(result, RunResult):
+                continue
+            self.record(
+                entry_from_result(
+                    key,
+                    result,
+                    source="cache-rebuild",
+                    from_cache=True,
+                    recorded_at=path.stat().st_mtime,
+                )
+            )
+            added += 1
+        return added

@@ -1,0 +1,277 @@
+"""The submission queue: serial campaign execution over the shared cache.
+
+One worker thread drains submitted campaigns in FIFO order; each campaign
+fans out through :class:`~repro.experiments.campaign.CampaignRunner`'s
+process pool.  Serial campaign execution is a deliberate design choice,
+not a limitation: together with the content-addressed cache (and the
+runner's own within-sweep dedup) it gives the service its coalescing
+guarantee — when N clients concurrently submit overlapping manifests,
+every distinct config hash is simulated **exactly once**; later campaigns
+replay the overlap from cache.  Parallelism lives inside a campaign
+(``jobs`` worker processes), where the runner already dedupes.
+
+Campaign state transitions: ``queued -> running -> done | failed``; per
+config the run states are ``pending -> running -> done`` (cache hits jump
+straight to ``done``).
+"""
+
+from __future__ import annotations
+
+import queue as _queuemod
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Optional
+
+from repro.experiments.campaign import (
+    CampaignError,
+    CampaignRunner,
+    config_hash,
+)
+from repro.service.index import ExperimentIndex, entry_from_result
+from repro.service.schemas import manifest_specs
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.campaign import CampaignRun, RunSpec
+
+__all__ = ["CampaignQueue", "CampaignState", "RunState"]
+
+
+@dataclass
+class RunState:
+    """Live status of one (label, config) cell of a campaign."""
+
+    label: str
+    config_hash: str
+    status: str = "pending"  # pending | running | done
+    from_cache: bool = False
+    wall_seconds: float = 0.0
+    act: Optional[float] = None
+    ae: Optional[float] = None
+    n_done: Optional[int] = None
+    n_workflows: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "config_hash": self.config_hash,
+            "status": self.status,
+            "from_cache": self.from_cache,
+            "wall_seconds": self.wall_seconds,
+            "act": self.act,
+            "ae": self.ae,
+            "n_done": self.n_done,
+            "n_workflows": self.n_workflows,
+        }
+
+
+@dataclass
+class CampaignState:
+    """Live status of one submitted campaign."""
+
+    id: str
+    manifest: dict
+    runs: list[RunState] = field(default_factory=list)
+    status: str = "queued"  # queued | running | done | failed
+    error: Optional[str] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def to_dict(self, with_runs: bool = True) -> dict:
+        completed = sum(1 for r in self.runs if r.status == "done")
+        out = {
+            "id": self.id,
+            "status": self.status,
+            "error": self.error,
+            "manifest": self.manifest,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "progress": {"completed": completed, "total": len(self.runs)},
+            "n_cached": sum(1 for r in self.runs if r.from_cache),
+        }
+        if with_runs:
+            out["runs"] = [r.to_dict() for r in self.runs]
+        return out
+
+
+class CampaignQueue:
+    """Accept manifests, execute them serially, expose poll-able status.
+
+    Parameters
+    ----------
+    cache_dir:
+        The content-addressed result cache shared with the CLI.
+    index:
+        The persistent experiment index; every completed run (cache hits
+        included) is recorded there.
+    jobs:
+        Worker processes per campaign (the fan-out *inside* a campaign).
+    runner:
+        Injectable per-config work function (tests use a counting stub);
+        forwarded to :class:`~repro.experiments.campaign.CampaignRunner`.
+    use_cache:
+        Disable only in diagnostics — without the cache the coalescing
+        guarantee degrades to within-campaign dedup.
+    """
+
+    def __init__(
+        self,
+        cache_dir,
+        index: ExperimentIndex,
+        jobs: int = 1,
+        runner: Optional[Callable] = None,
+        use_cache: bool = True,
+        mp_context: Optional[str] = None,
+    ):
+        self.cache_dir = cache_dir
+        self.index = index
+        self.jobs = jobs
+        self.runner = runner
+        self.use_cache = use_cache
+        self.mp_context = mp_context
+        self._queue: _queuemod.Queue = _queuemod.Queue()
+        self._campaigns: dict[str, CampaignState] = {}
+        self._lock = threading.RLock()
+        self._seq = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._worker, name="repro-service-worker", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: Optional[float] = 30.0) -> None:
+        """Stop the worker after the campaign in flight (if any) finishes."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    # ----------------------------------------------------------- submission
+    def submit(self, manifest: Mapping) -> dict:
+        """Validate a manifest, enqueue the campaign, return its status.
+
+        Raises :class:`~repro.service.schemas.ManifestError` on any
+        validation failure — nothing invalid ever reaches the worker.
+        """
+        specs = manifest_specs(manifest)
+        runs = [RunState(s.label, config_hash(s.config)) for s in specs]
+        with self._lock:
+            self._seq += 1
+            cid = f"c{self._seq:06d}"
+            state = CampaignState(
+                id=cid,
+                manifest=dict(manifest),
+                runs=runs,
+                submitted_at=time.time(),
+            )
+            self._campaigns[cid] = state
+            snapshot = state.to_dict()
+        self._queue.put((cid, specs))
+        return snapshot
+
+    def get(self, campaign_id: str) -> Optional[dict]:
+        with self._lock:
+            state = self._campaigns.get(campaign_id)
+            return None if state is None else state.to_dict()
+
+    def list(self) -> list[dict]:
+        """Submission-ordered campaign summaries (runs omitted)."""
+        with self._lock:
+            return [s.to_dict(with_runs=False) for s in self._campaigns.values()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._campaigns)
+
+    # ------------------------------------------------------------- worker
+    def _worker(self) -> None:
+        while True:
+            try:
+                cid, specs = self._queue.get(timeout=0.2)
+            except _queuemod.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            try:
+                self._process(cid, specs)
+            finally:
+                self._queue.task_done()
+
+    def _set_run(self, cid: str, label: str, **updates) -> None:
+        with self._lock:
+            state = self._campaigns[cid]
+            for run in state.runs:
+                if run.label == label:
+                    for key, value in updates.items():
+                        setattr(run, key, value)
+                    return
+
+    def _process(self, cid: str, specs: "list[RunSpec]") -> None:
+        with self._lock:
+            state = self._campaigns[cid]
+            state.status = "running"
+            state.started_at = time.time()
+
+        def on_start(spec: "RunSpec", key: str) -> None:
+            self._set_run(cid, spec.label, status="running")
+
+        def on_done(run: "CampaignRun") -> None:
+            self._set_run(
+                cid,
+                run.label,
+                status="done",
+                from_cache=run.from_cache,
+                wall_seconds=run.wall_seconds,
+                act=float(run.result.act),
+                ae=float(run.result.ae),
+                n_done=run.result.n_done,
+                n_workflows=run.result.n_workflows,
+            )
+            self.index.record(
+                entry_from_result(
+                    run.cache_key,
+                    run.result,
+                    label=run.label,
+                    campaign_id=cid,
+                    source="service",
+                    from_cache=run.from_cache,
+                )
+            )
+
+        kwargs: dict = {}
+        if self.runner is not None:
+            kwargs["runner"] = self.runner
+        runner = CampaignRunner(
+            jobs=self.jobs,
+            cache_dir=self.cache_dir,
+            use_cache=self.use_cache,
+            mp_context=self.mp_context,
+            progress=on_done,
+            on_start=on_start,
+            **kwargs,
+        )
+        try:
+            runner.run(specs)
+        except CampaignError as exc:
+            with self._lock:
+                state.status = "failed"
+                state.error = str(exc)
+        except Exception as exc:  # pragma: no cover - defensive: never wedge
+            with self._lock:
+                state.status = "failed"
+                state.error = f"{type(exc).__name__}: {exc}"
+        else:
+            with self._lock:
+                state.status = "done"
+        finally:
+            with self._lock:
+                state.finished_at = time.time()

@@ -1,0 +1,306 @@
+"""Campaign manifests and JSON serialization for the service layer.
+
+A *manifest* is the JSON body of ``POST /campaigns`` — the service-side
+equivalent of a ``repro campaign`` invocation::
+
+    {
+      "scenario": "poisson-steady",
+      "algorithms": ["dsmf", "dheft"],
+      "seeds": [1, 2, 3],
+      "overrides": {"n_nodes": 40, "total_time": 21600.0}
+    }
+
+Validation is strict and *structured*: every rejection raises
+:class:`ManifestError` carrying a stable machine-readable ``code`` and the
+offending ``field``, which the HTTP layer turns into a 4xx JSON body — a
+malformed manifest must never 500 or wedge the worker.  Config-level
+checks are delegated to :class:`~repro.experiments.config.ExperimentConfig`
+itself, so the service accepts exactly what the CLI accepts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.campaign import RunSpec
+    from repro.metrics.collectors import RunResult
+
+__all__ = [
+    "MANIFEST_KEYS",
+    "MAX_ALGORITHMS",
+    "MAX_BODY_BYTES",
+    "MAX_SEEDS",
+    "ManifestError",
+    "manifest_specs",
+    "parse_manifest",
+    "result_to_dict",
+]
+
+#: Request bodies above this size are rejected outright (HTTP 413).
+MAX_BODY_BYTES = 256 * 1024
+#: Sweep-shape caps: a manifest is one campaign, not a denial of service.
+MAX_ALGORITHMS = 16
+MAX_SEEDS = 64
+
+#: The complete set of top-level manifest keys.
+MANIFEST_KEYS = frozenset({"scenario", "algorithms", "seeds", "overrides"})
+
+#: Override keys that are per-cell sweep axes (or provenance), never
+#: free-form overrides — mirrors the CLI's ``--set`` guard rails.
+_RESERVED_OVERRIDES = ("algorithm", "seed", "scenario")
+
+
+class ManifestError(ValueError):
+    """A campaign manifest failed validation (HTTP 4xx, structured body).
+
+    ``code`` is a stable machine-readable slug; ``field`` names the
+    offending manifest key (``None`` when the body as a whole is bad).
+    """
+
+    def __init__(self, code: str, message: str, field: Optional[str] = None):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.field = field
+
+    def to_dict(self) -> dict:
+        error = {"code": self.code, "message": self.message}
+        if self.field is not None:
+            error["field"] = self.field
+        return {"error": error}
+
+
+def parse_manifest(body: bytes) -> dict:
+    """Decode a request body into a manifest mapping.
+
+    Raises :class:`ManifestError` (``body-too-large`` / ``malformed-json``
+    / ``malformed-manifest``) instead of letting decode errors escape.
+    """
+    if len(body) > MAX_BODY_BYTES:
+        raise ManifestError(
+            "body-too-large",
+            f"request body is {len(body)} bytes; the limit is {MAX_BODY_BYTES}",
+        )
+    try:
+        manifest = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ManifestError(
+            "malformed-json", f"request body is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(manifest, dict):
+        raise ManifestError(
+            "malformed-manifest",
+            f"manifest must be a JSON object, got {type(manifest).__name__}",
+        )
+    return manifest
+
+
+def _check_algorithms(manifest: Mapping) -> list[str]:
+    algorithms = manifest.get("algorithms", ["dsmf"])
+    if (
+        not isinstance(algorithms, list)
+        or not algorithms
+        or not all(isinstance(a, str) for a in algorithms)
+    ):
+        raise ManifestError(
+            "invalid-algorithms",
+            "algorithms must be a non-empty list of strings",
+            field="algorithms",
+        )
+    if len(algorithms) > MAX_ALGORITHMS:
+        raise ManifestError(
+            "too-many-algorithms",
+            f"{len(algorithms)} algorithms exceed the limit of {MAX_ALGORITHMS}",
+            field="algorithms",
+        )
+    from repro.core.heuristics.registry import algorithm_names
+
+    known = algorithm_names()
+    for name in algorithms:
+        if name not in known:
+            raise ManifestError(
+                "unknown-algorithm",
+                f"unknown algorithm {name!r}; available: {', '.join(known)}",
+                field="algorithms",
+            )
+    return algorithms
+
+
+def _check_seeds(manifest: Mapping) -> list[int]:
+    seeds = manifest.get("seeds", [1])
+    if (
+        not isinstance(seeds, list)
+        or not seeds
+        or not all(isinstance(s, int) and not isinstance(s, bool) for s in seeds)
+    ):
+        raise ManifestError(
+            "invalid-seeds",
+            "seeds must be a non-empty list of integers",
+            field="seeds",
+        )
+    if len(seeds) > MAX_SEEDS:
+        raise ManifestError(
+            "too-many-seeds",
+            f"oversized seed list: {len(seeds)} seeds exceed the limit of {MAX_SEEDS}",
+            field="seeds",
+        )
+    if any(s < 0 for s in seeds):
+        raise ManifestError(
+            "invalid-seeds", "seeds must be non-negative", field="seeds"
+        )
+    return seeds
+
+
+def _check_scenario(manifest: Mapping) -> Optional[str]:
+    scenario = manifest.get("scenario")
+    if scenario is None:
+        return None
+    from repro.workload.scenarios import scenario_names
+
+    if not isinstance(scenario, str) or scenario not in scenario_names():
+        raise ManifestError(
+            "unknown-scenario",
+            f"unknown scenario {scenario!r}; available: {', '.join(scenario_names())}",
+            field="scenario",
+        )
+    return scenario
+
+
+def _check_overrides(manifest: Mapping) -> dict:
+    overrides = manifest.get("overrides", {})
+    if not isinstance(overrides, dict) or not all(
+        isinstance(k, str) for k in overrides
+    ):
+        raise ManifestError(
+            "invalid-overrides",
+            "overrides must be an object mapping config field names to values",
+            field="overrides",
+        )
+    for key in _RESERVED_OVERRIDES:
+        if key in overrides:
+            raise ManifestError(
+                "invalid-overrides",
+                f"override {key!r} is reserved; use the matching top-level "
+                "manifest field instead",
+                field="overrides",
+            )
+    return overrides
+
+
+def manifest_specs(manifest: Mapping) -> "list[RunSpec]":
+    """Validate a manifest and expand it into the campaign's run specs.
+
+    The resolution order matches :func:`repro.api.run_campaign`: the
+    scenario preset's overrides are applied to the config defaults, the
+    manifest's explicit ``overrides`` win over the preset, and the
+    (algorithm × seed) grid is stamped per cell.  Any rejection — unknown
+    names, bad value types, inverted ranges, duplicate cells — raises
+    :class:`ManifestError`.
+    """
+    if not isinstance(manifest, Mapping):
+        raise ManifestError(
+            "malformed-manifest",
+            f"manifest must be a JSON object, got {type(manifest).__name__}",
+        )
+    unknown = sorted(set(manifest) - MANIFEST_KEYS)
+    if unknown:
+        raise ManifestError(
+            "unknown-field",
+            f"unknown manifest field(s): {', '.join(unknown)}; "
+            f"expected a subset of {{{', '.join(sorted(MANIFEST_KEYS))}}}",
+            field=unknown[0],
+        )
+    algorithms = _check_algorithms(manifest)
+    seeds = _check_seeds(manifest)
+    scenario = _check_scenario(manifest)
+    overrides = _check_overrides(manifest)
+
+    from repro.experiments.campaign import sweep_specs
+    from repro.experiments.config import ExperimentConfig
+
+    try:
+        base = ExperimentConfig()
+        if scenario is not None:
+            from repro.workload.scenarios import apply_scenario
+
+            base = apply_scenario(base, scenario)
+        if overrides:
+            base = base.with_(**overrides)
+    except TypeError as exc:
+        # Unknown field names and type-incompatible values both surface as
+        # TypeError from the frozen dataclass / its validation comparisons.
+        raise ManifestError(
+            "invalid-overrides", f"bad config override: {exc}", field="overrides"
+        ) from None
+    except ValueError as exc:
+        raise ManifestError(
+            "invalid-overrides", f"bad config override: {exc}", field="overrides"
+        ) from None
+    try:
+        return sweep_specs(algorithms, seeds, base=base)
+    except (TypeError, ValueError) as exc:  # e.g. duplicate sweep cells
+        raise ManifestError("invalid-manifest", str(exc)) from None
+
+
+def result_to_dict(result: "RunResult") -> dict:
+    """JSON-safe dump of a :class:`~repro.metrics.collectors.RunResult`.
+
+    Everything the pickled cache entry knows — headline metrics, the
+    availability series, per-workflow records, hourly samples and the
+    resolved config — plus the determinism ``result_digest`` so a client
+    can fingerprint-compare responses across machines.
+    """
+    from repro.experiments.campaign import result_digest
+
+    return {
+        "algorithm": result.algorithm,
+        "seed": result.seed,
+        "n_nodes": result.n_nodes,
+        "n_workflows": result.n_workflows,
+        "total_time": float(result.total_time),
+        "act": float(result.act),
+        "ae": float(result.ae),
+        "n_done": result.n_done,
+        "n_failed": result.n_failed,
+        "events_executed": result.events_executed,
+        "wall_seconds": float(result.wall_seconds),
+        "rss_mean": float(result.rss_mean),
+        "n_departures": result.n_departures,
+        "n_revivals": result.n_revivals,
+        "n_tasks_lost": result.n_tasks_lost,
+        "n_tasks_recovered": result.n_tasks_recovered,
+        "avg_alive_fraction": float(result.avg_alive_fraction),
+        "availability_ae": float(result.availability_ae),
+        "result_digest": result_digest(result),
+        "config": result.config,
+        "records": [
+            {
+                "wid": r.wid,
+                "home_id": r.home_id,
+                "n_tasks": r.n_tasks,
+                "eft": float(r.eft),
+                "submit_time": float(r.submit_time),
+                "status": r.status,
+                "completion_time": (
+                    None if r.completion_time is None else float(r.completion_time)
+                ),
+                "failure_reason": r.failure_reason,
+            }
+            for r in result.records
+        ],
+        "samples": [
+            {
+                "time": float(s.time),
+                "throughput": s.throughput,
+                "act": float(s.act),
+                "ae": float(s.ae),
+                "rss_mean": float(s.rss_mean),
+                "alive_nodes": s.alive_nodes,
+                "departed": s.departed,
+                "revived": s.revived,
+            }
+            for s in result.samples
+        ],
+    }

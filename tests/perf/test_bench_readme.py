@@ -1,0 +1,86 @@
+"""Tests for the README bench-trajectory renderer
+(``scripts/render_experiments.py --bench-readme``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "scripts" / "render_experiments.py"
+
+
+@pytest.fixture(scope="module")
+def renderer():
+    spec = importlib.util.spec_from_file_location("render_experiments", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_report(path: Path, quick: bool, scenarios: dict[str, tuple[float, float]]):
+    path.write_text(json.dumps({
+        "quick": quick,
+        "scenarios": [
+            {"name": name, "wall_seconds": wall, "events_per_sec": eps}
+            for name, (wall, eps) in scenarios.items()
+        ],
+    }))
+
+
+def test_load_bench_reports_skips_quick_and_unreadable(renderer, tmp_path):
+    _write_report(tmp_path / "BENCH_PR3.json", False, {"paper-fig4": (1.2, 9000.0)})
+    _write_report(tmp_path / "BENCH_PR5.json", False, {"paper-fig4": (1.0, 10000.0)})
+    _write_report(tmp_path / "BENCH_PR6.json", True, {"paper-fig4": (0.2, 14000.0)})
+    (tmp_path / "BENCH_PR7.json").write_text("not json")
+    (tmp_path / "BENCH_PRx.json").write_text("{}")
+    reports = renderer.load_bench_reports(tmp_path)
+    assert [pr for pr, _ in reports] == [3, 5]
+
+
+def test_render_bench_trajectory_table(renderer, tmp_path):
+    _write_report(tmp_path / "BENCH_PR3.json", False, {"paper-fig4": (1.2, 9000.0)})
+    _write_report(tmp_path / "BENCH_PR5.json", False, {
+        "paper-fig4": (0.6, 12000.0), "metro-1k": (9.0, 4500.0),
+    })
+    md = renderer.render_bench_trajectory(renderer.load_bench_reports(tmp_path))
+    lines = md.splitlines()
+    assert lines[0] == "| scenario | PR 3 wall | PR 5 wall | speedup | PR 5 events/s |"
+    assert "| `paper-fig4` | 1.20 s | 0.60 s | 2.00x | 12000 |" in lines
+    # metro-1k only exists in PR 5: no old wall, no speedup, but events/s.
+    assert "| `metro-1k` | — | 9.00 s | — | 4500 |" in lines
+    assert "BENCH_PR" in renderer.render_bench_trajectory([])  # empty fallback
+
+
+def test_update_bench_readme_roundtrip_and_check(renderer, tmp_path, capsys):
+    _write_report(tmp_path / "BENCH_PR3.json", False, {"paper-fig4": (1.2, 9000.0)})
+    readme = tmp_path / "README.md"
+    readme.write_text(
+        f"intro\n\n{renderer.BENCH_BEGIN}\nstale\n{renderer.BENCH_END}\n\noutro\n"
+    )
+    # --check on stale content: non-zero, file untouched.
+    assert renderer.update_bench_readme(readme, check=True) == 1
+    assert "stale" in readme.read_text()
+    # Rewrite, then re-run both modes: up to date, exit 0.
+    assert renderer.update_bench_readme(readme) == 0
+    text = readme.read_text()
+    assert "`paper-fig4`" in text and "stale" not in text
+    assert text.startswith("intro") and text.rstrip().endswith("outro")
+    assert renderer.update_bench_readme(readme, check=True) == 0
+    assert renderer.update_bench_readme(readme) == 0
+    assert readme.read_text() == text
+
+
+def test_update_bench_readme_requires_markers(renderer, tmp_path, capsys):
+    readme = tmp_path / "README.md"
+    readme.write_text("no markers here\n")
+    assert renderer.update_bench_readme(readme) == 2
+
+
+def test_committed_readme_is_current(renderer):
+    """The repo's own README must match its committed bench reports (the
+    same invariant the CI drift step enforces)."""
+    assert renderer.update_bench_readme(REPO_ROOT / "README.md", check=True) == 0

@@ -177,19 +177,46 @@ def test_discover_baseline_picks_highest_pr(tmp_path):
     assert discover_baseline(tmp_path / "empty") is None
 
 
+def test_discover_baseline_is_quick_aware(tmp_path):
+    """Speedups only compare same-size runs, so a quick gate must find the
+    committed *quick* baseline even when a newer full report exists."""
+    (tmp_path / "BENCH_PR4.json").write_text(json.dumps({"quick": True}))
+    (tmp_path / "BENCH_PR5.json").write_text(json.dumps({"quick": False}))
+    (tmp_path / "BENCH_PR6.json").write_text("not json")  # skipped when filtering
+    found = discover_baseline(tmp_path, quick=True)
+    assert found is not None and found.name == "BENCH_PR4.json"
+    found = discover_baseline(tmp_path, quick=False)
+    assert found is not None and found.name == "BENCH_PR5.json"
+    # Without the filter, newest-by-PR-number wins regardless of mode
+    # (unreadable files only matter when their quick flag must be read).
+    found = discover_baseline(tmp_path)
+    assert found is not None and found.name == "BENCH_PR6.json"
+
+
 def test_speedup_regressions_flags_slowdowns():
     report = {"speedup": {"paper-fig4": 1.3, "fig11-grid": 0.7}}
     assert speedup_regressions(report, 0.8) == [
         "fig11-grid: 0.700x vs baseline is below the "
-        "--regression-threshold of 0.8x"
+        "--regression-threshold floor of 0.8x"
     ]
     assert speedup_regressions(report, 0.5) == []
     assert speedup_regressions({}, 0.8) == []
 
 
+def test_speedup_regressions_reciprocates_slowdown_factors():
+    """1.25 and 0.8 are the same gate: values above 1 are read as the max
+    tolerated slowdown factor (the spelling the CI job uses)."""
+    report = {"speedup": {"paper-fig4": 0.7}}
+    assert speedup_regressions(report, 1.25) == speedup_regressions(report, 0.8)
+    assert speedup_regressions({"speedup": {"paper-fig4": 0.85}}, 1.25) == []
+    with pytest.raises(ValueError, match="must be positive"):
+        speedup_regressions(report, 0.0)
+
+
 def test_cli_bench_auto_baseline_and_threshold(tmp_path, monkeypatch, quick_report, capsys):
-    """--baseline with no path discovers the newest BENCH_PR*.json; a
-    threshold above the achieved speedup exits non-zero."""
+    """--baseline with no path discovers the newest quick BENCH_PR*.json;
+    an injected slowdown (baseline claiming a near-zero wall time) must
+    exit non-zero under the CI gate's --regression-threshold 1.25."""
     monkeypatch.chdir(tmp_path)
     write_report(quick_report, tmp_path / "BENCH_PR3.json")
     rc = main([
@@ -199,18 +226,29 @@ def test_cli_bench_auto_baseline_and_threshold(tmp_path, monkeypatch, quick_repo
     assert rc == 0
     report = json.loads((tmp_path / "BENCH_NEW.json").read_text())
     assert "paper-fig4" in report["speedup"]
-    # An absurd threshold (faster-than-1000x required) must trip the gate.
+    # Injected slowdown: a baseline that "ran" in 1 microsecond makes any
+    # real run look catastrophically slower, so the gate must trip.
+    injected = json.loads(json.dumps(quick_report))
+    injected["scenarios"][0]["wall_seconds"] = 1e-6
+    (tmp_path / "BENCH_FAST.json").write_text(json.dumps(injected))
     with pytest.raises(SystemExit, match="performance regression"):
         main([
             "bench", "--quick", "--scenarios", "paper-fig4",
-            "--output", "BENCH_NEW.json", "--baseline", "BENCH_PR3.json",
-            "--regression-threshold", "1000", "--quiet",
+            "--output", "BENCH_NEW.json", "--baseline", "BENCH_FAST.json",
+            "--regression-threshold", "1.25", "--quiet",
         ])
 
 
 def test_cli_bench_auto_baseline_requires_existing_report(tmp_path, monkeypatch):
     monkeypatch.chdir(tmp_path)
-    with pytest.raises(SystemExit, match="no BENCH_PR"):
+    with pytest.raises(SystemExit, match="no quick BENCH_PR"):
+        main([
+            "bench", "--quick", "--scenarios", "paper-fig4",
+            "--output", "b.json", "--baseline", "--quiet",
+        ])
+    # A full-size BENCH_PR*.json alone doesn't satisfy a --quick gate.
+    (tmp_path / "BENCH_PR5.json").write_text(json.dumps({"quick": False}))
+    with pytest.raises(SystemExit, match="no quick BENCH_PR"):
         main([
             "bench", "--quick", "--scenarios", "paper-fig4",
             "--output", "b.json", "--baseline", "--quiet",
