@@ -6,10 +6,11 @@ Usage::
     python scripts/service_check.py http://127.0.0.1:8642 first
     python scripts/service_check.py http://127.0.0.1:8642 restarted
 
-``first`` runs against a cold server: submit a small campaign, poll it to
-completion, re-submit the identical manifest and assert it is served
-entirely from cache, then fetch every result by config hash and the
-``/experiments`` index.  ``restarted`` runs against a *new* server process
+``first`` runs against a cold server: submit a small campaign, long-poll
+it to completion, re-submit the identical manifest and assert it is
+served entirely from cache, fetch every result by config hash and the
+``/experiments`` index, then scrape ``/metrics`` and parse it as
+Prometheus text.  ``restarted`` runs against a *new* server process
 on the same cache/index directories and asserts the persistent index
 still lists the first phase's runs (and that the cache still serves
 them).  Every request carries a timeout, so a dead or wedged server makes
@@ -21,6 +22,7 @@ from __future__ import annotations
 import sys
 
 from repro.experiments.campaign import config_hash
+from repro.obs.telemetry import parse_prometheus
 from repro.service.client import ServiceClient
 from repro.service.schemas import manifest_specs
 
@@ -63,6 +65,21 @@ def check_results_and_index(client: ServiceClient) -> None:
           f"({len(listed)} total)", flush=True)
 
 
+def check_metrics(client: ServiceClient) -> None:
+    """Scrape ``/metrics`` and assert it is well-formed Prometheus text
+    with the request counters this script itself generated."""
+    samples = parse_prometheus(client.metrics())  # raises on malformed lines
+    assert samples, "empty /metrics exposition"
+    requests = {k: v for k, v in samples.items()
+                if k.startswith("repro_http_requests_total")}
+    assert requests, f"no request counters in /metrics: {sorted(samples)[:5]}"
+    assert sum(requests.values()) > 0
+    done = samples.get('repro_service_campaigns{state="done"}')
+    assert done is not None and done >= 1, samples
+    print(f"/metrics OK ({len(samples)} samples, "
+          f"{sum(requests.values()):.0f} requests counted)", flush=True)
+
+
 def phase_first(client: ServiceClient) -> None:
     cold = submit_and_wait(client)
     assert cold["n_cached"] == 0, f"cold run unexpectedly cached: {cold}"
@@ -72,6 +89,7 @@ def phase_first(client: ServiceClient) -> None:
     )
     assert all(run["from_cache"] for run in replay["runs"]), replay
     check_results_and_index(client)
+    check_metrics(client)
 
 
 def phase_restarted(client: ServiceClient) -> None:

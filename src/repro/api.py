@@ -63,11 +63,18 @@ def available_recovery_policies() -> list[str]:
     return recovery_policy_names()
 
 
-def run_experiment(config: "ExperimentConfig") -> "RunResult":
-    """Build a P2P grid system from ``config``, run it, return the metrics."""
+def run_experiment(config: "ExperimentConfig", recorder=None) -> "RunResult":
+    """Build a P2P grid system from ``config``, run it, return the metrics.
+
+    ``recorder`` optionally attaches a
+    :class:`~repro.trace.recorder.TraceRecorder` before the run (for
+    Perfetto traces via :mod:`repro.obs.spans`).
+    """
     from repro.grid.system import P2PGridSystem
 
     system = P2PGridSystem(config)
+    if recorder is not None:
+        recorder.attach(system)
     return system.run()
 
 
@@ -78,6 +85,7 @@ def quick_run(
     duration_hours: "Optional[float]" = None,
     seed: int = 1,
     scenario: "Optional[str]" = None,
+    recorder=None,
     **overrides,
 ) -> "RunResult":
     """One-call simulation with small-scale defaults (see README quickstart):
@@ -109,7 +117,7 @@ def quick_run(
     params.setdefault("load_factor", 2)
     params.setdefault("total_time", 12 * 3600.0)
     config = ExperimentConfig(**params)
-    return run_experiment(config)
+    return run_experiment(config, recorder=recorder)
 
 
 def run_campaign(

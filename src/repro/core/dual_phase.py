@@ -13,6 +13,7 @@ which calls the bundle's phase-2 policy.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 from repro.core.estimates import ResourceView
@@ -69,7 +70,16 @@ class Phase1Runner:
             avg_capacity=system.avg_capacity_estimate(home_id),
             avg_bandwidth=system.avg_bandwidth_estimate(home_id),
         )
-        decisions = system.bundle.phase1.plan(ctx)
+        telemetry = system.telemetry
+        if telemetry.enabled:
+            t0 = perf_counter()
+            decisions = system.bundle.phase1.plan(ctx)
+            telemetry.observe(
+                f"sched.phase1_plan_seconds.{system.config.algorithm}",
+                perf_counter() - t0,
+            )
+        else:
+            decisions = system.bundle.phase1.plan(ctx)
         for decision in decisions:
             if system.execute_decision(decision):
                 self.dispatches += 1
@@ -95,12 +105,22 @@ class Phase1Runner:
                     caps.append(node.capacity)
                     loads.append(node.total_load())
         else:
-            for nid, rec in system.epidemic.rss_view(home_id).items():
+            rss_items = system.epidemic.rss_view(home_id).items()
+            for nid, rec in rss_items:
                 if nid == home_id:
                     continue
                 ids.append(nid)
                 caps.append(rec.capacity)
                 loads.append(rec.total_load)
+            telemetry = system.telemetry
+            if telemetry.enabled:
+                # RSS staleness as seen by Algorithm 1 (second pass over the
+                # dict view; runs only with telemetry on).
+                t_now = system.sim.now
+                observe = telemetry.observe
+                for nid, rec in rss_items:
+                    if nid != home_id:
+                        observe("sched.rss_age_at_plan_seconds", t_now - rec.timestamp)
         now = system.sim.now
 
         def writeback(target: int, new_load: float) -> None:

@@ -39,6 +39,7 @@ from typing import Callable, Mapping, Optional, Sequence
 from repro._version import __version__
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.collectors import RunResult
+from repro.obs.telemetry import TelemetrySnapshot
 
 __all__ = [
     "CampaignError",
@@ -58,7 +59,9 @@ __all__ = [
 #: 2: submission moved to the repro.workload subsystem (new config fields).
 #: 3: repro.availability subsystem (churn_model/recovery_policy fields,
 #:    availability series on RunResult).
-CACHE_SCHEMA = 3
+#: 4: observability layer (``telemetry`` config field enters every hash;
+#:    RunResult grew a ``telemetry`` snapshot slot).
+CACHE_SCHEMA = 4
 
 def default_cache_dir() -> Path:
     """Default on-disk cache location (read per call, so tests/notebooks
@@ -252,6 +255,33 @@ class CampaignResult:
             [[r.label, r.digest()] for r in self.runs], separators=(",", ":")
         )
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def telemetry_summary(self) -> TelemetrySnapshot:
+        """Campaign-layer telemetry, plus every run snapshot folded in.
+
+        Always returns a snapshot: the ``campaign.*`` metrics (cache
+        hits/misses, worker-busy seconds, effective parallelism =
+        busy/wall) exist even when per-run telemetry was off.  Run-level
+        counters are summed across runs
+        (:meth:`~repro.obs.telemetry.TelemetrySnapshot.merged` semantics).
+        """
+        snaps = [
+            r.result.telemetry
+            for r in self.runs
+            if getattr(r.result, "telemetry", None) is not None
+        ]
+        merged = TelemetrySnapshot.merged(snaps) if snaps else TelemetrySnapshot(n_runs=0)
+        n = len(self.runs)
+        merged.counters["campaign.runs"] = float(n)
+        merged.counters["campaign.cache_hits"] = float(self.n_cached)
+        merged.counters["campaign.cache_misses"] = float(n - self.n_cached)
+        busy = sum(r.wall_seconds for r in self.runs)
+        merged.gauges["campaign.worker_busy_seconds"] = busy
+        merged.gauges["campaign.wall_seconds"] = self.wall_seconds
+        merged.gauges["campaign.worker_utilization"] = (
+            busy / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        )
+        return merged
 
 
 class CampaignError(RuntimeError):

@@ -8,7 +8,9 @@ Subcommands
 ``bench``      time the end-to-end perf scenarios and write a
                machine-readable ``BENCH_*.json`` report,
 ``serve``      run the simulation-as-a-service HTTP API (submit campaign
-               manifests, poll status, fetch cached results by hash),
+               manifests, poll status, fetch cached results by hash,
+               scrape Prometheus metrics from ``GET /metrics``),
+``trace``      summarize a Chrome trace written by ``run --trace-out``,
 ``figure``     regenerate a paper figure (4–14 or ``table2``) as ASCII + CSV,
 ``table``      print Table I (the experimental setting) or Table II,
 ``list``       list registered algorithm bundles,
@@ -19,6 +21,8 @@ Examples
 ::
 
     repro run --algorithm dsmf -n 120 --hours 24 --seed 3
+    repro run -n 60 --telemetry --trace-out trace.json
+    repro trace summarize trace.json
     repro campaign -a dsmf dheft --seeds 1 2 3 4 --jobs 4
     repro campaign --scenario poisson-steady -a dsmf --seeds 1 2 3
     repro bench --quick --scenarios paper-fig4 --output BENCH_PR3.json
@@ -89,6 +93,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="fate of tasks lost in churn_mode=fail "
              "(fail | reschedule | checkpoint)",
     )
+    run.add_argument(
+        "--telemetry", action="store_true",
+        help="collect runtime counters/gauges/histograms and print the "
+             "snapshot after the run (observation-only: the result digest "
+             "is bit-identical either way)",
+    )
+    run.add_argument(
+        "--trace-out", default=None, metavar="TRACE.json",
+        help="record sim-time spans and write a Chrome trace-event JSON "
+             "file (open in https://ui.perfetto.dev or chrome://tracing)",
+    )
 
     camp = sub.add_parser(
         "campaign",
@@ -129,6 +144,11 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--no-cache", action="store_true",
                       help="force fresh runs; skip cache reads and writes")
     camp.add_argument("--csv", default=None, help="also write the per-run table to CSV")
+    camp.add_argument(
+        "--telemetry", action="store_true",
+        help="collect per-run telemetry and print the campaign-wide merged "
+             "summary (cache hits, worker utilization, counter totals)",
+    )
     camp.add_argument("--quiet", action="store_true", help="suppress per-run progress")
 
     bench = sub.add_parser(
@@ -165,6 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
              "up to a 1.25x slowdown (values above 1 are read as the max "
              "slowdown factor); requires --baseline",
     )
+    bench.add_argument(
+        "--telemetry", action="store_true",
+        help="run the scenarios with telemetry enabled and embed each "
+             "scenario's counter snapshot in the report (times the "
+             "instrumented path; digests are unchanged)",
+    )
     bench.add_argument("--quiet", action="store_true", help="suppress per-scenario progress")
 
     srv = sub.add_parser(
@@ -187,6 +213,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "cross-campaign coalescing guarantee)")
     srv.add_argument("--verbose", action="store_true",
                      help="log every request to stderr")
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect Chrome trace files written by `repro run --trace-out`",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    tsum = trace_sub.add_parser("summarize", help="span counts/durations per category")
+    tsum.add_argument("trace_file", metavar="TRACE.json")
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("figure", choices=sorted(FIGURES, key=lambda s: (len(s), s)))
@@ -234,6 +268,13 @@ def _cmd_run(args) -> int:
         kw["churn_model"] = args.churn_model
     if args.recovery is not None:
         kw["recovery_policy"] = args.recovery
+    if args.telemetry:
+        kw["telemetry"] = True
+    recorder = None
+    if args.trace_out:
+        from repro.trace.recorder import TraceRecorder
+
+        recorder = TraceRecorder()
     try:
         result = quick_run(
             algorithm=args.algorithm,
@@ -242,6 +283,7 @@ def _cmd_run(args) -> int:
             duration_hours=pick(args.hours, "total_time", 24.0),
             seed=args.seed,
             scenario=args.scenario,
+            recorder=recorder,
             **kw,
         )
     except ValueError as exc:  # e.g. a scenario needing --workload-path
@@ -252,6 +294,16 @@ def _cmd_run(args) -> int:
         for s in result.samples
     ]
     print(ascii_table(["time", "finished", "ACT (s)", "AE"], rows))
+    if result.telemetry is not None:
+        print("\n== telemetry ==")
+        for line in result.telemetry.summary_lines():
+            print(f"  {line}")
+    if recorder is not None:
+        from repro.obs.spans import write_chrome_trace
+
+        trace = write_chrome_trace(args.trace_out, recorder, result)
+        print(f"\nwrote {args.trace_out} ({len(trace['traceEvents'])} trace events; "
+              "open in https://ui.perfetto.dev)")
     return 0
 
 
@@ -298,6 +350,8 @@ def _cmd_campaign(args) -> int:
         overrides = _parse_overrides(args.overrides)
         if overrides:
             base = base.with_(**overrides)
+        if args.telemetry:
+            base = base.with_(telemetry=True)
     except (TypeError, ValueError) as exc:
         raise SystemExit(f"invalid --set override: {exc}")
     progress = None
@@ -335,6 +389,10 @@ def _cmd_campaign(args) -> int:
     print(ascii_table(headers, rows))
     print(f"{len(campaign)} runs ({campaign.n_cached} from cache) in "
           f"{campaign.wall_seconds:.1f}s wall | fingerprint {campaign.fingerprint()}")
+    if args.telemetry:
+        print("\n== campaign telemetry ==")
+        for line in campaign.telemetry_summary().summary_lines():
+            print(f"  {line}")
     if args.csv:
         path = write_table_csv(args.csv, headers, rows)
         print(f"wrote {path}")
@@ -391,6 +449,7 @@ def _cmd_bench(args) -> int:
             repeats=args.repeats,
             profile_top=args.profile_top,
             baseline=baseline,
+            telemetry=args.telemetry,
             progress=progress,
         )
     except ValueError as exc:  # unknown scenario name (lists the valid ones)
@@ -408,6 +467,25 @@ def _cmd_bench(args) -> int:
         problems = speedup_regressions(report, args.regression_threshold)
         if problems:
             raise SystemExit("performance regression: " + "; ".join(problems))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.obs.spans import format_trace_summary, summarize_chrome_trace
+
+    try:
+        with open(args.trace_file, encoding="utf-8") as fh:
+            trace = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read trace {args.trace_file}: {exc}")
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise SystemExit(
+            f"{args.trace_file}: not a Chrome trace-event document "
+            "(expected a JSON object with a traceEvents array)"
+        )
+    print(format_trace_summary(summarize_chrome_trace(trace)))
     return 0
 
 
@@ -480,6 +558,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "figure":
         return _cmd_figure(args)
     if args.command == "table":

@@ -145,6 +145,14 @@ class ExperimentConfig:
     # -------------------------------------------------------------- metrics
     metrics_interval: float = 3600.0
 
+    # -------------------------------------------------------- observability
+    #: Collect runtime telemetry (counters/gauges/histograms) into
+    #: ``RunResult.telemetry`` (see :mod:`repro.obs.telemetry`).
+    #: Observation-only: draws no randomness and changes no decision, so
+    #: ``result_digest`` is bit-identical either way; off by default to
+    #: keep the hot path guard-only.
+    telemetry: bool = False
+
     # ------------------------------------------------------------- workload
     #: Scenario preset this config was derived from (provenance; validated
     #: against :mod:`repro.workload.scenarios`).  Applying a scenario sets

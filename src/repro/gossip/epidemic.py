@@ -144,6 +144,10 @@ class EpidemicGossip:
         }
         self.messages_sent = 0
         self.records_shipped = 0
+        #: Records accepted by the freshness merge / trimmed by capacity
+        #: eviction (observability only — never read by the protocol).
+        self.records_merged = 0
+        self.evictions = 0
 
     # ---------------------------------------------------------------- churn
     def add_node(self, node_id: int) -> None:
@@ -177,6 +181,8 @@ class EpidemicGossip:
         cap = self.rss_capacity
         messages = 0
         shipped = 0
+        merged = 0
+        evicted = 0
         for i in self.overlay.live:
             # Stamp a fresh self-record so this cycle ships current loads
             # (stamping only reads node state, which gossip never mutates,
@@ -216,6 +222,7 @@ class EpidemicGossip:
                     cur = rss_get(nid)
                     if cur is None or ts > cur.timestamp:
                         rss[nid] = rec
+                        merged += 1
                 # The sender's own just-stamped record, merged last (it was
                 # the digest tail): same strict freshness test, without the
                 # per-pair tuple in the loop above.  The target never
@@ -223,10 +230,14 @@ class EpidemicGossip:
                 cur = rss_get(i)
                 if cur is None or now > cur.timestamp:
                     rss[i] = self_record
+                    merged += 1
                 if len(rss) > cap:
+                    evicted += len(rss) - cap
                     _evict(rss, cap)
         self.messages_sent += messages
         self.records_shipped += shipped
+        self.records_merged += merged
+        self.evictions += evicted
 
         if self.expiry is not None:
             self._expire(now)

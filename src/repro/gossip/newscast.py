@@ -82,6 +82,10 @@ class NewscastOverlay:
         #: cached descriptor is live by construction, so the per-sample
         #: liveness superset check can be skipped outright.
         self._had_removals = False
+        #: Completed pairwise shuffles / degenerate-cache reseeds
+        #: (observability only — never read by the protocol).
+        self.shuffles = 0
+        self.reseeds = 0
         self._bootstrap_random(node_ids)
 
     # ---------------------------------------------------------------- setup
@@ -158,6 +162,7 @@ class NewscastOverlay:
                     p = candidates[integers(len(candidates))]
                     cache[p] = now
                     self._version += 1
+                    self.reseeds += 1
                 continue
             j = live_peers[integers(len(live_peers))]
             self._shuffle_pair(i, j, now)
@@ -198,6 +203,7 @@ class NewscastOverlay:
         self.cache[i] = new_i
         self.cache[j] = new_j
         self._version += 1
+        self.shuffles += 1
 
     # -------------------------------------------------------------- sampling
     def sample(self, node_id: int, k: int) -> list[int]:
@@ -236,3 +242,19 @@ class NewscastOverlay:
         """All live peers currently in the node's cache."""
         cache = self.cache.get(node_id, {})
         return [p for p in cache if p in self.live]
+
+    def mean_descriptor_age(self, now: float) -> float:
+        """Mean age (seconds) of cached peer descriptors across live nodes.
+
+        A telemetry-snapshot helper (O(total descriptors), called once per
+        run, never on the cycle hot path): young views mean the shuffle is
+        keeping membership fresh; ages near the churn timescale mean stale
+        neighbor sets.
+        """
+        total = 0.0
+        count = 0
+        for i in self.live:
+            for ts in self.cache.get(i, {}).values():
+                total += now - ts
+                count += 1
+        return total / count if count else 0.0

@@ -52,6 +52,7 @@ from repro.grid.node import PeerNode
 from repro.grid.state import TaskDispatch, WorkflowExecution, WorkflowStatus
 from repro.grid.transfers import TransferManager
 from repro.metrics.collectors import MetricsCollector, RunResult, WorkflowRecord
+from repro.obs.telemetry import make_telemetry
 from repro.net.landmarks import LandmarkEstimator
 from repro.net.topology import Topology
 from repro.sim.engine import Simulator
@@ -66,7 +67,9 @@ __all__ = ["P2PGridSystem"]
 class P2PGridSystem:
     """One simulated P2P grid run."""
 
-    def __init__(self, config: ExperimentConfig, workflows=None, submissions=None):
+    def __init__(
+        self, config: ExperimentConfig, workflows=None, submissions=None, telemetry=None
+    ):
         """Build the full system.
 
         Parameters
@@ -83,9 +86,22 @@ class P2PGridSystem:
             default the plan is built from the config's workload source ×
             arrival process (the paper default: ``load_factor * n_nodes``
             §IV.A random workflows, all at t = 0).
+        telemetry:
+            Optional explicit telemetry backend (see
+            :mod:`repro.obs.telemetry`).  Defaults to a live backend when
+            ``config.telemetry`` is set, else the shared no-op null
+            backend.  Telemetry only observes — it never draws randomness
+            or feeds decisions, so enabling it leaves results
+            bit-identical.
         """
         self.config = config
         self.sim = Simulator()
+        self.telemetry = telemetry if telemetry is not None else make_telemetry(
+            getattr(config, "telemetry", False)
+        )
+        #: wall-clock anchors for the events/s series (telemetry only)
+        self._tm_last_wall: Optional[float] = None
+        self._tm_last_events = 0
         self.rng = RngHub(config.seed)
         self.bundle = get_bundle(config.algorithm)
 
@@ -328,7 +344,55 @@ class P2PGridSystem:
             n_tasks_recovered=self.collector.n_tasks_recovered,
             avg_alive_fraction=avg_alive,
             availability_ae=self.collector.ae * avg_alive,
+            telemetry=self._telemetry_snapshot(wall),
         )
+
+    def _telemetry_snapshot(self, wall: float):
+        """Fold subsystem counters into a snapshot (None when disabled).
+
+        The always-on subsystem counters (engine, gossip, transfers,
+        phase 1, churn census) cost nothing extra to read here; the
+        histograms/series were accumulated during the run only when the
+        backend was live.
+        """
+        t = self.telemetry
+        if not t.enabled:
+            return None
+        sim = self.sim
+        t.inc("sim.events_executed", float(sim.events_executed))
+        t.inc("sim.events_cancelled", float(sim.events_cancelled))
+        t.inc("sim.events_rescheduled", float(sim.events_rescheduled))
+        t.gauge("sim.queue_depth_final", float(sim.queue_depth()))
+        t.gauge("sim.events_per_sec_wall", sim.events_executed / wall if wall > 0 else 0.0)
+        ep = self.epidemic
+        t.inc("gossip.digests_sent", float(ep.messages_sent))
+        t.inc("gossip.records_shipped", float(ep.records_shipped))
+        t.inc("gossip.records_merged", float(ep.records_merged))
+        t.inc("gossip.evictions", float(ep.evictions))
+        t.gauge("gossip.rss_mean", ep.mean_known_nodes())
+        overlay = self.overlay
+        t.inc("gossip.newscast_shuffles", float(overlay.shuffles))
+        t.inc("gossip.newscast_reseeds", float(overlay.reseeds))
+        t.gauge("gossip.newscast_view_age_seconds", overlay.mean_descriptor_age(sim.now))
+        p1 = self.phase1
+        t.inc("sched.phase1_cycles", float(p1.cycles_run))
+        t.inc("sched.phase1_dispatches", float(p1.dispatches))
+        t.inc("sched.dead_target_skips", float(p1.dead_target_skips))
+        tr = self.transfers
+        t.inc("transfers.started", float(tr.started))
+        t.inc("transfers.completed", float(tr.completed))
+        t.inc("transfers.cancelled", float(tr.cancelled))
+        t.inc("transfers.megabits_moved", tr.bytes_moved)
+        t.gauge("transfers.inflight_peak", float(tr.peak_active))
+        col = self.collector
+        t.inc("churn.departures", float(col.n_departures))
+        t.inc("churn.revivals", float(col.n_revivals))
+        t.inc("churn.tasks_lost", float(col.n_tasks_lost))
+        t.inc("churn.tasks_recovered", float(col.n_tasks_recovered))
+        t.inc("workflows.done", float(col.n_done))
+        t.inc("workflows.failed", float(col.n_failed))
+        t.gauge("run.wall_seconds", wall)
+        return t.snapshot()
 
     # --------------------------------------------------------- periodic ticks
     def _gossip_cycle(self, cycle: int) -> None:
@@ -346,6 +410,22 @@ class P2PGridSystem:
             rss_mean=self.epidemic.mean_known_nodes(),
             alive_nodes=self._alive_count,
         )
+        t = self.telemetry
+        if t.enabled:
+            now = self.sim.now
+            depth = float(self.sim.queue_depth())
+            t.gauge_max("sim.queue_depth_peak", depth)
+            t.point("sim.queue_depth", now, depth)
+            wall = _wallclock.perf_counter()
+            executed = self.sim.events_executed
+            if self._tm_last_wall is not None and wall > self._tm_last_wall:
+                t.point(
+                    "sim.events_per_sec_wall",
+                    now,
+                    (executed - self._tm_last_events) / (wall - self._tm_last_wall),
+                )
+            self._tm_last_wall = wall
+            self._tm_last_events = executed
 
     # ------------------------------------------------------------ submission
     def _submission_groups(self) -> list[tuple[float, list[WorkflowSubmission]]]:
@@ -418,6 +498,13 @@ class P2PGridSystem:
                 return False
             inputs = patched
 
+        if self.telemetry.enabled:
+            rec = self.epidemic.rss_view(home_id).get(target.nid)
+            if rec is not None:
+                self.telemetry.observe(
+                    "sched.rss_age_at_dispatch_seconds", self.sim.now - rec.timestamp
+                )
+
         wx.mark_dispatched(tid)
         task = wx.wf.tasks[tid]
         dispatch = TaskDispatch(
@@ -487,7 +574,17 @@ class P2PGridSystem:
         runnable = node.poll_runnable()
         if not runnable:
             return
-        dispatch = self.bundle.phase2.select(runnable, self.sim.now)
+        t = self.telemetry
+        if t.enabled:
+            t0 = _wallclock.perf_counter()
+            dispatch = self.bundle.phase2.select(runnable, self.sim.now)
+            t.observe(
+                f"sched.phase2_select_seconds.{self.config.algorithm}",
+                _wallclock.perf_counter() - t0,
+            )
+            t.inc("sched.phase2_selections")
+        else:
+            dispatch = self.bundle.phase2.select(runnable, self.sim.now)
         et = node.start(dispatch, self.sim.now)
         node.completion_event = self.sim.schedule(
             et, lambda n=node: self._on_cpu_complete(n), label="exec"

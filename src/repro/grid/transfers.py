@@ -71,8 +71,14 @@ class TransferManager:
         self.contention = contention
         #: active transfers keyed by destination (for churn cancellation).
         self.inbound: dict[int, set[Transfer]] = {}
+        self.started = 0
         self.completed = 0
+        self.cancelled = 0
         self.bytes_moved = 0.0
+        #: currently in-flight transfers and the highest count ever seen
+        #: (observability only — never read by the simulation).
+        self.active_now = 0
+        self.peak_active = 0
 
     # ------------------------------------------------------------------ API
     def start(
@@ -88,6 +94,10 @@ class TransferManager:
         if group is None:
             group = self.inbound[dst] = set()
         group.add(tr)
+        self.started += 1
+        self.active_now += 1
+        if self.active_now > self.peak_active:
+            self.peak_active = self.active_now
         if self.contention and megabits > 0.0 and src != dst:
             self._arm_contended(dst)
         else:
@@ -100,6 +110,8 @@ class TransferManager:
         transfers = self.inbound.pop(dst, set())
         for tr in transfers:
             tr.cancel()
+        self.cancelled += len(transfers)
+        self.active_now -= len(transfers)
         return len(transfers)
 
     def active_count(self, dst: int) -> int:
@@ -118,6 +130,7 @@ class TransferManager:
             if not group:
                 del self.inbound[tr.dst]
         self.completed += 1
+        self.active_now -= 1
         self.bytes_moved += tr.megabits
         tr.on_complete()
         if self.contention:

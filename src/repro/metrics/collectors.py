@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs.telemetry import TelemetrySnapshot
+
 __all__ = ["MetricsCollector", "RunResult", "WorkflowRecord"]
 
 
@@ -227,6 +229,10 @@ class RunResult:
     #: AE × avg_alive_fraction — efficiency credited against the capacity
     #: that actually existed under churn.
     availability_ae: float = 0.0
+    #: Runtime telemetry snapshot (None unless ``config.telemetry`` was
+    #: set).  Deliberately outside ``result_digest``'s field list: wall-
+    #: clock observations must never perturb determinism fingerprints.
+    telemetry: Optional[TelemetrySnapshot] = None
 
     # ------------------------------------------------------------- series
     def series(self, metric: str) -> tuple[list[float], list[float]]:

@@ -1,0 +1,38 @@
+"""Observability layer: runtime telemetry, sim-time tracing spans, exporters.
+
+This package is deliberately dependency-free *within* the code base: it
+imports nothing from :mod:`repro`, so every other subsystem (sim engine,
+gossip, grid, service) can depend on it without cycles.
+
+Three surfaces:
+
+* :mod:`repro.obs.telemetry` — counters / gauges / histograms with a
+  null backend that makes instrumentation zero-overhead when disabled,
+  plus a pickle/JSON-friendly :class:`~repro.obs.telemetry.TelemetrySnapshot`
+  and stdlib-only Prometheus text rendering.
+* :mod:`repro.obs.spans` — Chrome trace-event JSON built from a
+  :class:`~repro.trace.recorder.TraceRecorder`, viewable in Perfetto or
+  ``chrome://tracing``.
+* the ``/metrics`` endpoint of ``repro serve`` (see
+  :mod:`repro.service.app`) reuses the Prometheus helpers here.
+"""
+
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySnapshot,
+    make_telemetry,
+    parse_prometheus,
+    render_prometheus,
+)
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "make_telemetry",
+    "parse_prometheus",
+    "render_prometheus",
+]

@@ -1,0 +1,347 @@
+"""Runtime telemetry: counters, gauges, histograms, bounded time series.
+
+Design constraints (see tests/obs/):
+
+* **Zero overhead when disabled.**  Hot paths hold a reference to either a
+  :class:`Telemetry` or the shared :data:`NULL_TELEMETRY` and guard any
+  non-trivial work with ``if telemetry.enabled:``.  The null backend's
+  methods are no-ops so un-guarded ``inc()`` calls are still safe.
+* **Golden-safe when enabled.**  Telemetry never draws from any RNG and
+  never feeds back into the simulation; enabling it must leave every
+  ``result_digest`` bit-identical.
+* **Pickle/JSON-friendly snapshots.**  :class:`TelemetrySnapshot` is a
+  plain dataclass of dicts so it survives multiprocessing campaign
+  workers, the content-addressed result cache, and the service's JSON
+  responses.
+
+The module imports nothing from the rest of :mod:`repro` so any layer can
+use it without import cycles.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Hard cap on points retained per named time series (drop-oldest).  Keeps
+#: snapshots bounded on metro-scale runs while preserving recent history.
+MAX_SERIES_POINTS = 4096
+
+
+# --------------------------------------------------------------------------
+# snapshot
+# --------------------------------------------------------------------------
+
+@dataclass
+class TelemetrySnapshot:
+    """Aggregated, immutable-ish view of a :class:`Telemetry` backend.
+
+    All fields are plain builtins so instances pickle across process pools
+    and serialise with ``json.dumps`` via :meth:`to_dict`.
+    """
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    #: name -> {"count": int, "sum": float, "min": float, "max": float}
+    histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: name -> [(x, value), ...] — x is sim time unless noted otherwise
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    #: number of runs folded into this snapshot (>= 1 once populated)
+    n_runs: int = 1
+
+    # -- serialisation ----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+            "series": {k: [[x, y] for x, y in v] for k, v in self.series.items()},
+            "n_runs": self.n_runs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TelemetrySnapshot":
+        return cls(
+            counters={str(k): float(v) for k, v in payload.get("counters", {}).items()},
+            gauges={str(k): float(v) for k, v in payload.get("gauges", {}).items()},
+            histograms={
+                str(k): {str(f): float(x) for f, x in v.items()}
+                for k, v in payload.get("histograms", {}).items()
+            },
+            series={
+                str(k): [(float(x), float(y)) for x, y in v]
+                for k, v in payload.get("series", {}).items()
+            },
+            n_runs=int(payload.get("n_runs", 1)),
+        )
+
+    # -- aggregation ------------------------------------------------------
+    @classmethod
+    def merged(cls, snapshots: Sequence["TelemetrySnapshot"]) -> "TelemetrySnapshot":
+        """Fold snapshots from many runs (e.g. campaign workers) into one.
+
+        Counters and histogram count/sum add; histogram min/max and gauge
+        maxima combine order-independently; gauges are summed (callers
+        that want means can divide by ``n_runs``).  Series are dropped —
+        per-run time series do not aggregate meaningfully across seeds.
+        """
+        out = cls(n_runs=0)
+        for snap in snapshots:
+            out.n_runs += max(1, snap.n_runs)
+            for name, value in snap.counters.items():
+                out.counters[name] = out.counters.get(name, 0.0) + value
+            for name, value in snap.gauges.items():
+                out.gauges[name] = out.gauges.get(name, 0.0) + value
+            for name, h in snap.histograms.items():
+                agg = out.histograms.setdefault(
+                    name, {"count": 0.0, "sum": 0.0, "min": math.inf, "max": -math.inf}
+                )
+                agg["count"] += h.get("count", 0.0)
+                agg["sum"] += h.get("sum", 0.0)
+                agg["min"] = min(agg["min"], h.get("min", math.inf))
+                agg["max"] = max(agg["max"], h.get("max", -math.inf))
+        for h in out.histograms.values():
+            if not h["count"]:
+                h["min"] = 0.0
+                h["max"] = 0.0
+        return out
+
+    # -- presentation -----------------------------------------------------
+    def summary_lines(self, max_series: int = 0) -> List[str]:
+        """Human-readable dump for the CLI (stable sort order)."""
+        lines: List[str] = []
+        if self.n_runs > 1:
+            lines.append(f"telemetry aggregated over {self.n_runs} runs")
+        for name in sorted(self.counters):
+            lines.append(f"  {name:<44s} {self.counters[name]:>14.6g}")
+        for name in sorted(self.gauges):
+            lines.append(f"  {name:<44s} {self.gauges[name]:>14.6g}  (gauge)")
+        for name in sorted(self.histograms):
+            h = self.histograms[name]
+            count = h.get("count", 0.0)
+            mean = (h.get("sum", 0.0) / count) if count else 0.0
+            lines.append(
+                f"  {name:<44s} n={count:<8.6g} mean={mean:.3g} "
+                f"min={h.get('min', 0.0):.3g} max={h.get('max', 0.0):.3g}"
+            )
+        if max_series:
+            for name in sorted(self.series):
+                pts = self.series[name]
+                lines.append(f"  {name}: {len(pts)} points")
+        return lines
+
+    def to_prometheus(self, prefix: str = "repro_run") -> str:
+        """Render this snapshot as Prometheus text exposition format."""
+        families: List[tuple] = []
+        for name in sorted(self.counters):
+            families.append(
+                (f"{prefix}_{_sanitize(name)}_total", "counter", f"run counter {name}",
+                 [(None, self.counters[name])])
+            )
+        for name in sorted(self.gauges):
+            families.append(
+                (f"{prefix}_{_sanitize(name)}", "gauge", f"run gauge {name}",
+                 [(None, self.gauges[name])])
+            )
+        for name in sorted(self.histograms):
+            h = self.histograms[name]
+            base = f"{prefix}_{_sanitize(name)}"
+            families.append((f"{base}_count", "counter", f"observations of {name}",
+                             [(None, h.get("count", 0.0))]))
+            families.append((f"{base}_sum", "counter", f"sum of {name}",
+                             [(None, h.get("sum", 0.0))]))
+        return render_prometheus(families)
+
+
+# --------------------------------------------------------------------------
+# live backends
+# --------------------------------------------------------------------------
+
+class Telemetry:
+    """Mutable metric registry used while a simulation runs.
+
+    Not thread-safe: a single simulation is single-threaded, and campaign
+    workers each own a private instance (snapshots merge afterwards).
+    """
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_hist", "_series")
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._hist: Dict[str, List[float]] = {}  # [count, sum, min, max]
+        self._series: Dict[str, List[Tuple[float, float]]] = {}
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        cur = self._gauges.get(name)
+        if cur is None or value > cur:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        h = self._hist.get(name)
+        if h is None:
+            self._hist[name] = [1.0, value, value, value]
+            return
+        h[0] += 1.0
+        h[1] += value
+        if value < h[2]:
+            h[2] = value
+        if value > h[3]:
+            h[3] = value
+
+    def point(self, name: str, x: float, value: float) -> None:
+        pts = self._series.setdefault(name, [])
+        pts.append((x, value))
+        if len(pts) > MAX_SERIES_POINTS:
+            del pts[: len(pts) - MAX_SERIES_POINTS]
+
+    def snapshot(self) -> TelemetrySnapshot:
+        return TelemetrySnapshot(
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+            histograms={
+                name: {"count": h[0], "sum": h[1], "min": h[2], "max": h[3]}
+                for name, h in self._hist.items()
+            },
+            series={name: list(pts) for name, pts in self._series.items()},
+        )
+
+
+class NullTelemetry:
+    """No-op backend.  ``enabled`` is False so hot paths can skip work."""
+
+    __slots__ = ()
+    enabled = False
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def gauge_max(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def point(self, name: str, x: float, value: float) -> None:
+        pass
+
+    def snapshot(self) -> Optional[TelemetrySnapshot]:
+        return None
+
+
+#: Shared null instance — safe because it is stateless.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def make_telemetry(enabled: bool):
+    """Return a live :class:`Telemetry` or the shared null backend."""
+    return Telemetry() if enabled else NULL_TELEMETRY
+
+
+# --------------------------------------------------------------------------
+# Prometheus text exposition (stdlib only)
+# --------------------------------------------------------------------------
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    """Fold an internal dotted metric name into a Prometheus-legal one."""
+    cleaned = _NAME_BAD.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    families: Iterable[Tuple[str, str, str, Sequence[Tuple[Optional[Mapping[str, str]], float]]]],
+) -> str:
+    """Render metric families as Prometheus text format 0.0.4.
+
+    Each family is ``(name, kind, help, samples)`` with kind ``counter`` or
+    ``gauge`` and samples ``[(labels-or-None, value), ...]``.
+    """
+    lines: List[str] = []
+    for name, kind, help_text, samples in families:
+        name = _sanitize(name)
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in samples:
+            if labels:
+                rendered = ",".join(
+                    f'{_sanitize(k)}="{_escape_label(str(v))}"'
+                    for k, v in sorted(labels.items())
+                )
+                lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
+            else:
+                lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+\d+)?$"
+)
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse Prometheus text format into ``{sample_key: value}``.
+
+    The sample key is ``name`` or ``name{labels}`` exactly as exposed
+    (labels in source order).  Used by tests and CI smoke checks; raises
+    ``ValueError`` on any malformed non-comment line so a scrape assert
+    actually validates the format.
+    """
+    samples: Dict[str, float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed Prometheus sample line: {raw!r}")
+        value_text = match.group("value")
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        elif value_text == "NaN":
+            value = math.nan
+        else:
+            value = float(value_text)
+        labels = match.group("labels")
+        key = match.group("name") + (f"{{{labels}}}" if labels else "")
+        samples[key] = value
+    return samples

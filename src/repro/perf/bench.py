@@ -66,7 +66,7 @@ __all__ = [
 BENCH_SCHEMA = 2
 
 #: The canonical repo-root artifact name for this PR's baseline.
-DEFAULT_REPORT_NAME = "BENCH_PR6.json"
+DEFAULT_REPORT_NAME = "BENCH_PR7.json"
 
 #: Fields every per-scenario entry must carry (CI schema assertion).
 _REQUIRED_SCENARIO_FIELDS = (
@@ -288,10 +288,15 @@ def _run_one(
     quick: bool,
     repeats: int,
     profile_top: int,
+    telemetry: bool = False,
 ) -> dict:
     from repro.grid.system import P2PGridSystem
 
     config = scenario.config(quick)
+    if telemetry:
+        # Times the instrumented path; observation-only, so the digest
+        # assertion below still holds against telemetry-off baselines.
+        config = config.with_(telemetry=True)
     walls: list[float] = []
     digests: set[str] = set()
     result = None
@@ -357,6 +362,12 @@ def _run_one(
     }
     if profile_rows:
         entry["profile_top"] = profile_rows
+    if telemetry and result.telemetry is not None:
+        # Counters only: the full snapshot (series, histograms) would bloat
+        # the committed artifact; counters carry the comparable totals.
+        entry["telemetry"] = {
+            k: result.telemetry.counters[k] for k in sorted(result.telemetry.counters)
+        }
     return entry
 
 
@@ -453,6 +464,7 @@ def run_bench(
     repeats: int = 1,
     profile_top: int = 0,
     baseline: Optional[Mapping] = None,
+    telemetry: bool = False,
     progress: Optional[Callable[[dict], None]] = None,
 ) -> dict:
     """Time the requested scenarios and return the report dict.
@@ -474,6 +486,11 @@ def run_bench(
     baseline:
         A previously written report; per-scenario wall-clock speedups
         (``baseline_wall / current_wall``) are embedded under ``speedup``.
+    telemetry:
+        Run the scenarios with runtime telemetry enabled and embed each
+        scenario's counter snapshot.  The instrumented path is what gets
+        timed; result digests are unchanged (telemetry is
+        observation-only), so cross-flag baseline comparisons stay valid.
     progress:
         Called with each finished scenario entry.
     """
@@ -482,7 +499,7 @@ def run_bench(
     resolved = [get_bench_scenario(name) for name in names]
     entries = []
     for scenario in resolved:
-        entry = _run_one(scenario, quick, repeats, profile_top)
+        entry = _run_one(scenario, quick, repeats, profile_top, telemetry=telemetry)
         if progress is not None:
             progress(entry)
         entries.append(entry)
@@ -493,6 +510,7 @@ def run_bench(
         "platform": platform.platform(),
         "quick": quick,
         "repeats": max(1, repeats),
+        "telemetry": telemetry,
         "scenarios": entries,
     }
     if baseline is not None:

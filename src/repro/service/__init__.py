@@ -19,8 +19,9 @@ dependencies (stdlib ``http.server`` only):
   overlapping manifests coalesce to **one simulation run per distinct
   config hash**;
 * :mod:`repro.service.app` — the HTTP API (``repro serve``):
-  ``POST /campaigns``, ``GET /campaigns/{id}``, ``GET /results/{hash}``,
-  ``GET /experiments``, ``GET /healthz``;
+  ``POST /campaigns``, ``GET /campaigns/{id}`` (with ``?wait=`` long
+  polling), ``GET /results/{hash}``, ``GET /experiments``,
+  ``GET /healthz``, and a Prometheus-text ``GET /metrics``;
 * :mod:`repro.service.client` — a thin stdlib client used by CI and the
   concurrent-submission stress benchmark.
 """

@@ -1,20 +1,25 @@
 """The ``repro serve`` HTTP API (stdlib ``http.server``, zero new deps).
 
-Routes (all JSON)::
+Routes (JSON unless noted)::
 
     GET  /healthz            liveness + index/queue counters
     POST /campaigns          submit a campaign manifest -> 202 + id/hashes
     GET  /campaigns          list submitted campaigns
-    GET  /campaigns/{id}     poll one campaign (per-config progress)
+    GET  /campaigns/{id}     poll one campaign (per-config progress);
+                             ``?wait=<secs>`` long-polls: the response is
+                             held until the campaign changes state or the
+                             wait (capped at 30s) elapses
     GET  /results/{hash}     a cached RunResult by config hash
     GET  /experiments        the persistent experiment index
+    GET  /metrics            Prometheus text exposition (request counters,
+                             per-route latency, campaign/index gauges)
 
 Request handling runs on :class:`~http.server.ThreadingHTTPServer` (one
 thread per connection) while simulation work stays on the queue's single
 worker thread — submissions return immediately with ``202 Accepted`` and
-clients poll.  Every error path returns a structured JSON body
-(``{"error": {"code", "message", ...}}``); manifest validation failures
-are 4xx by construction and can never wedge the worker.
+clients poll (or long-poll).  Every error path returns a structured JSON
+body (``{"error": {"code", "message", ...}}``); manifest validation
+failures are 4xx by construction and can never wedge the worker.
 """
 
 from __future__ import annotations
@@ -22,21 +27,105 @@ from __future__ import annotations
 import json
 import re
 import signal
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Callable, Optional
+from urllib.parse import parse_qs, urlsplit
 
 from repro._version import __version__
 from repro.experiments.campaign import default_cache_dir, load_cached_result
+from repro.obs.telemetry import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.service.index import ExperimentIndex
 from repro.service.queue import CampaignQueue
 from repro.service.schemas import ManifestError, parse_manifest, result_to_dict
 
-__all__ = ["ServiceServer", "ServiceState", "build_server", "serve"]
+__all__ = [
+    "MAX_WAIT_SECONDS",
+    "ServiceMetrics",
+    "ServiceServer",
+    "ServiceState",
+    "build_server",
+    "serve",
+]
 
 _HASH_RE = re.compile(r"^[0-9a-f]{64}$")
 _CAMPAIGN_RE = re.compile(r"^/campaigns/([A-Za-z0-9_-]+)$")
 _RESULT_RE = re.compile(r"^/results/([0-9a-zA-Z]+)$")
+
+#: Long-poll cap for ``GET /campaigns/{id}?wait=``: bounds how long one
+#: handler thread can be parked, so a slow client can't pin threads for
+#: arbitrary durations.  Clients re-issue the request to keep waiting.
+MAX_WAIT_SECONDS = 30.0
+
+
+class ServiceMetrics:
+    """Thread-safe HTTP request counters for ``GET /metrics``.
+
+    Tracks request totals by (method, route template, status) and a
+    latency sum/count per route — enough for rate, error-rate, and mean
+    latency panels without any histogram dependency.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests: dict[tuple[str, str, str], int] = {}
+        self._latency: dict[str, list[float]] = {}  # route -> [count, sum]
+
+    def observe(self, method: str, route: str, status: int, seconds: float) -> None:
+        key = (method, route, str(status))
+        with self._lock:
+            self._requests[key] = self._requests.get(key, 0) + 1
+            slot = self._latency.setdefault(route, [0.0, 0.0])
+            slot[0] += 1
+            slot[1] += seconds
+
+    def families(self) -> list[tuple]:
+        """Request-level metric families for ``render_prometheus``."""
+        with self._lock:
+            requests = dict(self._requests)
+            latency = {route: list(slot) for route, slot in self._latency.items()}
+        return [
+            (
+                "repro_http_requests_total",
+                "counter",
+                "HTTP requests served, by method/route/status",
+                [
+                    ({"method": m, "route": r, "status": s}, float(n))
+                    for (m, r, s), n in sorted(requests.items())
+                ],
+            ),
+            (
+                "repro_http_request_seconds_count",
+                "counter",
+                "HTTP requests timed, by route",
+                [({"route": r}, slot[0]) for r, slot in sorted(latency.items())],
+            ),
+            (
+                "repro_http_request_seconds_sum",
+                "counter",
+                "total HTTP request handling time, by route",
+                [({"route": r}, slot[1]) for r, slot in sorted(latency.items())],
+            ),
+        ]
+
+
+def _route_label(method: str, path: str) -> str:
+    """Fold a concrete request path into its route template.
+
+    Keeps the ``/metrics`` label set bounded — per-id paths would
+    otherwise mint one label value per campaign/result ever requested.
+    """
+    if path in ("/", "/healthz"):
+        return "/healthz"
+    if path in ("/experiments", "/campaigns", "/metrics"):
+        return path
+    if _CAMPAIGN_RE.match(path):
+        return "/campaigns/{id}"
+    if _RESULT_RE.match(path):
+        return "/results/{hash}"
+    return "(unmatched)"
 
 
 class ServiceState:
@@ -59,6 +148,7 @@ class ServiceState:
         #: the same cache dir, or a fresh/lost journal) — recovered here so
         #: the index survives restarts even without its journal.
         self.index_rebuilt = self.index.rebuild_from_cache(self.cache_dir)
+        self.metrics = ServiceMetrics()
         self.queue = CampaignQueue(
             cache_dir=self.cache_dir,
             index=self.index,
@@ -85,13 +175,16 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+        self._status = status  # recorded by the request-metrics wrapper
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send_body(status, json.dumps(payload).encode("utf-8"), "application/json")
 
     def _send_error_json(
         self, status: int, code: str, message: str, field: Optional[str] = None
@@ -103,8 +196,28 @@ class _Handler(BaseHTTPRequestHandler):
 
     # --------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._timed("GET", self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._timed("POST", self._route_post)
+
+    def _timed(self, method: str, route_fn: Callable[[str, dict], None]) -> None:
+        """Dispatch one request, recording count + latency for /metrics."""
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/"
+        query = parse_qs(parts.query)
+        self._status = 500  # overwritten by _send_body on any response
+        t0 = time.perf_counter()
+        try:
+            route_fn(path, query)
+        finally:
+            self.server.state.metrics.observe(
+                method, _route_label(method, path), self._status,
+                time.perf_counter() - t0,
+            )
+
+    def _route_get(self, path: str, query: dict) -> None:
         state = self.server.state
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path in ("/healthz", "/"):
             self._send_json(
                 200,
@@ -125,9 +238,29 @@ class _Handler(BaseHTTPRequestHandler):
             campaigns = state.queue.list()
             self._send_json(200, {"count": len(campaigns), "campaigns": campaigns})
             return
+        if path == "/metrics":
+            self._send_body(
+                200, self._render_metrics().encode("utf-8"), PROMETHEUS_CONTENT_TYPE
+            )
+            return
         match = _CAMPAIGN_RE.match(path)
         if match:
-            record = state.queue.get(match.group(1))
+            try:
+                wait = float(query.get("wait", ["0"])[0])
+            except ValueError:
+                self._send_error_json(
+                    400, "invalid-wait",
+                    "wait must be a number of seconds", field="wait",
+                )
+                return
+            if wait < 0:
+                self._send_error_json(
+                    400, "invalid-wait", "wait must be >= 0", field="wait"
+                )
+                return
+            record = state.queue.get(
+                match.group(1), wait=min(wait, MAX_WAIT_SECONDS)
+            )
             if record is None:
                 self._send_error_json(
                     404, "not-found", f"no campaign {match.group(1)!r}"
@@ -157,9 +290,34 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._send_error_json(404, "not-found", f"no route for GET {path}")
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
+    def _render_metrics(self) -> str:
+        """The full Prometheus exposition: HTTP counters + service gauges."""
         state = self.server.state
-        path = self.path.split("?", 1)[0].rstrip("/")
+        counts = state.queue.status_counts()
+        families = state.metrics.families() + [
+            (
+                "repro_service_campaigns",
+                "gauge",
+                "campaigns known to the queue, by lifecycle state",
+                [({"state": k}, float(v)) for k, v in sorted(counts.items())],
+            ),
+            (
+                "repro_service_experiments",
+                "gauge",
+                "entries in the persistent experiment index",
+                [(None, float(len(state.index)))],
+            ),
+            (
+                "repro_service_index_rebuilt_total",
+                "counter",
+                "index entries recovered from the cache at startup",
+                [(None, float(state.index_rebuilt))],
+            ),
+        ]
+        return render_prometheus(families)
+
+    def _route_post(self, path: str, query: dict) -> None:
+        state = self.server.state
         if path != "/campaigns":
             self._send_error_json(404, "not-found", f"no route for POST {path}")
             return

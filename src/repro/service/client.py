@@ -44,7 +44,14 @@ class ServiceClient:
         self.timeout = timeout
 
     # ------------------------------------------------------------ plumbing
-    def _request(self, method: str, path: str, payload: Optional[Mapping] = None):
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping] = None,
+        raw: bool = False,
+        timeout: Optional[float] = None,
+    ):
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -54,8 +61,11 @@ class ServiceClient:
             self.base_url + path, data=data, method=method, headers=headers
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
+            with urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            ) as response:
+                body = response.read().decode("utf-8")
+                return body if raw else json.loads(body)
         except urllib.error.HTTPError as exc:
             body = exc.read()
             try:
@@ -76,8 +86,21 @@ class ServiceClient:
         """``POST /campaigns``; returns the 202 record (id, runs, hashes)."""
         return self._request("POST", "/campaigns", payload=manifest)
 
-    def campaign(self, campaign_id: str) -> dict:
-        return self._request("GET", f"/campaigns/{campaign_id}")
+    def campaign(self, campaign_id: str, wait: Optional[float] = None) -> dict:
+        """One campaign's status; ``wait`` seconds long-polls.
+
+        With ``wait``, the server holds the response until the campaign
+        changes state (or its 30s cap elapses), so progress arrives the
+        moment it happens.  The request timeout is stretched to cover the
+        park time.
+        """
+        if wait is None:
+            return self._request("GET", f"/campaigns/{campaign_id}")
+        return self._request(
+            "GET",
+            f"/campaigns/{campaign_id}?wait={wait:g}",
+            timeout=self.timeout + wait,
+        )
 
     def campaigns(self) -> list[dict]:
         return self._request("GET", "/campaigns")["campaigns"]
@@ -89,16 +112,24 @@ class ServiceClient:
     def experiments(self) -> list[dict]:
         return self._request("GET", "/experiments")["experiments"]
 
-    # ------------------------------------------------------------- helpers
-    def wait(self, campaign_id: str, timeout: float = 120.0, poll: float = 0.2) -> dict:
-        """Poll until the campaign reaches ``done``/``failed``.
+    def metrics(self) -> str:
+        """``GET /metrics`` — the raw Prometheus text exposition."""
+        return self._request("GET", "/metrics", raw=True)
 
-        Raises :class:`TimeoutError` if neither happens within ``timeout``
-        seconds (the hung-request guard the CI job relies on).
+    # ------------------------------------------------------------- helpers
+    def wait(self, campaign_id: str, timeout: float = 120.0, poll: float = 5.0) -> dict:
+        """Long-poll until the campaign reaches ``done``/``failed``.
+
+        Each round trip parks on the server up to ``poll`` seconds and
+        returns the instant the campaign changes state, so completion is
+        seen with no polling lag.  Raises :class:`TimeoutError` if the
+        campaign isn't terminal within ``timeout`` seconds (the
+        hung-request guard the CI job relies on).
         """
         deadline = time.monotonic() + timeout
         while True:
-            record = self.campaign(campaign_id)
+            remaining = deadline - time.monotonic()
+            record = self.campaign(campaign_id, wait=max(0.0, min(poll, remaining)))
             if record["status"] in ("done", "failed"):
                 return record
             if time.monotonic() >= deadline:
@@ -107,7 +138,6 @@ class ServiceClient:
                     f"after {timeout:.0f}s "
                     f"({record['progress']['completed']}/{record['progress']['total']} done)"
                 )
-            time.sleep(poll)
 
     def wait_healthy(self, timeout: float = 30.0, poll: float = 0.2) -> dict:
         """Poll ``/healthz`` until the server answers (startup barrier)."""

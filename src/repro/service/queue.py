@@ -67,7 +67,12 @@ class RunState:
 
 @dataclass
 class CampaignState:
-    """Live status of one submitted campaign."""
+    """Live status of one submitted campaign.
+
+    ``version`` increments on every observable mutation (status
+    transitions and per-run updates) — the long-poll in
+    :meth:`CampaignQueue.get` returns as soon as it changes.
+    """
 
     id: str
     manifest: dict
@@ -77,6 +82,7 @@ class CampaignState:
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    version: int = 0
 
     def to_dict(self, with_runs: bool = True) -> dict:
         completed = sum(1 for r in self.runs if r.status == "done")
@@ -90,6 +96,7 @@ class CampaignState:
             "finished_at": self.finished_at,
             "progress": {"completed": completed, "total": len(self.runs)},
             "n_cached": sum(1 for r in self.runs if r.from_cache),
+            "version": self.version,
         }
         if with_runs:
             out["runs"] = [r.to_dict() for r in self.runs]
@@ -134,6 +141,9 @@ class CampaignQueue:
         self._queue: _queuemod.Queue = _queuemod.Queue()
         self._campaigns: dict[str, CampaignState] = {}
         self._lock = threading.RLock()
+        #: Long-poll wakeups: every state mutation bumps the campaign's
+        #: ``version`` and notifies all waiters (see :meth:`get`).
+        self._changed = threading.Condition(self._lock)
         self._seq = 0
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -178,15 +188,43 @@ class CampaignQueue:
         self._queue.put((cid, specs))
         return snapshot
 
-    def get(self, campaign_id: str) -> Optional[dict]:
-        with self._lock:
+    def get(self, campaign_id: str, wait: float = 0.0) -> Optional[dict]:
+        """One campaign's status; ``None`` for an unknown id.
+
+        ``wait > 0`` long-polls: the call blocks up to ``wait`` seconds,
+        returning early as soon as the campaign's state changes (any
+        ``version`` bump) or it is already terminal (``done``/``failed``)
+        — a client sees progress the moment it happens instead of on its
+        next poll tick.
+        """
+        deadline = time.monotonic() + wait
+        with self._changed:
             state = self._campaigns.get(campaign_id)
-            return None if state is None else state.to_dict()
+            if state is None:
+                return None
+            seen = state.version
+            while (
+                wait > 0
+                and state.version == seen
+                and state.status not in ("done", "failed")
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._changed.wait(remaining):
+                    break
+            return state.to_dict()
 
     def list(self) -> list[dict]:
         """Submission-ordered campaign summaries (runs omitted)."""
         with self._lock:
             return [s.to_dict(with_runs=False) for s in self._campaigns.values()]
+
+    def status_counts(self) -> dict[str, int]:
+        """Campaign counts per lifecycle state (for ``GET /metrics``)."""
+        counts = {"queued": 0, "running": 0, "done": 0, "failed": 0}
+        with self._lock:
+            for state in self._campaigns.values():
+                counts[state.status] = counts.get(state.status, 0) + 1
+        return counts
 
     def __len__(self) -> int:
         with self._lock:
@@ -206,6 +244,14 @@ class CampaignQueue:
             finally:
                 self._queue.task_done()
 
+    def _bump(self, state: CampaignState) -> None:
+        """Mark a state mutation: bump ``version``, wake long-pollers.
+
+        Callers hold ``self._lock`` (the condition shares it).
+        """
+        state.version += 1
+        self._changed.notify_all()
+
     def _set_run(self, cid: str, label: str, **updates) -> None:
         with self._lock:
             state = self._campaigns[cid]
@@ -213,6 +259,7 @@ class CampaignQueue:
                 if run.label == label:
                     for key, value in updates.items():
                         setattr(run, key, value)
+                    self._bump(state)
                     return
 
     def _process(self, cid: str, specs: "list[RunSpec]") -> None:
@@ -220,6 +267,7 @@ class CampaignQueue:
             state = self._campaigns[cid]
             state.status = "running"
             state.started_at = time.time()
+            self._bump(state)
 
         def on_start(spec: "RunSpec", key: str) -> None:
             self._set_run(cid, spec.label, status="running")
@@ -275,3 +323,4 @@ class CampaignQueue:
         finally:
             with self._lock:
                 state.finished_at = time.time()
+                self._bump(state)

@@ -254,7 +254,11 @@ def result_to_dict(result: "RunResult") -> dict:
     """
     from repro.experiments.campaign import result_digest
 
+    # getattr: cache entries pickled before the observability layer have
+    # no telemetry slot; old entries must keep deserialising.
+    telemetry = getattr(result, "telemetry", None)
     return {
+        "telemetry": None if telemetry is None else telemetry.to_dict(),
         "algorithm": result.algorithm,
         "seed": result.seed,
         "n_nodes": result.n_nodes,

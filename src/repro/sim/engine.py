@@ -88,6 +88,10 @@ class Simulator:
         self._seq = 0
         self._running = False
         self.events_executed = 0
+        #: Lazily-deleted entries skipped at pop time (observability only).
+        self.events_cancelled = 0
+        #: Allocation-free re-arms via :meth:`reschedule` (observability only).
+        self.events_rescheduled = 0
 
     # ------------------------------------------------------------------ clock
     @property
@@ -96,8 +100,16 @@ class Simulator:
         return self._now
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still in the queue."""
+        """Number of not-yet-cancelled events still in the queue.  O(n)."""
         return sum(1 for entry in self._heap if not entry[2].cancelled)
+
+    def queue_depth(self) -> int:
+        """Raw heap size in O(1) — counts lazily-cancelled entries too.
+
+        The cheap proxy telemetry samples each metrics cycle; use
+        :meth:`pending` when the exact live count matters.
+        """
+        return len(self._heap)
 
     # -------------------------------------------------------------- schedule
     def schedule(self, delay: float, callback: Callable[[], Any], label: str = "") -> Event:
@@ -144,6 +156,7 @@ class Simulator:
         time = self._now + delay
         seq = self._seq
         self._seq = seq + 1
+        self.events_rescheduled += 1
         event.time = time
         event.seq = seq
         event.cancelled = False
@@ -173,6 +186,7 @@ class Simulator:
             entry[2] = None
             free.append(entry)
             if ev.cancelled:
+                self.events_cancelled += 1
                 continue
             self._now = time
             self.events_executed += 1
@@ -201,6 +215,7 @@ class Simulator:
                     entry[2] = None
                     free.append(entry)
                     if ev.cancelled:
+                        self.events_cancelled += 1
                         continue
                     self._now = time
                     self.events_executed += 1
@@ -216,6 +231,7 @@ class Simulator:
                     entry[2] = None
                     free.append(entry)
                     if ev.cancelled:
+                        self.events_cancelled += 1
                         continue
                     self._now = time
                     self.events_executed += 1

@@ -2,19 +2,30 @@
 
 Attach a :class:`~repro.trace.recorder.TraceRecorder` to a
 :class:`~repro.grid.system.P2PGridSystem` to capture every dispatch, task
-start/finish, transfer and churn event, then inspect schedules with
-:mod:`repro.trace.analysis` (per-node utilization, queueing breakdowns,
-ASCII Gantt charts).  Used by the examples and invaluable when debugging
-scheduling policies.
+start/finish, transfer, gossip round and churn event, then inspect
+schedules with :mod:`repro.trace.analysis` (per-node utilization, queueing
+breakdowns, transfer/gossip attribution, ASCII Gantt charts) or export
+Perfetto-viewable Chrome traces via :mod:`repro.obs.spans`.  Used by the
+examples and invaluable when debugging scheduling policies.
 """
 
 from repro.trace.recorder import TraceEvent, TraceRecorder
-from repro.trace.analysis import gantt_ascii, node_utilization, waiting_time_breakdown
+from repro.trace.analysis import (
+    gantt_ascii,
+    gossip_round_stats,
+    node_utilization,
+    time_attribution,
+    transfer_stats,
+    waiting_time_breakdown,
+)
 
 __all__ = [
     "TraceEvent",
     "TraceRecorder",
     "gantt_ascii",
+    "gossip_round_stats",
     "node_utilization",
+    "time_attribution",
+    "transfer_stats",
     "waiting_time_breakdown",
 ]

@@ -6,7 +6,14 @@ from collections import defaultdict
 
 from repro.trace.recorder import TraceRecorder
 
-__all__ = ["node_utilization", "waiting_time_breakdown", "gantt_ascii"]
+__all__ = [
+    "node_utilization",
+    "waiting_time_breakdown",
+    "transfer_stats",
+    "gossip_round_stats",
+    "time_attribution",
+    "gantt_ascii",
+]
 
 
 def node_utilization(recorder: TraceRecorder, horizon: float) -> dict[int, float]:
@@ -39,6 +46,64 @@ def waiting_time_breakdown(recorder: TraceRecorder) -> dict[str, float]:
     if n == 0:
         return {"mean_wait": 0.0, "mean_exec": 0.0, "tasks": 0.0}
     return {"mean_wait": wait_total / n, "mean_exec": exec_total / n, "tasks": float(n)}
+
+
+def transfer_stats(recorder: TraceRecorder) -> dict[str, float]:
+    """Aggregate the ``transfer_start``/``transfer_done`` pairs.
+
+    Pairs match on the transfer sequence number the recorder put in
+    ``tid``; starts without a done are in-flight at the horizon or were
+    cancelled by churn.
+    """
+    starts: dict[int, float] = {}
+    n_done = 0
+    time_total = 0.0
+    megabits = 0.0
+    for e in recorder.events:
+        if e.kind == "transfer_start":
+            starts[e.tid] = e.time
+        elif e.kind == "transfer_done":
+            t0 = starts.pop(e.tid, None)
+            if t0 is not None:
+                n_done += 1
+                time_total += e.time - t0
+                megabits += e.size
+    return {
+        "transfers": float(n_done),
+        "unfinished": float(len(starts)),
+        "mean_seconds": time_total / n_done if n_done else 0.0,
+        "total_megabits": megabits,
+    }
+
+
+def gossip_round_stats(recorder: TraceRecorder) -> dict[str, float]:
+    """Round count and message volume from ``gossip_round`` events."""
+    rounds = recorder.of_kind("gossip_round")
+    messages = sum(e.size for e in rounds)
+    return {
+        "rounds": float(len(rounds)),
+        "messages": messages,
+        "mean_messages_per_round": messages / len(rounds) if rounds else 0.0,
+    }
+
+
+def time_attribution(recorder: TraceRecorder) -> dict[str, float]:
+    """Where sim-time went per dispatched task, summed over the run.
+
+    ``transfer_seconds`` is summed over individual transfers (concurrent
+    transfers count multiply — it attributes work, not wall span);
+    ``wait_seconds``/``exec_seconds`` come from the dispatch→start→finish
+    chain per task.
+    """
+    breakdown = waiting_time_breakdown(recorder)
+    transfers = transfer_stats(recorder)
+    n = breakdown["tasks"]
+    return {
+        "tasks": n,
+        "wait_seconds": breakdown["mean_wait"] * n,
+        "exec_seconds": breakdown["mean_exec"] * n,
+        "transfer_seconds": transfers["mean_seconds"] * transfers["transfers"],
+    }
 
 
 def gantt_ascii(

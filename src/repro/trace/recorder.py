@@ -1,7 +1,8 @@
 """Event recording hooks for the grid system.
 
 The recorder monkey-patches nothing: :meth:`TraceRecorder.attach` wraps the
-handful of system callbacks (dispatch execution, CPU start/finish, node
+handful of system callbacks (dispatch execution, CPU start/finish, data
+transfers, gossip rounds, workflow terminals, churn task losses, node
 kill/revive) with thin recording shims.  Overhead is one list append per
 event; recording 100k events costs a few milliseconds.
 """
@@ -9,6 +10,7 @@ event; recording 100k events costs a few milliseconds.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import count
 from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -21,8 +23,16 @@ __all__ = ["TraceEvent", "TraceRecorder"]
 class TraceEvent:
     """One recorded occurrence.
 
-    ``kind`` is one of ``dispatch``, ``start``, ``finish``, ``workflow_done``,
-    ``workflow_failed``, ``node_down``, ``node_up``.
+    ``kind`` is one of ``dispatch``, ``start``, ``finish``,
+    ``transfer_start``, ``transfer_done``, ``gossip_round``,
+    ``workflow_done``, ``workflow_failed``, ``task_lost``, ``node_down``,
+    ``node_up``.
+
+    Field use per kind: transfer events carry ``src`` (source node),
+    ``size`` (megabits) and ``tid`` (a transfer sequence number pairing
+    start with done); gossip rounds carry ``tid`` (cycle index) and
+    ``size`` (messages sent that round); task/workflow events carry
+    ``wid``/``tid`` as usual.
     """
 
     time: float
@@ -31,6 +41,8 @@ class TraceEvent:
     wid: str = ""
     tid: int = -1
     detail: str = ""
+    src: int = -1
+    size: float = 0.0
 
 
 class TraceRecorder:
@@ -120,6 +132,103 @@ class TraceRecorder:
                 rec.append(TraceEvent(time=system.sim.now, kind="node_up", node=nid))
 
         system.revive_node = revive_node  # type: ignore[method-assign]
+
+        # Transfers: start/done pairs share a sequence number in ``tid``
+        # (cancelled transfers record a start with no matching done).
+        orig_xfer_start = system.transfers.start
+        xfer_seq = count(1).__next__
+
+        def transfer_start(src, dst, megabits, on_complete):
+            seq = xfer_seq()
+            rec.append(
+                TraceEvent(
+                    time=system.sim.now,
+                    kind="transfer_start",
+                    node=dst,
+                    tid=seq,
+                    src=src,
+                    size=megabits,
+                )
+            )
+
+            def done():
+                rec.append(
+                    TraceEvent(
+                        time=system.sim.now,
+                        kind="transfer_done",
+                        node=dst,
+                        tid=seq,
+                        src=src,
+                        size=megabits,
+                    )
+                )
+                on_complete()
+
+            return orig_xfer_start(src, dst, megabits, done)
+
+        system.transfers.start = transfer_start  # type: ignore[method-assign]
+
+        # Gossip rounds: one event per cycle with that round's message
+        # count in ``size``.  Safe to shadow as an instance attribute —
+        # the system binds ``self._gossip_cycle`` into its PeriodicActivity
+        # inside run(), after attach().
+        orig_gossip = system._gossip_cycle
+
+        def gossip_cycle(cycle):
+            before = system.epidemic.messages_sent
+            orig_gossip(cycle)
+            rec.append(
+                TraceEvent(
+                    time=system.sim.now,
+                    kind="gossip_round",
+                    node=-1,
+                    tid=cycle,
+                    size=float(system.epidemic.messages_sent - before),
+                )
+            )
+
+        system._gossip_cycle = gossip_cycle  # type: ignore[method-assign]
+
+        # Workflow lifecycle terminals + churn task losses, via the
+        # collector's bound methods (the single funnel for all of them).
+        orig_wf_done = system.collector.workflow_done
+
+        def workflow_done(record):
+            rec.append(
+                TraceEvent(
+                    time=system.sim.now,
+                    kind="workflow_done",
+                    node=record.home_id,
+                    wid=record.wid,
+                )
+            )
+            orig_wf_done(record)
+
+        system.collector.workflow_done = workflow_done  # type: ignore[method-assign]
+
+        orig_wf_failed = system.collector.workflow_failed
+
+        def workflow_failed(record):
+            rec.append(
+                TraceEvent(
+                    time=system.sim.now,
+                    kind="workflow_failed",
+                    node=record.home_id,
+                    wid=record.wid,
+                    detail=record.failure_reason,
+                )
+            )
+            orig_wf_failed(record)
+
+        system.collector.workflow_failed = workflow_failed  # type: ignore[method-assign]
+
+        orig_task_lost = system.collector.task_lost
+
+        def task_lost():
+            rec.append(TraceEvent(time=system.sim.now, kind="task_lost", node=-1))
+            orig_task_lost()
+
+        system.collector.task_lost = task_lost  # type: ignore[method-assign]
         return self
 
     # -------------------------------------------------------------- queries

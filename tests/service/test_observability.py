@@ -1,0 +1,181 @@
+"""Service observability: ``GET /metrics`` and campaign long-polling."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.telemetry import PROMETHEUS_CONTENT_TYPE, parse_prometheus
+from repro.service.app import MAX_WAIT_SECONDS, ServiceMetrics, _route_label
+from repro.service.client import ServiceError
+
+
+class TestMetricsEndpoint:
+    def test_scrape_parses_and_counts_requests(self, service):
+        _, client = service
+        client.health()
+        client.health()
+        try:
+            client.campaign("c999999")
+        except ServiceError:
+            pass
+        samples = parse_prometheus(client.metrics())  # parse = format assert
+        assert samples[
+            'repro_http_requests_total{method="GET",route="/healthz",status="200"}'
+        ] == 2
+        assert samples[
+            'repro_http_requests_total{method="GET",route="/campaigns/{id}",status="404"}'
+        ] == 1
+        assert samples['repro_http_request_seconds_count{route="/healthz"}'] == 2
+        assert samples['repro_http_request_seconds_sum{route="/healthz"}'] >= 0
+        assert samples['repro_service_campaigns{state="done"}'] == 0
+        assert samples["repro_service_experiments"] == 0
+
+    def test_content_type(self, service):
+        import urllib.request
+
+        _, client = service
+        with urllib.request.urlopen(client.base_url + "/metrics", timeout=10) as resp:
+            assert resp.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+
+    def test_campaign_gauge_tracks_completion(self, service, tiny_manifest):
+        _, client = service
+        record = client.wait(client.submit(tiny_manifest)["id"], timeout=60)
+        assert record["status"] == "done"
+        samples = parse_prometheus(client.metrics())
+        assert samples['repro_service_campaigns{state="done"}'] == 1
+        assert samples["repro_service_experiments"] == 1
+
+    def test_result_json_carries_telemetry(self, service, tiny_manifest):
+        _, client = service
+        tiny_manifest["overrides"]["telemetry"] = True
+        record = client.wait(client.submit(tiny_manifest)["id"], timeout=60)
+        result = client.result(record["runs"][0]["config_hash"])
+        assert result["telemetry"] is not None
+        assert result["telemetry"]["counters"]["sim.events_executed"] > 0
+
+    def test_result_json_telemetry_null_when_disabled(self, service, tiny_manifest):
+        _, client = service
+        record = client.wait(client.submit(tiny_manifest)["id"], timeout=60)
+        result = client.result(record["runs"][0]["config_hash"])
+        assert result["telemetry"] is None
+
+
+class TestServiceMetricsUnit:
+    def test_observe_accumulates(self):
+        m = ServiceMetrics()
+        m.observe("GET", "/healthz", 200, 0.01)
+        m.observe("GET", "/healthz", 200, 0.02)
+        m.observe("POST", "/campaigns", 400, 0.005)
+        requests, count_fam, sum_fam = m.families()
+        by_labels = {tuple(sorted(labels.items())): v for labels, v in requests[3]}
+        key = tuple(sorted({"method": "GET", "route": "/healthz", "status": "200"}.items()))
+        assert by_labels[key] == 2
+        [healthz_sum] = [v for labels, v in sum_fam[3] if labels["route"] == "/healthz"]
+        assert healthz_sum == pytest.approx(0.03)
+
+    def test_route_labels_are_bounded(self):
+        assert _route_label("GET", "/") == "/healthz"
+        assert _route_label("GET", "/campaigns/c000001") == "/campaigns/{id}"
+        assert _route_label("GET", "/results/" + "a" * 64) == "/results/{hash}"
+        assert _route_label("GET", "/metrics") == "/metrics"
+        assert _route_label("GET", "/nope/deeper") == "(unmatched)"
+
+
+class TestLongPoll:
+    def test_version_bumps_with_progress(self, service, tiny_manifest):
+        _, client = service
+        record = client.submit(tiny_manifest)
+        assert record["version"] == 0
+        done = client.wait(record["id"], timeout=60)
+        assert done["version"] > 0
+
+    def test_terminal_campaign_returns_immediately(self, service, tiny_manifest):
+        _, client = service
+        record = client.wait(client.submit(tiny_manifest)["id"], timeout=60)
+        t0 = time.monotonic()
+        held = client.campaign(record["id"], wait=10.0)
+        assert time.monotonic() - t0 < 5.0  # no park on a done campaign
+        assert held["status"] == "done"
+
+    def test_wait_returns_early_on_state_change(self, service):
+        """A parked long-poll wakes the moment the queue mutates state."""
+        server, client = service
+        # Submit through the queue with the worker not yet processing —
+        # easiest deterministic hook: park a GET, then bump the state
+        # from this thread via the internal API.
+        record = client.submit(
+            {"algorithms": ["dsmf"], "seeds": [9],
+             "overrides": {"n_nodes": 16, "load_factor": 1,
+                           "total_time": 3600.0, "task_range": [2, 4]}}
+        )
+        # By the time we long-poll the campaign may be anywhere between
+        # queued and done; the guarantee under test is just that the call
+        # returns well before the full wait whenever a change/terminal
+        # state happens — which this tiny run reaches in << 8s.
+        t0 = time.monotonic()
+        held = client.campaign(record["id"], wait=8.0)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 8.0
+        assert held["version"] >= record["version"]
+        client.wait(record["id"], timeout=60)  # drain
+
+    def test_unknown_id_404_even_with_wait(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as err:
+            client.campaign("c999999", wait=5.0)
+        assert err.value.status == 404
+
+    def test_invalid_wait_is_400(self, service, tiny_manifest):
+        import urllib.error
+        import urllib.request
+
+        _, client = service
+        record = client.submit(tiny_manifest)
+        for bad in ("abc", "-1"):
+            try:
+                urllib.request.urlopen(
+                    f"{client.base_url}/campaigns/{record['id']}?wait={bad}",
+                    timeout=10,
+                )
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 400
+            else:
+                raise AssertionError(f"wait={bad} should be rejected")
+        client.wait(record["id"], timeout=60)  # drain
+
+    def test_wait_capped_at_max(self, service, tiny_manifest):
+        """An absurd wait is clamped server-side, not honored."""
+        _, client = service
+        record = client.wait(client.submit(tiny_manifest)["id"], timeout=60)
+        t0 = time.monotonic()
+        client.campaign(record["id"], wait=MAX_WAIT_SECONDS * 100)
+        assert time.monotonic() - t0 < MAX_WAIT_SECONDS  # terminal: instant
+
+    def test_queue_get_long_poll_unit(self, service):
+        """Direct CampaignQueue.get(wait=) returns on a version bump."""
+        server, _ = service
+        queue = server.state.queue
+        record = queue.submit(
+            {"algorithms": ["dsmf"], "seeds": [11],
+             "overrides": {"n_nodes": 16, "load_factor": 1,
+                           "total_time": 3600.0, "task_range": [2, 4]}}
+        )
+        cid = record["id"]
+
+        results = {}
+
+        def poller():
+            results["record"] = queue.get(cid, wait=20.0)
+
+        thread = threading.Thread(target=poller)
+        thread.start()
+        thread.join(25.0)
+        assert not thread.is_alive()
+        # The worker drove the campaign through at least one transition
+        # while the poller was parked.
+        assert results["record"]["version"] > record["version"] or (
+            results["record"]["status"] in ("done", "failed")
+        )
