@@ -105,22 +105,20 @@ class Phase1Runner:
                     caps.append(node.capacity)
                     loads.append(node.total_load())
         else:
-            rss_items = system.epidemic.rss_view(home_id).items()
-            for nid, rec in rss_items:
-                if nid == home_id:
-                    continue
-                ids.append(nid)
-                caps.append(rec.capacity)
-                loads.append(rec.total_load)
+            # Zero-copy column reads off the struct-of-arrays RSS (a row
+            # never contains its owner, so no home filter is needed).
+            rss_ids, rss_caps, rss_loads, rss_ts = system.epidemic.rss_columns(
+                home_id
+            )
+            ids.extend(rss_ids.tolist())
+            caps.extend(rss_caps.tolist())
+            loads.extend(rss_loads.tolist())
             telemetry = system.telemetry
             if telemetry.enabled:
-                # RSS staleness as seen by Algorithm 1 (second pass over the
-                # dict view; runs only with telemetry on).
-                t_now = system.sim.now
+                # RSS staleness as seen by Algorithm 1 (telemetry only).
                 observe = telemetry.observe
-                for nid, rec in rss_items:
-                    if nid != home_id:
-                        observe("sched.rss_age_at_plan_seconds", t_now - rec.timestamp)
+                for age in (system.sim.now - rss_ts).tolist():
+                    observe("sched.rss_age_at_plan_seconds", age)
         now = system.sim.now
 
         def writeback(target: int, new_load: float) -> None:

@@ -70,6 +70,10 @@ class BandwidthProvider(Protocol):
 class OracleBandwidth:
     """Ground-truth bandwidth provider backed by the topology matrices."""
 
+    #: Row caching is always worthwhile here: construction already
+    #: materialized the dense matrices.
+    scalar_ok = True
+
     def __init__(self, topology) -> None:
         self._bw = topology._bandwidth
         self._lat = topology._latency
@@ -114,7 +118,11 @@ class LandmarkBandwidth:
 
     def __init__(self, estimator, topology) -> None:
         self._meas = estimator.measurements
-        self._lat = topology._latency
+        self._topology = topology
+        #: Row caching materializes O(n)-element Python lists per queried
+        #: source — the dominant scheduling cost above the exact-matrix
+        #: scale, where views stay on the vectorized path instead.
+        self.scalar_ok = topology.exact_paths
         #: src -> (estimated bandwidth row, latency row); estimates are
         #: static per run, so each queried source pays the O(n log n) row
         #: derivation once.
@@ -126,7 +134,7 @@ class LandmarkBandwidth:
         return est
 
     def latency_between(self, src: int, targets: np.ndarray) -> np.ndarray:
-        return self._lat[src, targets]
+        return self._topology.latency_between(src, targets)
 
     def bw_to(self, src: int, dst: int) -> float:
         return self.rows(src)[0][dst]
@@ -144,7 +152,10 @@ class LandmarkBandwidth:
         if row is None:
             est = np.minimum(self._meas[src][None, :], self._meas).max(axis=1)
             est[src] = np.inf
-            row = self._rows[src] = (est.tolist(), self._lat[src].tolist())
+            row = self._rows[src] = (
+                est.tolist(),
+                self._topology.latency_row(src).tolist(),
+            )
         return row
 
 
@@ -208,7 +219,11 @@ class ResourceView:
         #: home's gossip RSS record) applied on every ``add_load``.
         self.writeback = writeback
         self._index = {nid: k for k, nid in enumerate(self._ids)}
-        self._scalar = len(self._ids) <= _SCALAR_MAX and hasattr(bandwidth, "rows")
+        self._scalar = (
+            len(self._ids) <= _SCALAR_MAX
+            and hasattr(bandwidth, "rows")
+            and getattr(bandwidth, "scalar_ok", True)
+        )
         # Memoized per-candidate queueing delays (loads[k] / caps[k]) for
         # the scalar fast path: a scheduling cycle evaluates many tasks
         # against the same view between load mutations, and ``add_load``
@@ -241,7 +256,11 @@ class ResourceView:
         view.home_id = home_id
         view.writeback = writeback
         view._index = {nid: k for k, nid in enumerate(ids)}
-        view._scalar = len(ids) <= _SCALAR_MAX and hasattr(bandwidth, "rows")
+        view._scalar = (
+            len(ids) <= _SCALAR_MAX
+            and hasattr(bandwidth, "rows")
+            and getattr(bandwidth, "scalar_ok", True)
+        )
         view._qd = None
         return view
 

@@ -452,7 +452,9 @@ def _cmd_bench(args) -> int:
             telemetry=args.telemetry,
             progress=progress,
         )
-    except ValueError as exc:  # unknown scenario name (lists the valid ones)
+    except ValueError as exc:
+        # Unknown scenario name (lists the valid ones) or a quick/full
+        # baseline mode mismatch — both raised before any timing runs.
         raise SystemExit(str(exc))
     problems = validate_report(report)
     if problems:  # pragma: no cover - defensive (the harness emits valid reports)

@@ -15,6 +15,15 @@ callback.
 Churn is handled with *epoch restarts* (also from the Jelasity paper): every
 ``restart_cycles`` the estimates are re-seeded from the current local truth,
 so averages track join/leave within a bounded delay.
+
+Performance: the per-cycle pairing — one random live cached peer per node —
+is a single batched draw on the overlay
+(:meth:`~repro.gossip.newscast.NewscastOverlay.sample_one_batch`); the
+pair-mean merges then chain sequentially in ascending node order, which
+preserves the protocol's mass conservation (a simultaneous merge would
+not).  The former random visiting order was dropped with PR 8's batched
+rounds — pairing is already uniform, so the order only permutes
+within-cycle chains.
 """
 
 from __future__ import annotations
@@ -89,16 +98,14 @@ class AggregationGossip:
         ):
             self._restart()
             return
-        live = self.overlay.live
-        order = np.fromiter(live, dtype=np.int64, count=len(live))
-        self.rng.shuffle(order)
-        sample = self.overlay.sample
+        live_ids = self.overlay.live_array()
+        if live_ids.size == 0:
+            return
+        partners = self.overlay.sample_one_batch(live_ids)
         estimates = list(self._estimates.values())
-        for i in order.tolist():
-            peers = sample(i, 1)
-            if not peers:
+        for i, j in zip(live_ids.tolist(), partners.tolist()):
+            if j < 0:
                 continue
-            j = peers[0]
             for est in estimates:
                 vi = est.get(i)
                 vj = est.get(j)

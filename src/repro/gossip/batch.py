@@ -1,0 +1,143 @@
+"""Shared NumPy kernels for batched gossip rounds.
+
+Both bounded-view gossip protocols (epidemic RSS dissemination and the
+Newscast membership shuffle) reduce each cycle to the same primitive: a
+pile of ``(target, key, timestamp, payload...)`` rows — every target's
+existing cache contents plus everything delivered to it this round —
+deduplicated per ``(target, key)`` keeping the freshest timestamp, then
+trimmed to each target's ``cap`` freshest keys.  :func:`topk_merge` does
+that for the *whole system at once* in a handful of vectorized passes
+(two lexsorts plus segment arithmetic), replacing the per-delivery
+merge-dict / sort-and-refill loops that previously dominated the gossip
+hot path.
+
+:func:`row_topk_smallest` is the batched without-replacement sampler both
+protocols use: draw one random key per cache slot, then take the ``k``
+smallest valid keys per row.  Each row's selection is a uniform ``k``-
+subset of its valid cells, and the draw *count* depends only on the
+matrix shape — never on per-row occupancy — which keeps the RNG stream
+deterministic under churn.
+
+Tie rules (all deterministic):
+
+* duplicate ``(target, key)`` rows — fresher timestamp wins; equal
+  timestamps fall back to the smaller ``pref`` (callers pass 0 for a
+  target's pre-existing rows and ``sender_rank + 1`` for deliveries, so
+  an incumbent beats a same-age delivery and earlier senders beat later
+  ones);
+* the per-target capacity cut keeps the freshest ``cap`` keys, breaking
+  timestamp ties by smaller key.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["topk_merge", "row_topk_smallest"]
+
+
+def topk_merge(
+    tgt: np.ndarray,
+    key: np.ndarray,
+    ts: np.ndarray,
+    pref: np.ndarray,
+    cap: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Dedupe rows per ``(tgt, key)`` and keep the ``cap`` freshest per ``tgt``.
+
+    Parameters are parallel row arrays: integer ``tgt`` (cache owner),
+    integer ``key`` (the entry's identity within that cache), float ``ts``
+    (freshness), integer ``pref`` (tie priority, lower wins).
+
+    Returns ``(sel, tgt_sel, rank, uniq, counts, n_evicted)`` where
+
+    * ``sel`` — indices into the input rows of every surviving entry,
+      ordered by ``(tgt, ts desc, key)``;
+    * ``tgt_sel`` / ``rank`` — each survivor's cache owner and its slot
+      (``0 <= rank < cap``), ready for a flat ``tgt * cap + rank`` scatter;
+    * ``uniq`` / ``counts`` — the distinct targets touched and their new
+      entry counts;
+    * ``n_evicted`` — deduplicated entries dropped by the capacity cut.
+    """
+    m = int(tgt.shape[0])
+    if m == 0:
+        z = np.zeros(0, dtype=np.int64)
+        return z, z, z, z, z, 0
+    # Pass 1 — winner per (tgt, key) via ONE integer sort on the composite
+    # code plus segmented reductions (cheaper than a 4-key lexsort: each
+    # extra lexsort key is a full stable argsort pass).
+    key_bound = int(key.max()) + 1
+    code = tgt * key_bound + key
+    o = np.argsort(code, kind="stable")
+    code_s = code[o]
+    newg = np.empty(m, dtype=bool)
+    newg[0] = True
+    newg[1:] = code_s[1:] != code_s[:-1]
+    starts = np.flatnonzero(newg)
+    gidx = np.cumsum(newg) - 1
+    ts_s = ts[o]
+    gmax = np.maximum.reduceat(ts_s, starts)
+    is_max = ts_s == gmax[gidx]
+    pref_s = np.where(is_max, pref[o], np.iinfo(np.int64).max)
+    gminp = np.minimum.reduceat(pref_s, starts)
+    win = np.flatnonzero(is_max & (pref_s == gminp[gidx]))
+    # Defensive: (ts, pref) pairs are distinct within a group by
+    # construction, but keep only the first winner regardless.
+    gw = gidx[win]
+    fw = np.empty(win.size, dtype=bool)
+    fw[0] = True
+    fw[1:] = gw[1:] != gw[:-1]
+    kept = o[win[fw]]  # deduped rows, sorted by (tgt, key)
+    # Pass 2 — freshness rank within each target group: two stable
+    # argsorts.  The first resolves timestamp ties in the incoming
+    # (tgt, key) order, i.e. by ascending key; the second groups by
+    # target while preserving that order — together (tgt, ts desc, key).
+    t_k = tgt[kept]
+    ts_k = ts[kept]
+    o1 = np.argsort(-ts_k, kind="stable")
+    o2 = np.argsort(t_k[o1], kind="stable")
+    order2 = o1[o2]
+    t_s = t_k[order2]
+    mk = int(t_s.shape[0])
+    newg2 = np.empty(mk, dtype=bool)
+    newg2[0] = True
+    newg2[1:] = t_s[1:] != t_s[:-1]
+    starts2 = np.flatnonzero(newg2)
+    rank = np.arange(mk, dtype=np.int64) - starts2[np.cumsum(newg2) - 1]
+    within = rank < cap
+    sizes = np.diff(np.append(starts2, mk))
+    counts = np.minimum(sizes, cap)
+    n_evicted = int((sizes - counts).sum())
+    return (
+        kept[order2[within]],
+        t_s[within],
+        rank[within],
+        t_s[starts2],
+        counts,
+        n_evicted,
+    )
+
+
+def row_topk_smallest(
+    keys: np.ndarray, valid: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Positions of the ``k`` smallest keys per row among ``valid`` cells.
+
+    Returns ``(pos, picked)``: ``pos`` is ``(rows, min(k, width))`` column
+    indices and ``picked`` the same-shape mask (False where a row had
+    fewer than ``k`` valid cells).  The selection within a row is
+    *unordered* — both call sites (fan-out targets, push digests) treat
+    the result as a set, so a partial selection suffices.
+    """
+    r, w = keys.shape
+    k = min(int(k), w)
+    if k <= 0:
+        pos = np.zeros((r, 0), dtype=np.int64)
+        return pos, np.zeros((r, 0), dtype=bool)
+    masked = np.where(valid, keys, np.inf)
+    if k < w:
+        pos = np.argpartition(masked, k - 1, axis=1)[:, :k]
+    else:
+        pos = np.broadcast_to(np.arange(w, dtype=np.int64), (r, w))
+    picked = np.take_along_axis(masked, pos, axis=1) < np.inf
+    return pos, picked

@@ -16,81 +16,42 @@ O(log2 n) space bound — evicting the stalest.  Records older than
 ``expiry`` (default: four gossip cycles) are dropped, which is also how
 departed nodes disappear from scheduling views under churn.
 
-The per-node view exposed to Algorithm 1 is :meth:`rss_view`; the scheduler
-additionally *writes back* its dispatch decisions via
-:meth:`apply_local_update` (Algorithm 1 line 15) so consecutive picks in the
-same scheduling cycle see the load they just added.
+The per-node view exposed to Algorithm 1 is :meth:`rss_columns` (array
+slices) / :meth:`rss_view` (a dict snapshot); the scheduler additionally
+*writes back* its dispatch decisions via :meth:`apply_local_update`
+(Algorithm 1 line 15) so consecutive picks in the same scheduling cycle
+see the load they just added.
 
-Performance: the cycle is batched — one digest per sender, delivered to
-every fan-out target with the merge loop inlined (no per-message call
-churn), the digest sampled via the stream-identical
-:class:`~repro.sim.fastrand.FastSampler` fast path, and the per-delivery
-RSS eviction served by :func:`_evict`'s partial selection.  None of this
-moves a draw or reorders a record: the golden fingerprints replay
-bit-identically.
+Performance: the RSS caches live in struct-of-arrays form — ``(n, cap)``
+id/capacity/load/timestamp/TTL matrices plus a per-row length — and a
+cycle is one *simultaneous* round: every sender's fan-out targets and
+push digest are drawn as single batched key selections
+(:func:`repro.gossip.batch.row_topk_smallest`), and all deliveries are
+merged and capacity-evicted at once from start-of-round state through the
+shared :func:`repro.gossip.batch.topk_merge` kernel (per-target top-cap
+rank selection replaces the old per-delivery sort-and-refill eviction).
+This replaced the sequential per-sender push loop (PR 8's documented
+semantic change): within one cycle deliveries no longer see each other's
+merges, so the RNG stream and the golden fingerprints were re-recorded,
+with the new stream validated against the statistical bands in
+``tests/regression``.
 """
 
 from __future__ import annotations
 
-from heapq import nlargest
-from operator import attrgetter
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
+from repro.gossip.batch import row_topk_smallest, topk_merge
 from repro.gossip.messages import NodeStateRecord
 from repro.gossip.newscast import NewscastOverlay
 from repro.sim.fastrand import FastSampler
 
 __all__ = ["EpidemicGossip"]
 
-#: C-level sort key for the freshness eviction (hot path).
-_BY_TIMESTAMP = attrgetter("timestamp")
-
 LoadProvider = Callable[[int], tuple[float, float]]
 """Callback ``node_id -> (total_load_MI, capacity_MIPS)``."""
-
-
-#: Reusable sort buffer for :func:`_evict` — the simulation is single-
-#: threaded and evictions never nest, so one scratch list serves every RSS
-#: (sparing the garbage collector ~one tracked container per delivery).
-_EVICT_SCRATCH: list[NodeStateRecord] = []
-
-
-def _evict(rss: dict[int, NodeStateRecord], cap: int) -> None:
-    """Trim ``rss`` *in place* to the ``cap`` freshest records, reordered
-    freshness-descending.
-
-    The rebuild order is load-bearing: Algorithm 1 iterates the dict, and
-    the push digest samples records by position, so the eviction must
-    reproduce ``sorted(..., reverse=True)[:cap]`` exactly.  Two equivalent
-    selection strategies, picked by overflow size:
-
-    * steady state (a delivery pushed the RSS a few records over ``cap``):
-      the dict is still mostly in the descending order the previous
-      eviction left it in, which Timsort's run detection turns into a
-      near-linear partial selection (in the reusable scratch buffer) —
-      measurably faster than a heap-based ``nlargest`` at these sizes;
-    * flood (cold-start or a burst merged far past ``cap``): C-level
-      ``heapq.nlargest``, documented equivalent to the reverse-sorted
-      prefix (same stable order), selects in O(n log cap) without sorting
-      the victims.
-
-    Refilling the existing dict (rather than building a fresh one) keeps
-    the RSS object identity stable for view holders and spares the
-    allocator/GC one tracked container per delivery.
-    """
-    if len(rss) < 2 * cap:
-        by_age = _EVICT_SCRATCH
-        by_age.clear()
-        by_age.extend(rss.values())
-        by_age.sort(key=_BY_TIMESTAMP, reverse=True)
-        del by_age[cap:]
-    else:
-        by_age = nlargest(cap, rss.values(), key=_BY_TIMESTAMP)
-    rss.clear()
-    for r in by_age:
-        rss[r.node_id] = r
 
 
 class EpidemicGossip:
@@ -138,21 +99,57 @@ class EpidemicGossip:
         self.rss_capacity = int(rss_capacity)
         self.expiry = expiry
         self.fanout = max(1, int(np.ceil(np.log2(n))))
-        # rss[i] : node_id -> freshest record known at i (never contains i).
-        self.rss: dict[int, dict[int, NodeStateRecord]] = {
-            i: {} for i in overlay.live
-        }
+        # Struct-of-arrays RSS: row i holds node i's known records in
+        # slots [0, _len[i]) — record owner ids in _ids, then capacity /
+        # load / stamp / remaining hops column-for-column.  A row never
+        # contains its owner.
+        ids = sorted(overlay.live)
+        self._n_alloc = max((ids[-1] + 1) if ids else 1, 1)
+        cap = self.rss_capacity
+        self._ids = np.zeros((self._n_alloc, cap), dtype=np.int64)
+        self._caps = np.zeros((self._n_alloc, cap))
+        self._loads = np.zeros((self._n_alloc, cap))
+        self._ts = np.zeros((self._n_alloc, cap))
+        self._ttl = np.zeros((self._n_alloc, cap), dtype=np.int64)
+        self._len = np.zeros(self._n_alloc, dtype=np.int64)
+        self._tracked = np.zeros(self._n_alloc, dtype=bool)
+        if ids:
+            self._tracked[np.asarray(ids, dtype=np.int64)] = True
+        self._col = np.arange(cap)
         self.messages_sent = 0
         self.records_shipped = 0
-        #: Records accepted by the freshness merge / trimmed by capacity
-        #: eviction (observability only — never read by the protocol).
+        #: Delivered records that survived the round's freshness merge and
+        #: capacity cut (observability only — never read by the protocol).
         self.records_merged = 0
         self.evictions = 0
 
     # ---------------------------------------------------------------- churn
+    def _ensure_row(self, node_id: int) -> None:
+        if node_id < self._n_alloc:
+            return
+        new_n = max(node_id + 1, 2 * self._n_alloc)
+        cap = self.rss_capacity
+        for name, fill in (
+            ("_ids", 0),
+            ("_caps", 0.0),
+            ("_loads", 0.0),
+            ("_ts", 0.0),
+            ("_ttl", 0),
+            ("_len", 0),
+            ("_tracked", False),
+        ):
+            old = getattr(self, name)
+            shape = (new_n, cap) if old.ndim == 2 else (new_n,)
+            grown = np.full(shape, fill, dtype=old.dtype)
+            grown[: self._n_alloc] = old
+            setattr(self, name, grown)
+        self._n_alloc = new_n
+
     def add_node(self, node_id: int) -> None:
         """Start tracking a joining node (empty RSS; fills via gossip)."""
-        self.rss[node_id] = {}
+        self._ensure_row(node_id)
+        self._tracked[node_id] = True
+        self._len[node_id] = 0
 
     def remove_node(self, node_id: int) -> None:
         """Forget a departing node's own view.
@@ -161,83 +158,119 @@ class EpidemicGossip:
         schedulers may still (incorrectly) select it — exactly the staleness
         hazard the paper attributes to node churning.
         """
-        self.rss.pop(node_id, None)
+        if 0 <= node_id < self._n_alloc:
+            self._tracked[node_id] = False
+            self._len[node_id] = 0
 
     # ---------------------------------------------------------------- cycle
     def run_cycle(self, now: float) -> None:
-        """One push round for every live node (cycle-driven execution).
+        """One simultaneous push round over every live node.
 
-        The digest is sampled once per sender and delivered to every
-        target with the merge inlined — one batched pass, no per-message
-        helper calls on the hot path.
+        All senders' fan-out draws and digest picks happen as single
+        batches, and every delivery is merged against *start-of-round*
+        state in one :func:`topk_merge` call.  Ties (same record owner,
+        same stamp) go to the incumbent, then to the earliest sender.
         """
-        load_provider = self.load_provider
-        ttl = self.ttl
-        push_size = self.push_size
-        sample = self.overlay.sample
-        fanout = self.fanout
-        choice_indices = self._fast.choice_indices
-        rss_all = self.rss
+        senders = self.overlay.live_array()
+        s = int(senders.size)
+        if s == 0:
+            if self.expiry is not None:
+                self._expire(now)
+            return
         cap = self.rss_capacity
-        messages = 0
-        shipped = 0
-        merged = 0
-        evicted = 0
-        for i in self.overlay.live:
-            # Stamp a fresh self-record so this cycle ships current loads
-            # (stamping only reads node state, which gossip never mutates,
-            # so inlining it into the push loop is order-neutral).
-            load, capacity = load_provider(i)
-            self_record = NodeStateRecord(i, capacity, load, now, ttl)
-            rss_i = rss_all[i]
-            targets = sample(i, fanout)
-            if not targets:
-                continue
-            # Sample up to push_size forwardable known records once per
-            # sender; all targets receive the same digest (one "message"),
-            # unpacked into merge keys once per sender, not per pair.
-            forwardable = [r for r in rss_i.values() if r.ttl > 0]
-            if len(forwardable) > push_size:
-                digest_items = [
-                    ((a := forwardable[t].aged()).node_id, a.timestamp, a)
-                    for t in choice_indices(len(forwardable), push_size)
-                ]
-            else:
-                digest_items = [
-                    ((a := rec.aged()).node_id, a.timestamp, a)
-                    for rec in forwardable
-                ]
-            n_digest = len(digest_items) + 1
-            n_targets = len(targets)
-            messages += n_targets
-            shipped += n_digest * n_targets
-            for t in targets:
-                rss = rss_all.get(t)
-                if rss is None:  # target churned out mid-cycle
-                    continue
-                rss_get = rss.get
-                for nid, ts, rec in digest_items:
-                    if nid == t:
-                        continue
-                    cur = rss_get(nid)
-                    if cur is None or ts > cur.timestamp:
-                        rss[nid] = rec
-                        merged += 1
-                # The sender's own just-stamped record, merged last (it was
-                # the digest tail): same strict freshness test, without the
-                # per-pair tuple in the loop above.  The target never
-                # equals the sender — nodes do not sample themselves.
-                cur = rss_get(i)
-                if cur is None or now > cur.timestamp:
-                    rss[i] = self_record
-                    merged += 1
-                if len(rss) > cap:
-                    evicted += len(rss) - cap
-                    _evict(rss, cap)
-        self.messages_sent += messages
-        self.records_shipped += shipped
-        self.records_merged += merged
-        self.evictions += evicted
+        col = self._col
+
+        # Fresh self-records — the only per-node Python work in the
+        # round (ground-truth reads from live node state).
+        self_loads = np.empty(s)
+        self_caps = np.empty(s)
+        provider = self.load_provider
+        for k, i in enumerate(senders.tolist()):
+            load, capacity = provider(i)
+            self_loads[k] = load
+            self_caps[k] = capacity
+
+        # Fan-out targets (overlay stream), then the per-sender digest:
+        # up to push_size forwardable (ttl > 0) records plus the fresh
+        # self-record as the digest tail.
+        targets, t_ok = self.overlay.sample_rounds(senders, self.fanout)
+        t_ok = t_ok & (targets >= 0)
+        t_ok &= self._tracked[np.clip(targets, 0, self._n_alloc - 1)]
+
+        rows_ids = self._ids[senders]
+        rows_ttl = self._ttl[senders]
+        in_row = col[None, :] < self._len[senders][:, None]
+        forwardable = in_row & (rows_ttl > 0)
+        keys = self._fast.random_batch(s * cap).reshape(s, cap)
+        dpos, d_ok = row_topk_smallest(keys, forwardable, self.push_size)
+
+        def gather(arr: np.ndarray) -> np.ndarray:
+            return np.take_along_axis(arr[senders], dpos, axis=1)
+
+        dg_nid = np.concatenate([gather(self._ids), senders[:, None]], axis=1)
+        dg_cap = np.concatenate([gather(self._caps), self_caps[:, None]], axis=1)
+        dg_load = np.concatenate([gather(self._loads), self_loads[:, None]], axis=1)
+        dg_ts = np.concatenate([gather(self._ts), np.full((s, 1), now)], axis=1)
+        dg_ttl = np.concatenate(
+            [gather(self._ttl) - 1, np.full((s, 1), self.ttl, dtype=np.int64)],
+            axis=1,
+        )
+        dg_ok = np.concatenate([d_ok, np.ones((s, 1), dtype=bool)], axis=1)
+
+        t_count = t_ok.sum(axis=1)
+        self.messages_sent += int(t_count.sum())
+        self.records_shipped += int((t_count * dg_ok.sum(axis=1)).sum())
+
+        # Delivery rows: every (sender, target, digest entry) triple,
+        # minus records about the target itself.
+        fan = targets.shape[1]
+        width = dg_nid.shape[1]
+        ok3 = t_ok[:, :, None] & dg_ok[:, None, :]
+        flat = np.flatnonzero(ok3.reshape(-1))
+        if flat.size == 0:
+            if self.expiry is not None:
+                self._expire(now)
+            return
+        si, rem = np.divmod(flat, fan * width)
+        ti, di = np.divmod(rem, width)
+        d_tgt = targets[si, ti]
+        d_nid = dg_nid[si, di]
+        hit = d_nid != d_tgt
+        si, di, d_tgt, d_nid = si[hit], di[hit], d_tgt[hit], d_nid[hit]
+
+        # Existing rows of every delivery target (pref 0: an incumbent
+        # beats a same-age delivery), then the shared merge + top-cap cut.
+        # Distinct delivery targets via a flag scatter (ids are dense row
+        # indices, so this beats hash-based np.unique on the row pile).
+        flag = np.zeros(self._n_alloc, dtype=bool)
+        flag[d_tgt] = True
+        touched = np.flatnonzero(flag)
+        in_tgt = col[None, :] < self._len[touched][:, None]
+        eflat = np.flatnonzero(in_tgt.reshape(-1))
+        ui, ci = np.divmod(eflat, cap)
+        e_tgt = touched[ui]
+
+        a_tgt = np.concatenate([e_tgt, d_tgt])
+        a_nid = np.concatenate([self._ids[e_tgt, ci], d_nid])
+        a_cap = np.concatenate([self._caps[e_tgt, ci], dg_cap[si, di]])
+        a_load = np.concatenate([self._loads[e_tgt, ci], dg_load[si, di]])
+        a_ts = np.concatenate([self._ts[e_tgt, ci], dg_ts[si, di]])
+        a_ttl = np.concatenate([self._ttl[e_tgt, ci], dg_ttl[si, di]])
+        a_pref = np.concatenate(
+            [np.zeros(eflat.size, dtype=np.int64), si + 1]
+        )
+        sel, tgt_sel, rank, uniq, counts, n_evicted = topk_merge(
+            a_tgt, a_nid, a_ts, a_pref, cap
+        )
+        flat_pos = tgt_sel * cap + rank
+        np.put(self._ids, flat_pos, a_nid[sel])
+        np.put(self._caps, flat_pos, a_cap[sel])
+        np.put(self._loads, flat_pos, a_load[sel])
+        np.put(self._ts, flat_pos, a_ts[sel])
+        np.put(self._ttl, flat_pos, a_ttl[sel])
+        self._len[uniq] = counts
+        self.records_merged += int((a_pref[sel] > 0).sum())
+        self.evictions += n_evicted
 
         if self.expiry is not None:
             self._expire(now)
@@ -245,42 +278,98 @@ class EpidemicGossip:
     def _expire(self, now: float) -> None:
         assert self.expiry is not None
         horizon = now - self.expiry
-        for rss in self.rss.values():
-            dead = [nid for nid, rec in rss.items() if rec.timestamp < horizon]
-            for nid in dead:
-                del rss[nid]
+        lens = self._len
+        in_row = self._col[None, :] < lens[:, None]
+        keep = in_row & (self._ts >= horizon)
+        new_len = keep.sum(axis=1)
+        changed = np.flatnonzero(new_len < lens)
+        if changed.size == 0:
+            return
+        # Stable compaction: survivors slide left, preserving order.
+        order = np.argsort(~keep[changed], axis=1, kind="stable")
+        for arr in (self._ids, self._caps, self._loads, self._ts, self._ttl):
+            arr[changed] = np.take_along_axis(arr[changed], order, axis=1)
+        self._len[changed] = new_len[changed]
 
     # ------------------------------------------------------------ consumers
-    def rss_view(self, node_id: int) -> dict[int, NodeStateRecord]:
-        """The resource set RSS(p) Algorithm 1 iterates over.
+    def rss_columns(
+        self, node_id: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The resource set RSS(p) as parallel array slices.
 
-        The mapping is the live internal one: schedulers must mutate it only
-        through :meth:`apply_local_update`.
+        Returns ``(ids, capacities, loads, timestamps)`` views over the
+        node's row — the zero-copy form Algorithm 1's candidate table is
+        built from.  Callers must not mutate them (use
+        :meth:`apply_local_update` / :meth:`discard`).
         """
-        return self.rss.get(node_id, {})
+        if node_id >= self._n_alloc or not self._tracked[node_id]:
+            empty = np.zeros(0)
+            return empty.astype(np.int64), empty, empty, empty
+        m = int(self._len[node_id])
+        return (
+            self._ids[node_id, :m],
+            self._caps[node_id, :m],
+            self._loads[node_id, :m],
+            self._ts[node_id, :m],
+        )
+
+    def rss_view(self, node_id: int) -> dict[int, NodeStateRecord]:
+        """A dict *snapshot* of RSS(p), rebuilt per call.
+
+        Convenience for tests and cold call sites; mutating the returned
+        mapping does not touch gossip state (hot paths use
+        :meth:`rss_columns`).
+        """
+        out: dict[int, NodeStateRecord] = {}
+        if node_id >= self._n_alloc or not self._tracked[node_id]:
+            return out
+        m = int(self._len[node_id])
+        ids = self._ids[node_id, :m].tolist()
+        caps = self._caps[node_id, :m].tolist()
+        loads = self._loads[node_id, :m].tolist()
+        ts = self._ts[node_id, :m].tolist()
+        ttl = self._ttl[node_id, :m].tolist()
+        for k, nid in enumerate(ids):
+            out[nid] = NodeStateRecord(nid, caps[k], loads[k], ts[k], ttl[k])
+        return out
+
+    def _find(self, owner: int, target: int) -> int:
+        """Slot of ``target`` in ``owner``'s row, or -1."""
+        if owner >= self._n_alloc or not self._tracked[owner]:
+            return -1
+        m = int(self._len[owner])
+        pos = np.flatnonzero(self._ids[owner, :m] == target)
+        return int(pos[0]) if pos.size else -1
+
+    def discard(self, owner: int, target: int) -> None:
+        """Drop the owner's record of ``target`` (stale-target eviction
+        after a failed dispatch); no-op when absent."""
+        pos = self._find(owner, target)
+        if pos < 0:
+            return
+        last = int(self._len[owner]) - 1
+        for arr in (self._ids, self._caps, self._loads, self._ts, self._ttl):
+            arr[owner, pos] = arr[owner, last]
+        self._len[owner] = last
+
+    def timestamp_of(self, owner: int, target: int) -> Optional[float]:
+        """Stamp of the owner's record of ``target`` (telemetry), or None."""
+        pos = self._find(owner, target)
+        return None if pos < 0 else float(self._ts[owner, pos])
 
     def apply_local_update(
         self, owner: int, target: int, new_load: float, now: float
     ) -> None:
         """Algorithm 1 line 15: after dispatching a task to ``target``,
         overwrite the *owner's local* record of the target's load."""
-        rss = self.rss.get(owner)
-        if rss is None:
+        pos = self._find(owner, target)
+        if pos < 0:
             return
-        cur = rss.get(target)
-        if cur is None:
-            return
-        rss[target] = NodeStateRecord(
-            node_id=target,
-            capacity=cur.capacity,
-            total_load=new_load,
-            timestamp=now,
-            ttl=cur.ttl,
-        )
+        self._loads[owner, pos] = new_load
+        self._ts[owner, pos] = now
 
     def mean_known_nodes(self) -> float:
         """Average RSS size over live nodes — the Fig. 11(a) metric."""
-        rss = self.rss
-        if not rss:
+        if not self._tracked.any():
             return 0.0
-        return sum(map(len, rss.values())) / len(rss)
+        return float(self._len[self._tracked].mean())

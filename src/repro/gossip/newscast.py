@@ -12,37 +12,30 @@ The overlay also provides the peer-sampling service used by the epidemic and
 aggregation protocols, and absorbs churn: descriptors of departed nodes age
 out, joining nodes bootstrap from a random live seed.
 
-Performance: every bounded draw on the overlay's stream goes through one
-:class:`~repro.sim.fastrand.FastSampler` — the stream-identical emulation
-of NumPy's bounded generation — which removes the per-call ``Generator``
-overhead (the ROADMAP-named gossip hot spot) without moving a single draw.
-Array shuffles stay in NumPy's C loop via the sampler's sync'd
-:meth:`~repro.sim.fastrand.FastSampler.shuffle`.
+Performance: the caches live in struct-of-arrays form — ``(n, cache_size)``
+peer-id and freshness matrices plus a per-row length — and a cycle is one
+*simultaneous* round: every node's partner pick is a single batched draw
+(:meth:`~repro.sim.fastrand.FastSampler.random_batch` keys + a row argmin),
+and all pairwise merges are applied at once from start-of-round state
+through the shared :func:`repro.gossip.batch.topk_merge` kernel.  This
+replaced the sequential per-node shuffle loop (PR 8's documented semantic
+change): within one cycle merges no longer chain through each other, so
+the RNG stream and the golden fingerprints were re-recorded, with the new
+stream validated against the statistical bands in ``tests/regression``.
 """
 
 from __future__ import annotations
 
-from operator import itemgetter
-
 import numpy as np
 
+from repro.gossip.batch import row_topk_smallest, topk_merge
 from repro.sim.fastrand import FastSampler
 
 __all__ = ["NewscastOverlay"]
 
-#: C-level sort key for freshness ordering (hot path).
-_BY_FRESHNESS = itemgetter(1)
-
-#: Reusable merge/sort buffers for :meth:`NewscastOverlay._shuffle_pair` —
-#: the simulation is single-threaded and shuffles never nest, so one pair
-#: of scratch containers serves every overlay (two fewer tracked
-#: allocations per shuffle keeps generation-0 GC pressure down).
-_MERGE_SCRATCH: dict[int, float] = {}
-_KEEP_SCRATCH: list[tuple[int, float]] = []
-
 
 class NewscastOverlay:
-    """Bounded-cache membership with per-cycle shuffles.
+    """Bounded-cache membership with batched per-cycle shuffles.
 
     Parameters
     ----------
@@ -70,18 +63,19 @@ class NewscastOverlay:
             cache_size = max(8, 2 * int(np.ceil(np.log2(n))))
         self.cache_size = int(cache_size)
         self.live: set[int] = set(node_ids)
-        # cache[i] : dict peer_id -> freshness timestamp
-        self.cache: dict[int, dict[int, float]] = {i: {} for i in node_ids}
-        # Membership version + per-node live-peer memo: several protocols
-        # sample the same node between shuffles (epidemic then aggregation
-        # each cycle), so the filtered peer list is reused until any cache
-        # or liveness mutation bumps the version.
-        self._version = 0
-        self._peers_memo: dict[int, tuple[int, list[int]]] = {}
-        #: False until the first departure: on a never-churned grid every
-        #: cached descriptor is live by construction, so the per-sample
-        #: liveness superset check can be skipped outright.
-        self._had_removals = False
+        self._n_alloc = max((max(node_ids) + 1) if node_ids else 1, 1)
+        c = self.cache_size
+        # Struct-of-arrays caches: row i holds node i's descriptors in
+        # slots [0, _clen[i]) — peer ids in _pid, freshness stamps in
+        # _fresh.  Rows never contain their owner.
+        self._pid = np.zeros((self._n_alloc, c), dtype=np.int64)
+        self._fresh = np.zeros((self._n_alloc, c))
+        self._clen = np.zeros(self._n_alloc, dtype=np.int64)
+        self._alive = np.zeros(self._n_alloc, dtype=bool)
+        if node_ids:
+            self._alive[np.asarray(node_ids, dtype=np.int64)] = True
+        self._col = np.arange(c)
+        self._live_cache: np.ndarray | None = None
         #: Completed pairwise shuffles / degenerate-cache reseeds
         #: (observability only — never read by the protocol).
         self.shuffles = 0
@@ -97,133 +91,230 @@ class NewscastOverlay:
         choice_indices = self._fast.choice_indices
         for i in node_ids:
             # Same draws as rng.choice(ids_array, size=k+1, replace=False).
-            peers = [node_ids[t] for t in choice_indices(n, k + 1)]
-            cache = self.cache[i]
-            for p in peers:
-                if p != i and len(cache) < self.cache_size:
-                    cache[p] = 0.0
+            m = 0
+            for t in choice_indices(n, k + 1):
+                p = node_ids[t]
+                if p != i and m < self.cache_size:
+                    self._pid[i, m] = p
+                    self._fresh[i, m] = 0.0
+                    m += 1
+            self._clen[i] = m
+
+    def _ensure_row(self, node_id: int) -> None:
+        if node_id < self._n_alloc:
+            return
+        new_n = max(node_id + 1, 2 * self._n_alloc)
+        c = self.cache_size
+        for name, fill in (("_pid", 0), ("_fresh", 0.0), ("_clen", 0), ("_alive", False)):
+            old = getattr(self, name)
+            shape = (new_n, c) if old.ndim == 2 else (new_n,)
+            grown = np.full(shape, fill, dtype=old.dtype)
+            grown[: self._n_alloc] = old
+            setattr(self, name, grown)
+        self._n_alloc = new_n
+
+    def _live_array(self) -> np.ndarray:
+        """Live node ids, sorted ascending (cached between churn events)."""
+        if self._live_cache is None:
+            self._live_cache = np.fromiter(
+                sorted(self.live), dtype=np.int64, count=len(self.live)
+            )
+        return self._live_cache
+
+    # A public alias: the epidemic and aggregation protocols drive their
+    # batched rounds over the same sorted id array.
+    live_array = _live_array
 
     # ---------------------------------------------------------------- churn
     def add_node(self, node_id: int, now: float) -> None:
         """Join: bootstrap the cache from a random live seed."""
-        self._version += 1
+        self._ensure_row(node_id)
+        if node_id in self.live:  # defensive; joins are not re-entrant
+            candidates = [p for p in sorted(self.live) if p != node_id]
+        else:
+            # The cached sorted live array IS the candidate list (the
+            # joiner is not in it yet).
+            candidates = self._live_array()
         self.live.add(node_id)
-        cache: dict[int, float] = {}
-        candidates = [p for p in self.live if p != node_id]
-        if candidates:
+        self._alive[node_id] = True
+        self._live_cache = None
+        m = 0
+        if len(candidates):
             # Same draw as rng.choice(np.asarray(candidates)) — one bounded
             # integer — without the array round-trip.
-            seed = candidates[self._fast.integers(len(candidates))]
-            cache.update(self.cache.get(seed, {}))
-            cache.pop(node_id, None)
-            cache[seed] = now
-        self.cache[node_id] = dict(
-            sorted(cache.items(), key=_BY_FRESHNESS, reverse=True)[: self.cache_size]
-        )
+            seed = int(candidates[self._fast.integers(len(candidates))])
+            sm = int(self._clen[seed])
+            pid = self._pid[seed, :sm]
+            fresh = self._fresh[seed, :sm]
+            keep = (pid != node_id) & (pid != seed)
+            pid = np.append(pid[keep], seed)
+            fresh = np.append(fresh[keep], now)
+            order = np.lexsort((pid, -fresh))[: self.cache_size]
+            m = int(order.size)
+            self._pid[node_id, :m] = pid[order]
+            self._fresh[node_id, :m] = fresh[order]
+        self._clen[node_id] = m
 
     def remove_node(self, node_id: int) -> None:
         """Leave: the node's cache dies with it; remote descriptors of it
         age out naturally (no global purge — matching real gossip)."""
-        self._version += 1
-        self._had_removals = True
         self.live.discard(node_id)
-        self.cache.pop(node_id, None)
-        self._peers_memo.pop(node_id, None)
+        if 0 <= node_id < self._n_alloc:
+            self._alive[node_id] = False
+            self._clen[node_id] = 0
+        self._live_cache = None
 
     # ---------------------------------------------------------------- cycle
-    def run_cycle(self, now: float) -> None:
-        """One Newscast shuffle for every live node.
+    def _pick_one(
+        self, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One uniform live cached peer per row of ``ids`` (batched).
 
-        Each node contacts one random cache entry (if live), both merge the
-        union of their caches plus fresh descriptors of each other, keeping
-        the freshest ``cache_size`` entries.
+        Returns ``(partners, has)``; ``partners[r]`` is only meaningful
+        where ``has[r]``.  Consumes exactly ``len(ids) * cache_size``
+        doubles from the overlay stream regardless of occupancy.
         """
-        live = self.live
-        order = np.fromiter(live, dtype=np.int64, count=len(live))
-        fast = self._fast
-        fast.shuffle(order)
-        cache_get = self.cache.get
-        integers = fast.integers
-        never_churned = not self._had_removals
-        for i in order.tolist():
-            cache = cache_get(i)
-            if cache is None:
-                continue
-            # Fast path: with no dead descriptors every entry qualifies
-            # (C-level superset check; identical list to the filter below).
-            if never_churned or live.issuperset(cache):
-                live_peers = list(cache)
-            else:
-                live_peers = [p for p in cache if p in live]
-            if not live_peers:
-                # Degenerate cache (all entries churned out): reseed.
-                candidates = [p for p in live if p != i]
-                if candidates:
-                    p = candidates[integers(len(candidates))]
-                    cache[p] = now
-                    self._version += 1
-                    self.reseeds += 1
-                continue
-            j = live_peers[integers(len(live_peers))]
-            self._shuffle_pair(i, j, now)
+        s = int(ids.size)
+        rows = self._pid[ids]
+        valid = (self._col[None, :] < self._clen[ids][:, None]) & self._alive[rows]
+        keys = self._fast.random_batch(s * self.cache_size).reshape(
+            s, self.cache_size
+        )
+        masked = np.where(valid, keys, np.inf)
+        pick = np.argmin(masked, axis=1)
+        rix = np.arange(s)
+        has = valid[rix, pick]
+        return rows[rix, pick], has
 
-    def _shuffle_pair(self, i: int, j: int, now: float) -> None:
-        ci, cj = self.cache[i], self.cache[j]
-        merged = _MERGE_SCRATCH
-        merged.clear()
-        merged.update(ci)
-        merged_get = merged.get
-        for p, ts in cj.items():
-            cur = merged_get(p)
-            if cur is None or ts > cur:
-                merged[p] = ts
-        merged[i] = now
-        merged[j] = now
-        keep = _KEEP_SCRATCH
-        keep.clear()
-        keep.extend(merged.items())
-        keep.sort(key=_BY_FRESHNESS, reverse=True)
-        cache_size = self.cache_size
-        # Each output misses at most one entry of `keep` (its own owner),
-        # so both caches are full within the first cache_size + 2 items —
-        # the fill loop never needs the tail.
-        del keep[cache_size + 2:]
-        new_i: dict[int, float] = {}
-        new_j: dict[int, float] = {}
-        ni = nj = 0
-        for p, ts in keep:
-            if ni >= cache_size and nj >= cache_size:
-                break
-            if p != i and ni < cache_size:
-                new_i[p] = ts
-                ni += 1
-            if p != j and nj < cache_size:
-                new_j[p] = ts
-                nj += 1
-        self.cache[i] = new_i
-        self.cache[j] = new_j
-        self._version += 1
-        self.shuffles += 1
+    def run_cycle(self, now: float) -> None:
+        """One simultaneous Newscast round over every live node.
+
+        Each node picks one random live cache entry; all pairs then merge
+        the union of their start-of-round caches plus fresh descriptors of
+        each other, keeping the freshest ``cache_size`` entries — computed
+        for the whole system in one :func:`topk_merge` call.
+        """
+        live_ids = self._live_array()
+        s = int(live_ids.size)
+        if s == 0:
+            return
+        c = self.cache_size
+        col = self._col
+        partners, has = self._pick_one(live_ids)
+
+        # Degenerate caches (all entries churned out): reseed from a
+        # random live candidate, in ascending node order.
+        empty = np.flatnonzero(~has)
+        if empty.size:
+            live_list = live_ids.tolist()
+            for r in empty.tolist():
+                if s < 2:
+                    continue
+                i = live_list[r]
+                t = self._fast.integers(s - 1)
+                p = live_list[t] if t < r else live_list[t + 1]
+                self._insert_descriptor(i, p, now)
+                self.reseeds += 1
+
+        P = live_ids[has]
+        J = partners[has]
+        m = int(P.size)
+        if m == 0:
+            return
+        self.shuffles += m
+        pair_rank = np.arange(m, dtype=np.int64) + 1
+
+        # Row table for the merge kernel: each pair (i, j) contributes
+        # j's cache plus a fresh descriptor of j to target i, and vice
+        # versa; every involved node also re-submits its own cache
+        # (pref 0, so an incumbent beats a same-age delivery).
+        vJ = col[None, :] < self._clen[J][:, None]
+        f1 = np.flatnonzero(vJ.reshape(-1))
+        r1, c1 = np.divmod(f1, c)
+        vP = col[None, :] < self._clen[P][:, None]
+        f2 = np.flatnonzero(vP.reshape(-1))
+        r2, c2 = np.divmod(f2, c)
+        # Distinct involved nodes via a flag scatter (ids are dense row
+        # indices, so this beats hash-based np.unique on the row pile).
+        flag = np.zeros(self._n_alloc, dtype=bool)
+        flag[P] = True
+        flag[J] = True
+        involved = np.flatnonzero(flag)
+        vE = col[None, :] < self._clen[involved][:, None]
+        f0 = np.flatnonzero(vE.reshape(-1))
+        r0, c0 = np.divmod(f0, c)
+
+        a_tgt = np.concatenate(
+            [involved[r0], P[r1], J[r2], P, J]
+        )
+        a_key = np.concatenate(
+            [
+                self._pid[involved[r0], c0],
+                self._pid[J[r1], c1],
+                self._pid[P[r2], c2],
+                J,
+                P,
+            ]
+        )
+        a_ts = np.concatenate(
+            [
+                self._fresh[involved[r0], c0],
+                self._fresh[J[r1], c1],
+                self._fresh[P[r2], c2],
+                np.full(2 * m, now),
+            ]
+        )
+        a_pref = np.concatenate(
+            [
+                np.zeros(f0.size, dtype=np.int64),
+                pair_rank[r1],
+                pair_rank[r2],
+                pair_rank,
+                pair_rank,
+            ]
+        )
+        keep = a_key != a_tgt  # a node never caches itself
+        sel, tgt_sel, rank, uniq, counts, _ = topk_merge(
+            a_tgt[keep], a_key[keep], a_ts[keep], a_pref[keep], c
+        )
+        if uniq.size == 0:
+            return
+        flat = tgt_sel * c + rank
+        np.put(self._pid, flat, a_key[keep][sel])
+        np.put(self._fresh, flat, a_ts[keep][sel])
+        self._clen[uniq] = counts
+
+    def _insert_descriptor(self, node_id: int, peer: int, now: float) -> None:
+        """Add/refresh one descriptor, replacing the stalest when full."""
+        m = int(self._clen[node_id])
+        row = self._pid[node_id, :m]
+        pos = np.flatnonzero(row == peer)
+        if pos.size:
+            self._fresh[node_id, int(pos[0])] = now
+            return
+        if m < self.cache_size:
+            self._pid[node_id, m] = peer
+            self._fresh[node_id, m] = now
+            self._clen[node_id] = m + 1
+            return
+        stalest = int(np.argmin(self._fresh[node_id, :m]))
+        self._pid[node_id, stalest] = peer
+        self._fresh[node_id, stalest] = now
 
     # -------------------------------------------------------------- sampling
     def sample(self, node_id: int, k: int) -> list[int]:
-        """Return up to ``k`` distinct random live peers from the cache."""
-        memo = self._peers_memo.get(node_id)
-        if memo is not None and memo[0] == self._version:
-            peers = memo[1]
-        else:
-            cache = self.cache.get(node_id)
-            if not cache:
-                return []
-            live = self.live
-            if not self._had_removals or live.issuperset(cache):
-                # Fast path (no dead descriptors).  A node never caches
-                # itself — bootstrap, shuffles and joins all filter the
-                # owner — so the C-level copy needs no self-filter.
-                peers = list(cache)
-            else:
-                peers = [p for p in cache if p in live and p != node_id]
-            self._peers_memo[node_id] = (self._version, peers)
+        """Return up to ``k`` distinct random live peers from the cache.
+
+        Scalar path (tests, cold call sites); the protocols use the
+        batched :meth:`sample_rounds` / :meth:`sample_one_batch`.
+        """
+        if node_id not in self.live or node_id >= self._n_alloc:
+            return []
+        m = int(self._clen[node_id])
+        if m == 0:
+            return []
+        row = self._pid[node_id, :m]
+        peers = row[self._alive[row]].tolist()
         if not peers:
             return []
         n = len(peers)
@@ -231,30 +322,73 @@ class NewscastOverlay:
             return peers
         fast = self._fast
         if k == 1:
-            # One bounded draw — stream-identical to choice(n, 1,
-            # replace=False) (Floyd with an empty exclusion set and no
-            # tail shuffle); this is the once-per-node-per-cycle
-            # aggregation pairing.
             return [peers[fast.integers(n)]]
         return [peers[t] for t in fast.choice_indices(n, k)]
 
+    def sample_rounds(
+        self, senders: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Up to ``k`` distinct live cached peers for *every* sender row.
+
+        The whole round's fan-out selection as one batch: one random key
+        per cache slot, ``k`` smallest valid keys per row.  Returns
+        ``(peers, picked)`` of shape ``(len(senders), min(k, cache_size))``;
+        ``peers`` is ``-1`` where ``picked`` is False.
+        """
+        s = int(senders.size)
+        rows = self._pid[senders]
+        valid = (
+            self._col[None, :] < self._clen[senders][:, None]
+        ) & self._alive[rows]
+        keys = self._fast.random_batch(s * self.cache_size).reshape(
+            s, self.cache_size
+        )
+        pos, picked = row_topk_smallest(keys, valid, k)
+        peers = np.take_along_axis(rows, pos, axis=1)
+        return np.where(picked, peers, -1), picked
+
+    def sample_one_batch(self, ids: np.ndarray) -> np.ndarray:
+        """One uniform live cached peer per id (``-1`` where none) — the
+        batched form of ``sample(i, 1)`` used by the aggregation pairing."""
+        partners, has = self._pick_one(ids)
+        return np.where(has, partners, -1)
+
+    # ------------------------------------------------------------- consumers
+    @property
+    def cache(self) -> dict[int, dict[int, float]]:
+        """Dict-of-dicts snapshot of the caches (tests/diagnostics only;
+        rebuilt on every access — mutate nothing through it)."""
+        out: dict[int, dict[int, float]] = {}
+        for i in self.live:
+            m = int(self._clen[i])
+            out[i] = dict(
+                zip(self._pid[i, :m].tolist(), self._fresh[i, :m].tolist())
+            )
+        return out
+
     def known_live(self, node_id: int) -> list[int]:
         """All live peers currently in the node's cache."""
-        cache = self.cache.get(node_id, {})
-        return [p for p in cache if p in self.live]
+        if node_id >= self._n_alloc:
+            return []
+        m = int(self._clen[node_id])
+        row = self._pid[node_id, :m]
+        return row[self._alive[row]].tolist()
 
     def mean_descriptor_age(self, now: float) -> float:
         """Mean age (seconds) of cached peer descriptors across live nodes.
 
-        A telemetry-snapshot helper (O(total descriptors), called once per
-        run, never on the cycle hot path): young views mean the shuffle is
-        keeping membership fresh; ages near the churn timescale mean stale
+        A telemetry-snapshot helper (called once per run, never on the
+        cycle hot path): young views mean the shuffle is keeping
+        membership fresh; ages near the churn timescale mean stale
         neighbor sets.
         """
-        total = 0.0
-        count = 0
-        for i in self.live:
-            for ts in self.cache.get(i, {}).values():
-                total += now - ts
-                count += 1
-        return total / count if count else 0.0
+        live_ids = self._live_array()
+        if live_ids.size == 0:
+            return 0.0
+        lens = self._clen[live_ids]
+        count = int(lens.sum())
+        if count == 0:
+            return 0.0
+        valid = self._col[None, :] < lens[:, None]
+        ages = (now - self._fresh[live_ids]) * valid
+        return float(ages.sum() / count)

@@ -474,8 +474,7 @@ class P2PGridSystem:
         target = self.nodes[decision.target]
         home_id = decision.wx.home_id
         if not target.alive:
-            rss = self.epidemic.rss_view(home_id)
-            rss.pop(decision.target, None)
+            self.epidemic.discard(home_id, decision.target)
             return False
         wx = decision.wx
         tid = decision.tid
@@ -499,10 +498,10 @@ class P2PGridSystem:
             inputs = patched
 
         if self.telemetry.enabled:
-            rec = self.epidemic.rss_view(home_id).get(target.nid)
-            if rec is not None:
+            stamp = self.epidemic.timestamp_of(home_id, target.nid)
+            if stamp is not None:
                 self.telemetry.observe(
-                    "sched.rss_age_at_dispatch_seconds", self.sim.now - rec.timestamp
+                    "sched.rss_age_at_dispatch_seconds", self.sim.now - stamp
                 )
 
         wx.mark_dispatched(tid)

@@ -54,8 +54,10 @@ class LandmarkEstimator:
         n_landmarks = min(n_landmarks, n)
         self.topology = topology
         self.landmarks = np.sort(rng.choice(n, size=n_landmarks, replace=False))
-        # measurements[i, k] = measured bandwidth node i <-> landmark k
-        self.measurements = topology._bandwidth[:, self.landmarks].copy()
+        # measurements[i, k] = measured bandwidth node i <-> landmark k.
+        # Taken column-wise so the scalable topology can serve the probes
+        # without materializing the O(n^2) bandwidth matrix.
+        self.measurements = topology.bandwidth_columns(self.landmarks)
         # A node measuring itself as a landmark sees inf; clip to the best
         # finite link so estimates stay physical.
         finite = self.measurements[np.isfinite(self.measurements)]

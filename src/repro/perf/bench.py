@@ -27,8 +27,11 @@ Peak-RSS honesty: scenario memory is measured via the kernel's resettable
 high-water mark (``/proc/self/clear_refs`` + ``VmHWM``) where available,
 so ``peak_rss_delta_kb`` reflects *this scenario's own* footprint instead
 of accumulating monotonically across the presets of one invocation (the
-pre-schema-2 behavior); on platforms without that interface the
-``ru_maxrss`` fallback keeps the old cumulative semantics.
+pre-schema-2 behavior).  On platforms without that interface the
+``ru_maxrss`` fallback is a process-lifetime high-water mark — later
+scenarios inherit earlier scenarios' peaks — so each entry carries
+``peak_rss_isolated: false`` and ``peak_rss_delta_kb: null`` rather than
+a delta that merely looks per-scenario.
 """
 
 from __future__ import annotations
@@ -66,7 +69,7 @@ __all__ = [
 BENCH_SCHEMA = 2
 
 #: The canonical repo-root artifact name for this PR's baseline.
-DEFAULT_REPORT_NAME = "BENCH_PR7.json"
+DEFAULT_REPORT_NAME = "BENCH_PR8.json"
 
 #: Fields every per-scenario entry must carry (CI schema assertion).
 _REQUIRED_SCENARIO_FIELDS = (
@@ -154,6 +157,16 @@ def _metro(quick: bool) -> ExperimentConfig:
     return cfg
 
 
+def _metro10k(quick: bool) -> ExperimentConfig:
+    base = ExperimentConfig(algorithm="dsmf", seed=7, task_range=(2, 30))
+    cfg = apply_scenario(base, "metro-10k")
+    if quick:
+        # As with metro-1k: all 10,000 nodes stay (CI asserts the node
+        # count), only the horizon shrinks.
+        cfg = cfg.with_(total_time=0.5 * 3600.0)
+    return cfg
+
+
 _SCENARIOS: dict[str, BenchScenario] = {
     s.name: s
     for s in (
@@ -188,6 +201,13 @@ _SCENARIOS: dict[str, BenchScenario] = {
             "largest grid), structured-mix workloads, Weibull-session "
             "churn with rescheduling — tracks the 1k-node frontier.",
             _metro,
+        ),
+        BenchScenario(
+            "metro-10k",
+            "Metro-scale trajectory point: 10,000 nodes (40x the paper's "
+            "largest grid), structured-mix workloads, Weibull-session "
+            "churn with rescheduling — the batched-gossip-round frontier.",
+            _metro10k,
         ),
     )
 }
@@ -350,12 +370,14 @@ def _run_one(
         # scenario's timed reps: peak_rss_kb is this scenario's own peak
         # (interpreter baseline included) and peak_rss_delta_kb what it
         # allocated on top of the pre-scenario RSS.  Without isolation
-        # (non-Linux), both keep the legacy cumulative ru_maxrss
-        # semantics where the delta is only a lower bound.
+        # (non-Linux), ru_maxrss is a process-lifetime high-water mark:
+        # later scenarios inherit earlier peaks, before == after, and a
+        # "delta" of 0 would merely *look* per-scenario — so the delta is
+        # reported as null and peak_rss_kb keeps cumulative semantics.
         "peak_rss_kb": rss_after,
         "peak_rss_isolated": rss_isolated,
         "peak_rss_delta_kb": (
-            None if rss_after is None or rss_before is None
+            None if not rss_isolated or rss_after is None or rss_before is None
             else rss_after - rss_before
         ),
         "result_digest": _digest(result),
@@ -497,6 +519,18 @@ def run_bench(
     names = list(scenarios) if scenarios else bench_scenario_names()
     # Resolve every name up front so a typo fails before any timing runs.
     resolved = [get_bench_scenario(name) for name in names]
+    if baseline is not None and bool(baseline.get("quick")) != quick:
+        # Quick and full runs use different grid sizes/horizons, so a
+        # cross-mode "speedup" would be a size artifact, not performance —
+        # and a silently empty speedup map would make any
+        # --regression-threshold gate pass vacuously.  Refuse up front.
+        raise ValueError(
+            "baseline mode mismatch: the supplied baseline was recorded with "
+            f"quick={bool(baseline.get('quick'))} but this run uses "
+            f"quick={quick}; speedups are only meaningful between same-size "
+            "runs. Pass a matching baseline (auto-discovery with --baseline "
+            "already filters by mode) or re-run with the same --quick setting."
+        )
     entries = []
     for scenario in resolved:
         entry = _run_one(scenario, quick, repeats, profile_top, telemetry=telemetry)

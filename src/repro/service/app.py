@@ -8,7 +8,11 @@ Routes (JSON unless noted)::
     GET  /campaigns/{id}     poll one campaign (per-config progress);
                              ``?wait=<secs>`` long-polls: the response is
                              held until the campaign changes state or the
-                             wait (capped at 30s) elapses
+                             wait (capped at 30s) elapses.  Pass
+                             ``&version=<n>`` (the ``version`` of the last
+                             response seen) so a change that landed between
+                             two polls returns immediately instead of
+                             parking for the full wait
     GET  /results/{hash}     a cached RunResult by config hash
     GET  /experiments        the persistent experiment index
     GET  /metrics            Prometheus text exposition (request counters,
@@ -258,8 +262,19 @@ class _Handler(BaseHTTPRequestHandler):
                     400, "invalid-wait", "wait must be >= 0", field="wait"
                 )
                 return
+            since = None
+            if "version" in query:
+                try:
+                    since = int(query["version"][0])
+                except ValueError:
+                    self._send_error_json(
+                        400, "invalid-version",
+                        "version must be an integer (the version field of "
+                        "the last response seen)", field="version",
+                    )
+                    return
             record = state.queue.get(
-                match.group(1), wait=min(wait, MAX_WAIT_SECONDS)
+                match.group(1), wait=min(wait, MAX_WAIT_SECONDS), since=since
             )
             if record is None:
                 self._send_error_json(

@@ -86,19 +86,29 @@ class ServiceClient:
         """``POST /campaigns``; returns the 202 record (id, runs, hashes)."""
         return self._request("POST", "/campaigns", payload=manifest)
 
-    def campaign(self, campaign_id: str, wait: Optional[float] = None) -> dict:
+    def campaign(
+        self,
+        campaign_id: str,
+        wait: Optional[float] = None,
+        version: Optional[int] = None,
+    ) -> dict:
         """One campaign's status; ``wait`` seconds long-polls.
 
         With ``wait``, the server holds the response until the campaign
         changes state (or its 30s cap elapses), so progress arrives the
-        moment it happens.  The request timeout is stretched to cover the
-        park time.
+        moment it happens.  Pass ``version`` (the ``version`` field of the
+        last response seen) so a transition that landed *between* two
+        polls returns immediately instead of parking the full ``wait``.
+        The request timeout is stretched to cover the park time.
         """
         if wait is None:
             return self._request("GET", f"/campaigns/{campaign_id}")
+        query = f"?wait={wait:g}"
+        if version is not None:
+            query += f"&version={version:d}"
         return self._request(
             "GET",
-            f"/campaigns/{campaign_id}?wait={wait:g}",
+            f"/campaigns/{campaign_id}{query}",
             timeout=self.timeout + wait,
         )
 
@@ -122,16 +132,25 @@ class ServiceClient:
 
         Each round trip parks on the server up to ``poll`` seconds and
         returns the instant the campaign changes state, so completion is
-        seen with no polling lag.  Raises :class:`TimeoutError` if the
-        campaign isn't terminal within ``timeout`` seconds (the
-        hung-request guard the CI job relies on).
+        seen with no polling lag.  The last-seen ``version`` rides along
+        on every poll, closing the race where a transition lands between
+        two round trips (without it, such a poll parks the full ``poll``
+        seconds despite the change having already happened).  Raises
+        :class:`TimeoutError` if the campaign isn't terminal within
+        ``timeout`` seconds (the hung-request guard the CI job relies on).
         """
         deadline = time.monotonic() + timeout
+        version: Optional[int] = None
         while True:
             remaining = deadline - time.monotonic()
-            record = self.campaign(campaign_id, wait=max(0.0, min(poll, remaining)))
+            record = self.campaign(
+                campaign_id,
+                wait=max(0.0, min(poll, remaining)),
+                version=version,
+            )
             if record["status"] in ("done", "failed"):
                 return record
+            version = record.get("version")
             if time.monotonic() >= deadline:
                 raise TimeoutError(
                     f"campaign {campaign_id} still {record['status']!r} "

@@ -188,7 +188,12 @@ class CampaignQueue:
         self._queue.put((cid, specs))
         return snapshot
 
-    def get(self, campaign_id: str, wait: float = 0.0) -> Optional[dict]:
+    def get(
+        self,
+        campaign_id: str,
+        wait: float = 0.0,
+        since: Optional[int] = None,
+    ) -> Optional[dict]:
         """One campaign's status; ``None`` for an unknown id.
 
         ``wait > 0`` long-polls: the call blocks up to ``wait`` seconds,
@@ -196,13 +201,20 @@ class CampaignQueue:
         ``version`` bump) or it is already terminal (``done``/``failed``)
         — a client sees progress the moment it happens instead of on its
         next poll tick.
+
+        ``since`` is the client's last-observed ``version``.  Without it
+        the poll waits for a change relative to the state *at call time*,
+        which loses any bump that landed between the client's previous
+        response and this request — the client then parks for the full
+        ``wait`` despite a transition having already happened.  With
+        ``since`` given, such a poll returns immediately.
         """
         deadline = time.monotonic() + wait
         with self._changed:
             state = self._campaigns.get(campaign_id)
             if state is None:
                 return None
-            seen = state.version
+            seen = state.version if since is None else since
             while (
                 wait > 0
                 and state.version == seen

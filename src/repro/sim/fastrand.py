@@ -162,6 +162,45 @@ class FastSampler:
                 leftover = m & _M32
         return m >> 32
 
+    def _u32_block(self, count: int) -> np.ndarray:
+        """The next ``count`` 32-bit words of the stream, as one array.
+
+        Identical word-for-word to ``count`` successive :meth:`_u32` calls
+        (buffered high half first, then low-half/high-half pairs of fresh
+        raw draws), but served via vectorized splitting — the feeder for
+        the batched round draws.  Leaves the buffer mirror holding the odd
+        trailing half-word exactly as the scalar path would.
+        """
+        have_buf = 1 if self._has else 0
+        n_raw = (count - have_buf + 1) // 2
+        pre = self._pre
+        pi = self._pi
+        avail = len(pre) - pi
+        if n_raw <= avail:
+            raws = np.asarray(pre[pi:pi + n_raw], dtype=np.uint64)
+            self._pi = pi + n_raw
+        else:
+            head = np.asarray(pre[pi:], dtype=np.uint64)
+            short = n_raw - avail
+            # Direct draw, no prefetch overshoot: a batch this large will
+            # come back for another block anyway, and overshooting would
+            # force an advance(-n) rewind on the next sync.
+            tail = np.asarray(self._raw(short), dtype=np.uint64)
+            raws = np.concatenate([head, tail]) if avail else tail
+            self._pre = []
+            self._pi = 0
+        words = np.empty(2 * n_raw + have_buf, dtype=np.uint64)
+        if have_buf:
+            words[0] = self._buf
+            self._has = False
+        words[have_buf::2] = raws & _M32
+        words[have_buf + 1::2] = raws >> np.uint64(32)
+        if len(words) > count:
+            self._has = True
+            self._buf = int(words[-1])
+            words = words[:count]
+        return words
+
     # ------------------------------------------------------------------- API
     def integers(self, n: int) -> int:
         """``int(generator.integers(0, n))`` for ``1 <= n <= 2**32``."""
@@ -175,6 +214,84 @@ class FastSampler:
         """``seq[generator.integers(0, len(seq))]`` — replicates the scalar
         ``generator.choice(np.asarray(seq))`` without the array round-trip."""
         return seq[self.integers(len(seq))]
+
+    def integers_batch(self, n: int, size: int) -> np.ndarray:
+        """``size`` bounded draws on ``[0, n)`` as one int64 array.
+
+        Word-for-word identical to ``size`` successive :meth:`integers`
+        calls (= ``size`` scalar ``generator.integers(0, n)`` calls on the
+        same stream), but reduced vectorized: the whole-round peer draws of
+        the batched gossip cycle ride on this.  Lemire rejections are
+        ~``n / 2**32`` per draw; when one fires, the tail of the batch is
+        replayed draw-by-draw from the already-fetched words so the
+        consumption order stays exact.
+        """
+        out = np.empty(size, dtype=np.int64)
+        if size == 0:
+            return out
+        if n <= 1:
+            out[:] = 0  # range of zero consumes nothing, as in NumPy
+            return out
+        if self.native:  # pragma: no cover - fallback
+            for i in range(size):
+                out[i] = int(self.generator.integers(0, n))
+            return out
+        rng_excl = n
+        words = self._u32_block(size)
+        m = words * np.uint64(rng_excl)
+        leftover = m & np.uint64(_M32)
+        threshold = (_M32 - (n - 1)) % rng_excl
+        bad = leftover < np.uint64(threshold)
+        np.right_shift(m, np.uint64(32), out=m)
+        if not bad.any():
+            out[:] = m
+            return out
+        # Rare path: a rejection at position i consumes replacement words
+        # *before* draw i+1 in the scalar order, so everything from the
+        # first rejection on is replayed sequentially against the fetched
+        # word list (falling through to fresh words when it runs dry).
+        first = int(np.flatnonzero(bad)[0])
+        out[:first] = m[:first]
+        wl = words.tolist()
+        limit = size
+        cursor = first
+        M = _M32
+        for i in range(first, size):
+            while True:
+                v = wl[cursor] if cursor < limit else self._u32()
+                cursor += 1
+                mm = v * rng_excl
+                if (mm & M) >= threshold:
+                    break
+            out[i] = mm >> 32
+        return out
+
+    def random_batch(self, size: int) -> np.ndarray:
+        """``generator.random(size)`` — ``size`` uniform doubles in [0, 1).
+
+        Each double consumes one full 64-bit raw word (``raw >> 11``
+        scaled by ``2**-53``), bypassing the uint32 buffer exactly as
+        NumPy's double path does, so interleaving with bounded draws stays
+        stream-exact.  Used for the batched rounds' random sort keys
+        (without-replacement sampling via key ranking).
+        """
+        if self.native:  # pragma: no cover - fallback
+            return self.generator.random(size)
+        if size == 0:
+            return np.empty(0, dtype=np.float64)
+        pre = self._pre
+        pi = self._pi
+        avail = len(pre) - pi
+        if size <= avail:
+            raws = np.asarray(pre[pi:pi + size], dtype=np.uint64)
+            self._pi = pi + size
+        else:
+            head = np.asarray(pre[pi:], dtype=np.uint64)
+            tail = np.asarray(self._raw(size - avail), dtype=np.uint64)
+            raws = np.concatenate([head, tail]) if avail else tail
+            self._pre = []
+            self._pi = 0
+        return (raws >> np.uint64(11)) * (1.0 / 9007199254740992.0)
 
     def choice_indices(self, n: int, k: int) -> list[int]:
         """``list(generator.choice(n, size=k, replace=False))`` as ints.

@@ -230,3 +230,22 @@ register_scenario(
     churn_mode="fail",
     recovery_policy="reschedule",
 )
+register_scenario(
+    "metro-10k",
+    "Metro-scale trajectory point: 10,000 nodes (40x the paper's largest "
+    "grid), structured-mix workloads, Weibull session churn with "
+    "rescheduling — the frontier the batched gossip rounds exist for; a "
+    "shorter horizon than metro-1k keeps a full run in bench territory.",
+    kind="scale",
+    n_nodes=10000,
+    load_factor=1,
+    total_time=3 * 3600.0,
+    workload_source="structured",
+    structured_family="mixed",
+    churn_model="sessions",
+    session_shape=0.7,
+    session_mean=2 * 3600.0,
+    rejoin_delay_mean=1800.0,
+    churn_mode="fail",
+    recovery_policy="reschedule",
+)

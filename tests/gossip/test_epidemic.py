@@ -79,7 +79,7 @@ def test_expiry_evicts_old_records():
     ep.remove_node(7)
     # After expiry horizon passes, node 7 vanishes from every RSS.
     _cycles(ov, ep, 6, t0=4 * 300.0)
-    for i in ep.rss.keys():
+    for i in ov.live:
         assert 7 not in ep.rss_view(i)
 
 

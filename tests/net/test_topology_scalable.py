@@ -1,0 +1,113 @@
+"""Equivalence tests for the scalable (non-eager) topology representation.
+
+``exact_paths=False`` swaps the O(n^2) all-pairs matrices for a widest-path
+forest plus latency landmarks.  Bottleneck bandwidth must stay *exactly*
+equal to the eager Kruskal matrix; latency becomes a landmark upper bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.topology import Topology
+from repro.sim.rng import spawn_generator
+
+
+def _pair(n=48, seed=7):
+    """Same graph + same link draws, eager vs scalable."""
+    eager = Topology.waxman(n, spawn_generator(seed, "t"))
+    lazy = Topology.waxman(n, spawn_generator(seed, "t"), exact_paths=False)
+    assert eager.exact_paths and not lazy.exact_paths
+    np.testing.assert_array_equal(eager.link_bandwidth, lazy.link_bandwidth)
+    return eager, lazy
+
+
+@pytest.fixture(scope="module")
+def topo_pair():
+    return _pair()
+
+
+def test_pairwise_bandwidth_exactly_equal(topo_pair):
+    eager, lazy = topo_pair
+    n = eager.n
+    for u in range(n):
+        for v in range(n):
+            assert lazy.bandwidth(u, v) == eager._bandwidth[u, v]
+
+
+def test_bandwidth_rows_and_columns_equal(topo_pair):
+    eager, lazy = topo_pair
+    for u in range(eager.n):
+        np.testing.assert_array_equal(lazy.bandwidth_row(u), eager._bandwidth[u])
+    ids = np.array([0, 3, eager.n - 1])
+    np.testing.assert_array_equal(
+        lazy.bandwidth_columns(ids), eager._bandwidth[:, ids]
+    )
+
+
+def test_materialized_matrix_matches_eager(topo_pair):
+    eager, lazy = topo_pair
+    np.testing.assert_array_equal(lazy._bandwidth, eager._bandwidth)
+
+
+def test_latency_is_an_upper_bound(topo_pair):
+    eager, lazy = topo_pair
+    n = eager.n
+    for u in range(n):
+        row = lazy.latency_row(u)
+        assert row[u] == 0.0
+        assert np.all(row >= eager._latency[u] - 1e-12)
+        assert np.all(np.isfinite(row))  # waxman repairs connectivity
+
+
+def test_latency_exact_from_a_landmark(topo_pair):
+    _, lazy = topo_pair
+    lm = int(lazy._lat_landmarks[0])
+    # From a landmark itself the bound lat(lm,k)+lat(k,v) is tight at k=lm.
+    np.testing.assert_allclose(
+        lazy.latency_row(lm), lazy._lat_lm[list(lazy._lat_landmarks).index(lm)]
+    )
+
+
+def test_latency_between_matches_scalar(topo_pair):
+    _, lazy = topo_pair
+    targets = np.array([0, 5, 9, 5])
+    got = lazy.latency_between(5, targets)
+    want = [lazy.latency(5, int(t)) for t in targets]
+    np.testing.assert_allclose(got, want)
+    assert got[1] == 0.0 and got[3] == 0.0
+
+
+def test_mean_bandwidth_matches_eager(topo_pair):
+    eager, lazy = topo_pair
+    assert lazy.mean_bandwidth() == pytest.approx(eager.mean_bandwidth(), rel=1e-12)
+
+
+def test_transfer_time_consistent(topo_pair):
+    _, lazy = topo_pair
+    u, v = 1, 7
+    t = lazy.transfer_time(u, v, 80.0)
+    assert t == 80.0 / lazy.bandwidth(u, v) + lazy.latency(u, v)
+    assert lazy.transfer_time(u, u, 80.0) == 0.0
+    assert lazy.transfer_time(u, v, 0.0) == 0.0
+
+
+def test_landmark_estimator_measurements_identical():
+    """The probe columns served without the matrix match the eager slice."""
+    from repro.net.landmarks import LandmarkEstimator
+
+    eager, lazy = _pair(seed=11)
+    le = LandmarkEstimator(eager, spawn_generator(3, "lm"))
+    ll = LandmarkEstimator(lazy, spawn_generator(3, "lm"))
+    np.testing.assert_array_equal(le.landmarks, ll.landmarks)
+    np.testing.assert_array_equal(le.measurements, ll.measurements)
+
+
+def test_single_component_forest_depth_query():
+    """Deep-path regression: chain-ish graphs exercise multi-level lifting."""
+    eager, lazy = _pair(n=96, seed=23)
+    rng = np.random.default_rng(5)
+    for _ in range(200):
+        u, v = map(int, rng.integers(0, 96, size=2))
+        assert lazy.bandwidth(u, v) == eager._bandwidth[u, v]

@@ -23,7 +23,8 @@ from repro.perf.bench import (
 def test_scenario_registry_names():
     names = bench_scenario_names()
     assert names == [
-        "paper-fig4", "poisson-steady", "fig11-grid", "fig10-dynamic", "metro-1k",
+        "paper-fig4", "poisson-steady", "fig11-grid", "fig10-dynamic",
+        "metro-1k", "metro-10k",
     ]
     with pytest.raises(ValueError, match="unknown bench scenario"):
         get_bench_scenario("nope")
@@ -86,15 +87,51 @@ def test_speedup_against_baseline(quick_report):
     )
 
 
-def test_baseline_quick_mismatch_yields_no_speedup(quick_report):
+def test_baseline_quick_mismatch_is_rejected(quick_report):
+    """A full-size baseline against a quick run (or vice versa) would yield
+    a size-artifact "speedup" — or, worse, a silently empty speedup map
+    that makes any --regression-threshold gate pass vacuously.  Mixed-mode
+    comparison must fail loudly before any timing runs."""
     full_shaped = {
         "version": "x",
+        "quick": False,
         "scenarios": [
             {**quick_report["scenarios"][0], "quick": False}
         ],
     }
-    report = run_bench(scenarios=["paper-fig4"], quick=True, baseline=full_shaped)
-    assert report["speedup"] == {}
+    with pytest.raises(ValueError, match="baseline mode mismatch"):
+        run_bench(scenarios=["paper-fig4"], quick=True, baseline=full_shaped)
+    with pytest.raises(ValueError, match="baseline mode mismatch"):
+        run_bench(scenarios=["paper-fig4"], quick=False, baseline=quick_report)
+
+
+def test_cli_bench_explicit_baseline_mode_mismatch(tmp_path, monkeypatch, quick_report):
+    """The CLI path: an explicitly passed full-size baseline report must be
+    rejected for a --quick run with the clear mode-mismatch error (this was
+    the bug: auto-discovery filtered by mode but explicit paths did not)."""
+    monkeypatch.chdir(tmp_path)
+    full_shaped = json.loads(json.dumps(quick_report))
+    full_shaped["quick"] = False
+    (tmp_path / "BENCH_FULL.json").write_text(json.dumps(full_shaped))
+    with pytest.raises(SystemExit, match="baseline mode mismatch"):
+        main([
+            "bench", "--quick", "--scenarios", "paper-fig4",
+            "--output", "b.json", "--baseline", "BENCH_FULL.json", "--quiet",
+        ])
+
+
+def test_rss_fallback_reports_no_delta(quick_report, monkeypatch):
+    """Without the kernel high-water reset, ru_maxrss is process-lifetime
+    cumulative: a per-scenario delta would be misleading, so the entry must
+    carry peak_rss_isolated=False and a null delta instead."""
+    import repro.perf.bench as bench_mod
+
+    monkeypatch.setattr(bench_mod, "_reset_peak_rss", lambda: False)
+    report = run_bench(scenarios=["paper-fig4"], quick=True)
+    [entry] = report["scenarios"]
+    assert entry["peak_rss_isolated"] is False
+    assert entry["peak_rss_delta_kb"] is None
+    assert validate_report(report) == []  # delta is not a required field
 
 
 def test_validate_report_catches_problems():

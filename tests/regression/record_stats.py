@@ -1,0 +1,57 @@
+"""Re-record the statistical-band goldens.
+
+Usage::
+
+    PYTHONPATH=src python tests/regression/record_stats.py
+
+Run this on the **old** code *before* landing an intentional semantic
+change (the bands must capture the pre-change stream's across-seed
+distribution), then verify the changed code passes
+``tests/regression/test_statistical_bands.py``.  See
+``tests/regression/README.md`` for the full semantic-change procedure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from regression.stats import STATS_PATH, make_bands, run_metrics, stats_specs  # noqa: E402
+
+from repro.grid.system import P2PGridSystem  # noqa: E402
+
+
+def main() -> int:
+    per_cell: dict[str, dict[int, dict]] = {}
+    t0 = time.perf_counter()
+    for cell, seed, config in stats_specs():
+        t1 = time.perf_counter()
+        result = P2PGridSystem(config).run()
+        metrics = run_metrics(result)
+        per_cell.setdefault(cell, {})[seed] = metrics
+        print(f"  {cell:28s} s{seed}  act={metrics['act']:9.1f} "
+              f"ae={metrics['ae']:.4f} done={metrics['n_done']:4.0f}  "
+              f"({time.perf_counter() - t1:.2f}s)")
+    bands = {cell: make_bands(per_seed) for cell, per_seed in per_cell.items()}
+    payload = {
+        "_comment": (
+            "Statistical-band goldens: across-seed envelopes of headline "
+            "metrics and convergence curves, recorded from the pre-change "
+            "stream. Regenerate only per the semantic-change procedure in "
+            "tests/regression/README.md: "
+            "PYTHONPATH=src python tests/regression/record_stats.py"
+        ),
+        "bands": bands,
+    }
+    STATS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {STATS_PATH} ({len(bands)} cells, "
+          f"{time.perf_counter() - t0:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,200 @@
+"""Statistical-band goldens: the semantic-change companion to the
+bit-exact fingerprints.
+
+The fingerprint files (``golden_fingerprints.json`` & friends) pin the
+*exact* outcome of one RNG stream: any refactor that moves a single draw
+trips them.  That is the right tool for pure performance work, but it
+cannot validate an **intentional** semantic change (e.g. PR 8's batched
+gossip rounds), where the stream is deliberately different and the question
+becomes "is the new stream *statistically* the same simulation?".
+
+This module defines that procedure:
+
+* :func:`stats_specs` — the band grid: every (algorithm, scenario) cell of
+  the workload golden grid, the availability presets, and the metro-1k
+  scale cell, each run across :data:`STATS_SEEDS` seeds.
+* :func:`run_metrics` — the per-run observables that are banded: the
+  paper's headline metrics (ACT, AE, throughput), the per-heuristic
+  makespan distribution (ct quantiles), and the convergence curves (AE and
+  mean-RSS-size over simulated time — Fig. 11's y-axes).
+* :func:`make_bands` — records, per cell, the across-seed envelope
+  (min/max/mean) of each observable from the *old* stream.
+* :func:`validate_metrics` — asserts a *new*-stream run lands inside each
+  envelope, widened by half the seed spread plus a small per-metric floor
+  (an empirical confidence band: where seeds disagree the band is wide,
+  where they agree it is tight).
+
+``python tests/regression/record_stats.py`` (re)records
+``golden_stats.json``.  Record it **before** a semantic change on the old
+code, then verify the new code passes ``test_statistical_bands.py`` —
+see ``tests/regression/README.md`` for the full procedure.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from regression.golden import (
+    AVAILABILITY_SCENARIOS,
+    GOLDEN_ALGORITHMS,
+    GOLDEN_SCENARIOS,
+    availability_config,
+    golden_config,
+    metro_config,
+)
+
+__all__ = [
+    "STATS_PATH",
+    "STATS_SEEDS",
+    "METRO_STATS_SEEDS",
+    "load_stats",
+    "make_bands",
+    "run_metrics",
+    "stats_specs",
+    "validate_metrics",
+]
+
+STATS_PATH = Path(__file__).with_name("golden_stats.json")
+
+#: Seeds the envelope is estimated from (old stream).  Eight independent
+#: replicates give a min/max spread wide enough that a statistically
+#: equivalent new stream lands inside it with high probability once the
+#: widening below is applied.
+STATS_SEEDS = (1, 2, 3, 4, 5, 6, 7, 8)
+
+#: The 1000-node cell costs seconds per run, so it uses a smaller replicate
+#: set (its observables are means over ~1000 workflows and correspondingly
+#: tight).
+METRO_STATS_SEEDS = (1, 2, 3, 4)
+
+#: Band widening: half the observed seed spread on each side, floored by a
+#: per-metric absolute tolerance (so a degenerate zero-spread envelope —
+#: e.g. every seed finishing all workflows — still tolerates benign noise).
+_SPREAD_FACTOR = 0.5
+_FLOORS = {
+    "act": 120.0,  # seconds of simulated completion time
+    "ae": 0.02,
+    "ct_p50": 120.0,
+    "ct_p90": 240.0,
+    "n_done": 2.0,
+    "n_failed": 2.0,
+    "completion_rate": 0.02,
+    "rss_mean": 1.0,
+    "ae_curve": 0.03,
+    "rss_curve": 1.5,
+}
+
+
+def stats_specs() -> list[tuple[str, int, object]]:
+    """``(cell_key, seed, config)`` for every banded run, recording order."""
+    specs: list[tuple[str, int, object]] = []
+    for scenario in GOLDEN_SCENARIOS:
+        for algorithm in GOLDEN_ALGORITHMS:
+            for seed in STATS_SEEDS:
+                cfg = golden_config(algorithm, seed, scenario)
+                specs.append((f"{algorithm}@{scenario}", seed, cfg))
+    for scenario in AVAILABILITY_SCENARIOS:
+        for seed in STATS_SEEDS:
+            cfg = availability_config(scenario).with_(seed=seed)
+            specs.append((f"dsmf@{scenario}", seed, cfg))
+    for seed in METRO_STATS_SEEDS:
+        specs.append(("dsmf@metro-1k", seed, metro_config().with_(seed=seed)))
+    return specs
+
+
+def _quantile(sorted_vals: list[float], q: float) -> float:
+    """Nearest-rank quantile (deterministic, no interpolation surprises)."""
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, max(0, int(round(q * (len(sorted_vals) - 1)))))
+    return float(sorted_vals[idx])
+
+
+def run_metrics(result) -> dict:
+    """The banded observables of one finished run."""
+    cts = sorted(
+        r.ct for r in result.records if r.status == "done" and r.ct is not None
+    )
+    return {
+        "act": float(result.act),
+        "ae": float(result.ae),
+        "n_done": float(result.n_done),
+        "n_failed": float(result.n_failed),
+        "completion_rate": float(result.completion_rate),
+        "ct_p50": _quantile(cts, 0.50),
+        "ct_p90": _quantile(cts, 0.90),
+        "rss_mean": float(result.rss_mean),
+        "ae_curve": [float(s.ae) for s in result.samples],
+        "rss_curve": [float(s.rss_mean) for s in result.samples],
+    }
+
+
+_SCALARS = (
+    "act", "ae", "n_done", "n_failed", "completion_rate",
+    "ct_p50", "ct_p90", "rss_mean",
+)
+_CURVES = ("ae_curve", "rss_curve")
+
+
+def make_bands(per_seed: dict[int, dict]) -> dict:
+    """Across-seed envelope of one cell's observables."""
+    runs = list(per_seed.values())
+    bands: dict = {"n_seeds": len(runs)}
+    for name in _SCALARS:
+        vals = [r[name] for r in runs]
+        bands[name] = {
+            "lo": min(vals),
+            "hi": max(vals),
+            "mean": sum(vals) / len(vals),
+        }
+    for name in _CURVES:
+        n = min(len(r[name]) for r in runs)
+        bands[name] = [
+            {
+                "lo": min(r[name][i] for r in runs),
+                "hi": max(r[name][i] for r in runs),
+            }
+            for i in range(n)
+        ]
+    return bands
+
+
+def _widen(lo: float, hi: float, floor: float) -> tuple[float, float]:
+    pad = max(_SPREAD_FACTOR * (hi - lo), floor)
+    return lo - pad, hi + pad
+
+
+def validate_metrics(cell: str, bands: dict, metrics: dict) -> list[str]:
+    """Band check of one new-stream run; returns problems (empty = pass)."""
+    problems: list[str] = []
+    for name in _SCALARS:
+        band = bands[name]
+        lo, hi = _widen(band["lo"], band["hi"], _FLOORS[name])
+        val = metrics[name]
+        if not (lo <= val <= hi):
+            problems.append(
+                f"{cell}: {name}={val:.4g} outside the recorded band "
+                f"[{lo:.4g}, {hi:.4g}] (seed envelope "
+                f"[{band['lo']:.4g}, {band['hi']:.4g}])"
+            )
+    for name in _CURVES:
+        floor = _FLOORS[name]
+        curve = metrics[name]
+        for i, band in enumerate(bands[name]):
+            if i >= len(curve):
+                break
+            lo, hi = _widen(band["lo"], band["hi"], floor)
+            val = curve[i]
+            if not (lo <= val <= hi):
+                problems.append(
+                    f"{cell}: {name}[{i}]={val:.4g} outside "
+                    f"[{lo:.4g}, {hi:.4g}]"
+                )
+    return problems
+
+
+def load_stats() -> dict:
+    """The recorded band file as a dict."""
+    with STATS_PATH.open() as fh:
+        return json.load(fh)

@@ -1,0 +1,77 @@
+"""Statistical-band regression: the new stream must land in the old bands.
+
+Unlike ``test_golden_fingerprints.py`` (bit-exact, trips on any moved RNG
+draw), this suite replays one representative seed per banded cell and
+asserts every headline metric and convergence curve falls inside the
+across-seed envelope recorded in ``golden_stats.json`` — the check that
+stays meaningful across *intentional* semantic changes like PR 8's
+batched gossip rounds.  Both suites run in the CI regression job: the
+fingerprints pin the current stream exactly, the bands pin what any
+future stream must preserve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from regression.golden import (
+    AVAILABILITY_SCENARIOS,
+    GOLDEN_ALGORITHMS,
+    availability_config,
+    golden_config,
+    metro_config,
+)
+from regression.stats import load_stats, run_metrics, validate_metrics
+
+from repro.grid.system import P2PGridSystem
+
+#: One replay per cell: seed 1, the first seed of the recorded envelope.
+_VALIDATE_SEED = 1
+
+_WORKLOAD_CELLS = [
+    (algorithm, scenario)
+    for scenario in ("paper-fig4", "poisson-steady")
+    for algorithm in GOLDEN_ALGORITHMS
+]
+
+
+@pytest.fixture(scope="module")
+def stats_bands() -> dict:
+    return load_stats()["bands"]
+
+
+@pytest.mark.parametrize(
+    "algorithm,scenario", _WORKLOAD_CELLS,
+    ids=[f"{a}@{s}" for a, s in _WORKLOAD_CELLS],
+)
+def test_workload_cell_within_bands(stats_bands, algorithm, scenario):
+    cell = f"{algorithm}@{scenario}"
+    config = golden_config(algorithm, _VALIDATE_SEED, scenario)
+    metrics = run_metrics(P2PGridSystem(config).run())
+    problems = validate_metrics(cell, stats_bands[cell], metrics)
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize("scenario", AVAILABILITY_SCENARIOS)
+def test_availability_cell_within_bands(stats_bands, scenario):
+    cell = f"dsmf@{scenario}"
+    config = availability_config(scenario).with_(seed=_VALIDATE_SEED)
+    metrics = run_metrics(P2PGridSystem(config).run())
+    problems = validate_metrics(cell, stats_bands[cell], metrics)
+    assert not problems, "\n".join(problems)
+
+
+def test_metro_cell_within_bands(stats_bands):
+    cell = "dsmf@metro-1k"
+    config = metro_config().with_(seed=_VALIDATE_SEED)
+    metrics = run_metrics(P2PGridSystem(config).run())
+    problems = validate_metrics(cell, stats_bands[cell], metrics)
+    assert not problems, "\n".join(problems)
+
+
+def test_band_file_covers_every_cell(stats_bands):
+    """Recording and validation grids cannot drift apart silently."""
+    expected = {f"{a}@{s}" for a, s in _WORKLOAD_CELLS}
+    expected |= {f"dsmf@{s}" for s in AVAILABILITY_SCENARIOS}
+    expected.add("dsmf@metro-1k")
+    assert expected == set(stats_bands)

@@ -116,6 +116,91 @@ def test_spawned_streams_use_fast_path():
     ]
 
 
+@pytest.mark.parametrize("seed", range(25))
+def test_integers_batch_matches_scalar_numpy_stream(seed):
+    """A batch of ``size`` draws is word-for-word the scalar sequence."""
+    ref, fast = _pair(seed)
+    for n, size in [(2, 1), (5, 3), (17, 40), (999, 129), (40, 64), (3, 200)]:
+        expected = [int(ref.integers(0, n)) for _ in range(size)]
+        assert fast.integers_batch(n, size).tolist() == expected, (n, size)
+    # stream positions stayed aligned throughout
+    assert fast.integers(10**6) == int(ref.integers(0, 10**6))
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_random_batch_matches_numpy(seed):
+    ref, fast = _pair(seed)
+    for size in (1, 7, 64, 129):
+        assert fast.random_batch(size).tolist() == ref.random(size).tolist()
+    # doubles bypass the uint32 buffer: a buffered bounded draw before and
+    # after must stay aligned too
+    assert fast.integers(13) == int(ref.integers(0, 13))
+    assert fast.random_batch(5).tolist() == ref.random(5).tolist()
+    assert fast.integers(13) == int(ref.integers(0, 13))
+
+
+def test_integers_batch_rejection_path_is_exact():
+    """Near-2**32 ranges make Lemire reject ~50% of words, forcing the
+    sequential tail replay; it must still match the scalar stream."""
+    n = 2**32 - 3
+    ref, fast = _pair(11)
+    expected = [int(ref.integers(0, n)) for _ in range(100)]
+    assert fast.integers_batch(n, 100).tolist() == expected
+    assert fast.integers(17) == int(ref.integers(0, 17))
+
+
+def test_batch_of_zero_or_degenerate_range_consumes_nothing():
+    ref, fast = _pair(4)
+    assert fast.integers_batch(7, 0).tolist() == []
+    assert fast.integers_batch(1, 5).tolist() == [0] * 5
+    assert fast.random_batch(0).tolist() == []
+    assert fast.integers(23) == int(ref.integers(0, 23))
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_interleaved_batch_and_scalar_draws_with_rewind(seed):
+    """The PR 8 contract: randomized interleavings of the batched round
+    draws (integers_batch / random_batch), the scalar paths, and the
+    ``advance(-n)``-rewinding sync used by delegated NumPy calls stay
+    value- and state-exact against a plain ``numpy.random.Generator``.
+    """
+    ref, fast = _pair(seed)
+    rnd = np.random.default_rng(seed + 4321)  # independent driver
+    for _ in range(120):
+        op = int(rnd.integers(0, 6))
+        n = int(rnd.integers(2, 50))
+        if op == 0:
+            assert fast.integers(n) == int(ref.integers(0, n))
+        elif op == 1:
+            size = int(rnd.integers(1, 100))
+            expected = [int(ref.integers(0, n)) for _ in range(size)]
+            assert fast.integers_batch(n, size).tolist() == expected
+        elif op == 2:
+            size = int(rnd.integers(1, 100))
+            assert fast.random_batch(size).tolist() == ref.random(size).tolist()
+        elif op == 3:
+            k = int(rnd.integers(1, n + 1))
+            assert fast.choice_indices(n, k) == [
+                int(x) for x in ref.choice(n, size=k, replace=False)
+            ]
+        elif op == 4:
+            a = np.arange(n)
+            b = np.arange(n)
+            ref.shuffle(a)
+            fast.shuffle(b)
+            assert list(a) == list(b)
+        else:
+            # An explicit sync round-trip mid-stream: rewinds the prefetch
+            # via bit_generator.advance(-unconsumed), pushes the buffer
+            # mirror, and reads it back — the exact path every delegated
+            # NumPy call takes, here interleaved at a random stream offset.
+            fast.sync_to_numpy()
+            assert int(fast.generator.integers(0, n)) == int(ref.integers(0, n))
+            fast.sync_from_numpy()
+    # final stream position identical
+    assert fast.integers(10**6) == int(ref.integers(0, 10**6))
+
+
 def test_rejection_path_is_exact():
     """Force the Lemire rejection branch with a near-2**32 range.
 

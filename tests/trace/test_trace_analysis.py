@@ -76,10 +76,10 @@ class TestTransfers:
         stats = transfer_stats(recorder)
         telemetry_free_total = stats["transfers"] + stats["unfinished"]
         assert telemetry_free_total == len(recorder.of_kind("transfer_start"))
-        # completed transfers moved all accounted megabits
-        assert stats["total_megabits"] <= sum(
-            e.size for e in recorder.of_kind("transfer_start")
-        )
+        # completed transfers moved all accounted megabits (tolerance:
+        # the two sides sum the same floats in different orders)
+        started = sum(e.size for e in recorder.of_kind("transfer_start"))
+        assert stats["total_megabits"] <= started + 1e-6 * max(started, 1.0)
 
     def test_empty(self):
         stats = transfer_stats(TraceRecorder())
