@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Curate archive logs (GWF/SWF/FTA) into committed repro trace slices.
+
+Two modes, both deterministic (no RNG — identical input bytes produce
+identical output bytes, so curated slices are reviewable diffs):
+
+``workload``
+    Parse a GWF or SWF job log (:mod:`repro.workload.archives`), keep the
+    first ``--max-jobs`` completed jobs inside ``--horizon``, normalize
+    submit times to the slice's own epoch, map each rigid parallel job to
+    a workflow (single task for 1-processor jobs, fork-join of width
+    ``min(n_procs, --max-width)`` otherwise; per-task load =
+    runtime seconds x RUNTIME_TO_MI, exactly the DAG importers' rule),
+    assign homes as ``user_id % --homes`` (anonymizing users into home
+    slots), and write a submission trace replayable via the
+    ``trace`` workload source.
+
+``availability``
+    Parse an FTA-style interval log, convert intervals to join/leave
+    events (unavailability intervals directly; availability intervals via
+    the gaps between a node's consecutive sessions), remap archive node
+    ids into the volatile range of a ``--nodes``-node grid
+    (``permanent_fraction`` 0.5: volatile ids are n/2..n-1), and write an
+    availability trace replayable via ``churn_model="trace"``.
+
+Examples::
+
+    PYTHONPATH=src python scripts/curate_trace.py workload \
+        data/raw/gwa_sample.gwf data/traces/gwa_sample.trace.json \
+        --max-jobs 60 --horizon 28800 --homes 16
+    PYTHONPATH=src python scripts/curate_trace.py availability \
+        data/raw/fta_sample.fta data/traces/fta_sample.avail.json \
+        --nodes 40 --horizon 28800
+
+The format/normalization contract is documented in docs/trace-formats.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.availability.trace import AvailabilityEvent, save_availability_trace  # noqa: E402
+from repro.workflow.dag import Workflow  # noqa: E402
+from repro.workflow.generator import fork_join_workflow  # noqa: E402
+from repro.workflow.task import Task  # noqa: E402
+from repro.workload.archives import (  # noqa: E402
+    ArchiveError,
+    parse_fta,
+    parse_gwf,
+    parse_swf,
+    sniff_format,
+)
+from repro.workload.build import WorkflowSubmission  # noqa: E402
+from repro.workload.importers import (  # noqa: E402
+    DEFAULT_IMAGE_MB,
+    RUNTIME_TO_MI,
+    save_trace,
+)
+
+#: Floor on the per-task runtime fed into the load mapping: the archives
+#: contain real zero-runtime jobs (instantly failed/trivial submissions)
+#: and a 0-MI task would vanish from the schedule instead of exercising
+#: the dispatch path the job actually took.
+MIN_RUNTIME_SECONDS = 1.0
+
+#: Dependent-data megabits per fork-join edge (the archives describe rigid
+#: jobs, not data flows — Table I's lower band keeps the slices CCR-light).
+EDGE_DATA_MB = 50.0
+
+
+def job_to_workflow(job, index: int, home: int, max_width: int) -> Workflow:
+    """Map one rigid parallel job onto a repro workflow (deterministic)."""
+    load = max(job.runtime, MIN_RUNTIME_SECONDS) * RUNTIME_TO_MI
+    wid = f"job{index:05d}u{job.user_id}n{home}"
+    if job.n_procs <= 1:
+        return Workflow(
+            wid, [Task(tid=0, load=load, image_size=DEFAULT_IMAGE_MB, name=job.job_id)], {}
+        )
+    width = min(job.n_procs, max_width)
+    return fork_join_workflow(
+        wid, width, load=load, data=EDGE_DATA_MB, image=DEFAULT_IMAGE_MB
+    )
+
+
+def curate_workload(args) -> int:
+    fmt = args.format or sniff_format(args.input)
+    if fmt == "gwf":
+        jobs = parse_gwf(args.input)
+    elif fmt == "swf":
+        jobs = parse_swf(args.input)
+    else:
+        raise SystemExit(
+            f"cannot determine the workload format of {args.input} "
+            "(pass --format gwf|swf)"
+        )
+    submissions: list[WorkflowSubmission] = []
+    epoch = None
+    kept = dropped = 0
+    for job in jobs:
+        if epoch is None:
+            epoch = job.submit_time
+        submit = (job.submit_time - epoch) * args.time_scale
+        if not job.completed and not args.keep_failed:
+            dropped += 1
+            continue
+        if args.horizon and submit > args.horizon:
+            break
+        home = job.user_id % args.homes
+        submissions.append(
+            WorkflowSubmission(
+                submit_time=submit,
+                home_id=home,
+                workflow=job_to_workflow(job, kept, home, args.max_width),
+            )
+        )
+        kept += 1
+        if args.max_jobs and kept >= args.max_jobs:
+            break
+    if not submissions:
+        raise SystemExit(
+            f"{args.input}: no usable jobs (comment-only file, or every "
+            "record filtered out) — nothing to curate"
+        )
+    out = save_trace(args.output, submissions)
+    last = max(s.submit_time for s in submissions)
+    print(
+        f"wrote {out}: {kept} jobs ({dropped} non-completed dropped), "
+        f"{args.homes} home slots, submit window 0-{last:.0f}s"
+    )
+    return 0
+
+
+def curate_availability(args) -> int:
+    n_volatile = args.nodes - int(round(args.permanent_fraction * args.nodes))
+    if n_volatile < 1:
+        raise SystemExit("no volatile nodes at this --nodes/--permanent-fraction")
+    first_volatile = args.nodes - n_volatile
+    sessions: dict[int, list] = {}
+    downtimes: list[tuple[float, float, int]] = []
+    for iv in parse_fta(args.input):
+        node = first_volatile + iv.node % n_volatile
+        if iv.available:
+            sessions.setdefault(node, []).append(iv)
+        else:
+            downtimes.append((iv.start, iv.end, node))
+    # Availability sessions -> the gaps between them are downtime.
+    for node, ivs in sessions.items():
+        ivs.sort(key=lambda iv: iv.start)
+        for prev, nxt in zip(ivs, ivs[1:]):
+            if nxt.start > prev.end:
+                downtimes.append((prev.end, nxt.start, node))
+    events: list[AvailabilityEvent] = []
+    for start, end, node in downtimes:
+        if args.horizon and start > args.horizon:
+            continue
+        events.append(AvailabilityEvent(time=start, node=node, kind="leave"))
+        if not args.horizon or end <= args.horizon:
+            events.append(AvailabilityEvent(time=end, node=node, kind="join"))
+    if not events:
+        raise SystemExit(
+            f"{args.input}: no downtime intervals inside the horizon — "
+            "nothing to curate"
+        )
+    events.sort(key=lambda e: (e.time, e.node, e.kind))
+    out = save_availability_trace(events, args.output)
+    print(
+        f"wrote {out}: {len(events)} events over "
+        f"{len({e.node for e in events})} volatile nodes "
+        f"(grid {args.nodes}, volatile {first_volatile}-{args.nodes - 1})"
+    )
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = ap.add_subparsers(dest="mode", required=True)
+
+    w = sub.add_parser("workload", help="GWF/SWF job log -> submission trace")
+    w.add_argument("input")
+    w.add_argument("output")
+    w.add_argument("--format", choices=["gwf", "swf"], default=None,
+                   help="override format sniffing")
+    w.add_argument("--max-jobs", type=int, default=100,
+                   help="keep at most this many completed jobs (0 = all)")
+    w.add_argument("--horizon", type=float, default=0.0,
+                   help="drop submissions after this many seconds (0 = all)")
+    w.add_argument("--homes", type=int, default=16,
+                   help="home slots users are folded into (ids 0..homes-1)")
+    w.add_argument("--max-width", type=int, default=8,
+                   help="fork-join width cap for wide parallel jobs")
+    w.add_argument("--time-scale", type=float, default=1.0,
+                   help="multiply normalized submit times (compress long logs)")
+    w.add_argument("--keep-failed", action="store_true",
+                   help="also keep non-completed jobs (status != 1)")
+
+    a = sub.add_parser("availability", help="FTA interval log -> availability trace")
+    a.add_argument("input")
+    a.add_argument("output")
+    a.add_argument("--nodes", type=int, default=40,
+                   help="target grid size the node ids are remapped for")
+    a.add_argument("--permanent-fraction", type=float, default=0.5,
+                   help="must match the preset's config (volatile ids start "
+                        "at round(fraction*nodes))")
+    a.add_argument("--horizon", type=float, default=0.0,
+                   help="drop events after this many seconds (0 = all)")
+
+    args = ap.parse_args()
+    Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+    try:
+        if args.mode == "workload":
+            return curate_workload(args)
+        return curate_availability(args)
+    except ArchiveError as exc:
+        raise SystemExit(f"archive error: {exc}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,7 @@ from repro.api import (
     quick_run,
     run_campaign,
     run_experiment,
+    run_sweep,
 )
 
 __all__ = [
@@ -49,4 +50,5 @@ __all__ = [
     "quick_run",
     "run_campaign",
     "run_experiment",
+    "run_sweep",
 ]

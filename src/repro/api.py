@@ -28,6 +28,7 @@ __all__ = [
     "run_campaign",
     "run_experiment",
     "run_manifest",
+    "run_sweep",
 ]
 
 
@@ -160,6 +161,56 @@ def run_campaign(
         jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress
     )
     return runner.run(specs)
+
+
+def run_sweep(
+    scenarios: "Sequence[str]",
+    algorithms: "Sequence[str]" = ("dsmf", "dheft", "heft", "smf"),
+    seeds: "Sequence[int]" = (1,),
+    base: "Optional[ExperimentConfig]" = None,
+    threshold: float = 0.95,
+    resolution: float = 0.25,
+    max_scale: float = 8.0,
+    jobs: int = 1,
+    cache_dir=None,
+    use_cache: bool = True,
+    progress=None,
+    **overrides,
+) -> "dict":
+    """Bisect each heuristic's saturation point on the named scenarios.
+
+    The adaptive capacity sweep (:mod:`repro.experiments.sweep`): per
+    (scenario × heuristic), the submission rate is scaled via the
+    ``workload_scale`` config knob — doubling until the mean completion
+    rate over ``seeds`` drops below ``threshold``, then bisecting the
+    bracket to ``resolution``.  Every probe is a cached campaign cell, so
+    repeated/overlapping sweeps replay instantly.  Returns the JSON-ready
+    capacity-envelope report (render it with
+    :func:`repro.experiments.sweep.format_envelope`)::
+
+        from repro import run_sweep
+        report = run_sweep(["paper-fig4"], ["dsmf", "heft"], seeds=[1, 2])
+    """
+    from repro.experiments.sweep import SweepSettings
+    from repro.experiments.sweep import run_sweep as _run
+
+    settings = SweepSettings(
+        threshold=threshold,
+        resolution=resolution,
+        max_scale=max_scale,
+        seeds=tuple(int(s) for s in seeds),
+    )
+    return _run(
+        scenarios,
+        algorithms,
+        base=base,
+        settings=settings,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        progress=progress,
+        **overrides,
+    )
 
 
 def run_manifest(

@@ -61,7 +61,8 @@ __all__ = [
 #:    availability series on RunResult).
 #: 4: observability layer (``telemetry`` config field enters every hash;
 #:    RunResult grew a ``telemetry`` snapshot slot).
-CACHE_SCHEMA = 4
+#: 5: capacity sweeps (``workload_scale`` config field enters every hash).
+CACHE_SCHEMA = 5
 
 def default_cache_dir() -> Path:
     """Default on-disk cache location (read per call, so tests/notebooks

@@ -5,6 +5,8 @@ Subcommands
 ``run``        one simulation, printing the summary and hourly metrics,
 ``campaign``   an (algorithm × seed) sweep across worker processes with
                on-disk result caching,
+``sweep``      adaptive capacity sweep: bisect each heuristic's saturation
+               arrival rate per scenario and write a JSON envelope report,
 ``bench``      time the end-to-end perf scenarios and write a
                machine-readable ``BENCH_*.json`` report,
 ``serve``      run the simulation-as-a-service HTTP API (submit campaign
@@ -25,6 +27,8 @@ Examples
     repro trace summarize trace.json
     repro campaign -a dsmf dheft --seeds 1 2 3 4 --jobs 4
     repro campaign --scenario poisson-steady -a dsmf --seeds 1 2 3
+    repro sweep --scenarios paper-fig4 poisson-steady --jobs 4 -o envelope.json
+    repro sweep --quick --resolution 0.5
     repro bench --quick --scenarios paper-fig4 --output BENCH_PR3.json
     repro bench --baseline BENCH_PR3.json --profile-top 15
     repro serve --port 8642 --jobs 4
@@ -150,6 +154,54 @@ def build_parser() -> argparse.ArgumentParser:
              "summary (cache hits, worker utilization, counter totals)",
     )
     camp.add_argument("--quiet", action="store_true", help="suppress per-run progress")
+
+    sw = sub.add_parser(
+        "sweep",
+        help="bisect each heuristic's saturation arrival rate (capacity envelope)",
+    )
+    sw.add_argument(
+        "--scenarios", nargs="+", default=["paper-fig4", "poisson-steady"],
+        choices=available_scenarios(), metavar="NAME",
+        help="generated-workload scenarios to sweep (trace-replay presets "
+             "are rejected: their arrival rate is fixed by the trace file)",
+    )
+    sw.add_argument(
+        "--algorithms", "-a", nargs="+", default=["dsmf", "dheft", "heft", "smf"],
+        choices=available_algorithms(), metavar="ALG",
+        help="heuristics to bisect (default: the paper's four golden ones)",
+    )
+    sw.add_argument("--seeds", "-s", nargs="+", type=int, default=[1],
+                    help="seeds averaged into each probe's completion rate")
+    sw.add_argument("--threshold", type=float, default=0.95,
+                    help="a probe passes when mean completion rate >= this")
+    sw.add_argument("--resolution", type=float, default=0.25,
+                    help="stop bisecting when the bracket is this narrow")
+    sw.add_argument("--max-scale", type=float, default=8.0,
+                    help="cap on the exponential growth phase")
+    sw.add_argument(
+        "--profile", default="small", choices=[s.value for s in ScaleProfile],
+        help="scale profile for the base config",
+    )
+    sw.add_argument(
+        "--set", dest="overrides", action="append", default=[],
+        metavar="FIELD=VALUE",
+        help="override any ExperimentConfig field on every probe "
+             "(repeatable), e.g. --set n_nodes=60",
+    )
+    sw.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke shape: tiny grid/horizon, coarse resolution, low "
+             "max-scale (same code paths; minutes, not hours)",
+    )
+    sw.add_argument("--jobs", "-j", type=int, default=1,
+                    help="worker processes per probe (1 = inline)")
+    sw.add_argument("--cache-dir", default=None,
+                    help="probe result cache (default .repro_cache/campaign)")
+    sw.add_argument("--no-cache", action="store_true",
+                    help="force fresh probes; skip cache reads and writes")
+    sw.add_argument("--output", "-o", default=None, metavar="REPORT.json",
+                    help="also write the capacity-envelope report as JSON")
+    sw.add_argument("--quiet", action="store_true", help="suppress per-probe progress")
 
     bench = sub.add_parser(
         "bench",
@@ -399,6 +451,89 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    import json
+
+    from repro.experiments.campaign import CampaignError
+    from repro.experiments.figures import base_config
+    from repro.experiments.sweep import (
+        SweepError,
+        SweepSettings,
+        format_envelope,
+        run_sweep,
+    )
+
+    if args.quick:
+        # CI smoke shape: same search/caching/report paths on a grid small
+        # enough that the whole envelope fits in a couple of minutes.
+        base = base_config(args.profile, n_nodes=24, load_factor=1,
+                           total_time=8 * 3600.0)
+        settings = SweepSettings(
+            threshold=args.threshold,
+            resolution=max(args.resolution, 0.5),
+            max_scale=min(args.max_scale, 2.0),
+            seeds=tuple(args.seeds),
+        )
+    else:
+        base = base_config(args.profile)
+        settings = SweepSettings(
+            threshold=args.threshold,
+            resolution=args.resolution,
+            max_scale=args.max_scale,
+            seeds=tuple(args.seeds),
+        )
+    try:
+        overrides = _parse_overrides(args.overrides)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid --set override: {exc}")
+    progress = None
+    if not args.quiet:
+        def progress(scenario, algorithm, probe):  # noqa: ANN001
+            src = "cache" if probe.from_cache else "run"
+            verdict = "pass" if probe.passed else "FAIL"
+            print(f"  [{scenario}/{algorithm}] x{probe.scale:g}: "
+                  f"{probe.n_done}/{probe.n_workflows} done "
+                  f"(rate {probe.completion_rate:.3f}, {verdict}, {src})",
+                  file=sys.stderr)
+    try:
+        report = run_sweep(
+            args.scenarios,
+            args.algorithms,
+            base=base,
+            settings=settings,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            progress=progress,
+            **overrides,
+        )
+    except SweepError as exc:
+        raise SystemExit(str(exc))
+    except CampaignError as exc:
+        raise SystemExit(str(exc))
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid sweep request: {exc}")
+    print(format_envelope(report))
+    total = sum(
+        cell["n_probes"]
+        for entry in report["scenarios"]
+        for cell in entry["heuristics"].values()
+    )
+    cached = sum(
+        cell["n_cached"]
+        for entry in report["scenarios"]
+        for cell in entry["heuristics"].values()
+    )
+    print(f"{total} probes ({cached} from cache), criterion: completion rate "
+          f">= {settings.threshold:g} over seeds {list(settings.seeds)}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     import json
 
@@ -556,6 +691,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "serve":
@@ -576,8 +713,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         rows = []
         for name in available_scenarios():
             sc = get_scenario(name)
-            rows.append([name, sc.kind, sc.description])
-        print(ascii_table(["scenario", "kind", "description"], rows))
+            rows.append([name, sc.kind, sc.provenance, sc.description])
+        print(ascii_table(["scenario", "kind", "provenance", "description"], rows))
         return 0
     return 2  # pragma: no cover
 

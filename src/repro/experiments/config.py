@@ -50,6 +50,13 @@ class ExperimentConfig:
     n_nodes: int = 1000
     #: Average number of workflows submitted per node (Fig. 7/8's x-axis).
     load_factor: int = 3
+    #: Continuous multiplier on the submission count (total workflows =
+    #: ``round(load_factor * n_nodes * workload_scale)``).  The capacity
+    #: sweep driver (:mod:`repro.experiments.sweep`) bisects over this to
+    #: find each heuristic's saturation point; 1.0 reproduces the integer
+    #: ``load_factor`` grid exactly (same count, same RNG stream).  Ignored
+    #: by ``workload_source="trace"``, which carries its own submissions.
+    workload_scale: float = 1.0
     #: Simulated horizon ("The total experimental time is 36 hours").
     total_time: float = 36 * 3600.0
     seed: int = 1
@@ -184,6 +191,8 @@ class ExperimentConfig:
             raise ValueError("need at least two nodes")
         if self.load_factor < 1:
             raise ValueError("load factor must be >= 1")
+        if not self.workload_scale > 0 or self.workload_scale != self.workload_scale:
+            raise ValueError("workload_scale must be a positive number")
         if self.total_time <= 0:
             raise ValueError("total_time must be positive")
         if self.seed < 0:

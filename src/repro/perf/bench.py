@@ -69,7 +69,7 @@ __all__ = [
 BENCH_SCHEMA = 2
 
 #: The canonical repo-root artifact name for this PR's baseline.
-DEFAULT_REPORT_NAME = "BENCH_PR8.json"
+DEFAULT_REPORT_NAME = "BENCH_PR9.json"
 
 #: Fields every per-scenario entry must carry (CI schema assertion).
 _REQUIRED_SCENARIO_FIELDS = (

@@ -4,6 +4,10 @@ Routes (JSON unless noted)::
 
     GET  /healthz            liveness + index/queue counters
     POST /campaigns          submit a campaign manifest -> 202 + id/hashes
+    POST /sweeps             submit a capacity-sweep manifest -> 202 + id;
+                             progress and the finished envelope report are
+                             polled through GET /campaigns/{id} (kind
+                             "sweep"; probe runs appear as they are chosen)
     GET  /campaigns          list submitted campaigns
     GET  /campaigns/{id}     poll one campaign (per-config progress);
                              ``?wait=<secs>`` long-polls: the response is
@@ -123,7 +127,7 @@ def _route_label(method: str, path: str) -> str:
     """
     if path in ("/", "/healthz"):
         return "/healthz"
-    if path in ("/experiments", "/campaigns", "/metrics"):
+    if path in ("/experiments", "/campaigns", "/metrics", "/sweeps"):
         return path
     if _CAMPAIGN_RE.match(path):
         return "/campaigns/{id}"
@@ -333,7 +337,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route_post(self, path: str, query: dict) -> None:
         state = self.server.state
-        if path != "/campaigns":
+        if path not in ("/campaigns", "/sweeps"):
             self._send_error_json(404, "not-found", f"no route for POST {path}")
             return
         try:
@@ -342,13 +346,16 @@ class _Handler(BaseHTTPRequestHandler):
             length = -1
         if length < 0:
             self._send_error_json(
-                411, "length-required", "POST /campaigns needs a Content-Length"
+                411, "length-required", f"POST {path} needs a Content-Length"
             )
             return
         body = self.rfile.read(length)
         try:
             manifest = parse_manifest(body)
-            record = state.queue.submit(manifest)
+            if path == "/sweeps":
+                record = state.queue.submit_sweep(manifest)
+            else:
+                record = state.queue.submit(manifest)
         except ManifestError as exc:
             status = 413 if exc.code == "body-too-large" else 400
             self._send_error_json(status, exc.code, exc.message, exc.field)

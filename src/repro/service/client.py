@@ -86,6 +86,15 @@ class ServiceClient:
         """``POST /campaigns``; returns the 202 record (id, runs, hashes)."""
         return self._request("POST", "/campaigns", payload=manifest)
 
+    def submit_sweep(self, manifest: Mapping) -> dict:
+        """``POST /sweeps``; returns the 202 record (id, kind "sweep").
+
+        Poll with :meth:`campaign`/:meth:`wait` — probe runs appear as the
+        adaptive search chooses them, and the finished record carries the
+        capacity-envelope ``report``.
+        """
+        return self._request("POST", "/sweeps", payload=manifest)
+
     def campaign(
         self,
         campaign_id: str,

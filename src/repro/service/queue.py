@@ -29,7 +29,7 @@ from repro.experiments.campaign import (
     config_hash,
 )
 from repro.service.index import ExperimentIndex, entry_from_result
-from repro.service.schemas import manifest_specs
+from repro.service.schemas import manifest_specs, sweep_request
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.campaign import CampaignRun, RunSpec
@@ -78,6 +78,11 @@ class CampaignState:
     manifest: dict
     runs: list[RunState] = field(default_factory=list)
     status: str = "queued"  # queued | running | done | failed
+    #: ``campaign`` (fixed grid, runs known at submit time) or ``sweep``
+    #: (adaptive capacity search, runs appended as probes are chosen).
+    kind: str = "campaign"
+    #: The capacity-envelope report, set when a sweep finishes.
+    report: Optional[dict] = None
     error: Optional[str] = None
     submitted_at: float = 0.0
     started_at: Optional[float] = None
@@ -88,6 +93,7 @@ class CampaignState:
         completed = sum(1 for r in self.runs if r.status == "done")
         out = {
             "id": self.id,
+            "kind": self.kind,
             "status": self.status,
             "error": self.error,
             "manifest": self.manifest,
@@ -100,6 +106,8 @@ class CampaignState:
         }
         if with_runs:
             out["runs"] = [r.to_dict() for r in self.runs]
+        if self.report is not None:
+            out["report"] = self.report
         return out
 
 
@@ -185,7 +193,34 @@ class CampaignQueue:
             )
             self._campaigns[cid] = state
             snapshot = state.to_dict()
-        self._queue.put((cid, specs))
+        self._queue.put(("campaign", cid, specs))
+        return snapshot
+
+    def submit_sweep(self, manifest: Mapping) -> dict:
+        """Validate a sweep manifest, enqueue the capacity sweep.
+
+        Unlike :meth:`submit`, the run list starts empty: the adaptive
+        search *chooses* its probes as earlier ones complete, so
+        :class:`RunState` entries are appended live (each probe config is
+        one run, exactly as cached).  The finished envelope report lands
+        on the state's ``report`` field.  Raises
+        :class:`~repro.service.schemas.ManifestError` on any validation
+        failure — including trace-replay scenarios, whose arrival rate a
+        sweep cannot scale.
+        """
+        request = sweep_request(manifest)
+        with self._lock:
+            self._seq += 1
+            cid = f"c{self._seq:06d}"
+            state = CampaignState(
+                id=cid,
+                manifest=dict(manifest),
+                kind="sweep",
+                submitted_at=time.time(),
+            )
+            self._campaigns[cid] = state
+            snapshot = state.to_dict()
+        self._queue.put(("sweep", cid, request))
         return snapshot
 
     def get(
@@ -246,13 +281,16 @@ class CampaignQueue:
     def _worker(self) -> None:
         while True:
             try:
-                cid, specs = self._queue.get(timeout=0.2)
+                kind, cid, payload = self._queue.get(timeout=0.2)
             except _queuemod.Empty:
                 if self._stop.is_set():
                     return
                 continue
             try:
-                self._process(cid, specs)
+                if kind == "sweep":
+                    self._process_sweep(cid, payload)
+                else:
+                    self._process(cid, payload)
             finally:
                 self._queue.task_done()
 
@@ -273,6 +311,24 @@ class CampaignQueue:
                         setattr(run, key, value)
                     self._bump(state)
                     return
+
+    def _upsert_run(self, cid: str, label: str, config_hash: str, **updates) -> None:
+        """Update a run state, appending it first if unknown.
+
+        Sweep probes are chosen adaptively, so their run states cannot be
+        pre-declared at submission like a campaign's fixed grid.
+        """
+        with self._lock:
+            state = self._campaigns[cid]
+            for run in state.runs:
+                if run.label == label:
+                    break
+            else:
+                run = RunState(label, config_hash)
+                state.runs.append(run)
+            for key, value in updates.items():
+                setattr(run, key, value)
+            self._bump(state)
 
     def _process(self, cid: str, specs: "list[RunSpec]") -> None:
         with self._lock:
@@ -332,6 +388,81 @@ class CampaignQueue:
         else:
             with self._lock:
                 state.status = "done"
+        finally:
+            with self._lock:
+                state.finished_at = time.time()
+                self._bump(state)
+
+    def _process_sweep(self, cid: str, request: dict) -> None:
+        from repro.experiments.sweep import SweepError, SweepSettings, run_sweep
+
+        with self._lock:
+            state = self._campaigns[cid]
+            state.status = "running"
+            state.started_at = time.time()
+            self._bump(state)
+
+        def on_start(spec: "RunSpec", key: str) -> None:
+            self._upsert_run(cid, spec.label, key, status="running")
+
+        def on_done(run: "CampaignRun") -> None:
+            self._upsert_run(
+                cid,
+                run.label,
+                run.cache_key,
+                status="done",
+                from_cache=run.from_cache,
+                wall_seconds=run.wall_seconds,
+                act=float(run.result.act),
+                ae=float(run.result.ae),
+                n_done=run.result.n_done,
+                n_workflows=run.result.n_workflows,
+            )
+            self.index.record(
+                entry_from_result(
+                    run.cache_key,
+                    run.result,
+                    label=run.label,
+                    campaign_id=cid,
+                    source="service",
+                    from_cache=run.from_cache,
+                )
+            )
+
+        kwargs: dict = {}
+        if self.runner is not None:
+            kwargs["runner"] = self.runner
+        try:
+            report = run_sweep(
+                request["scenarios"],
+                request["algorithms"],
+                settings=SweepSettings(
+                    threshold=request["threshold"],
+                    resolution=request["resolution"],
+                    max_scale=request["max_scale"],
+                    seeds=tuple(request["seeds"]),
+                ),
+                jobs=self.jobs,
+                cache_dir=self.cache_dir,
+                use_cache=self.use_cache,
+                mp_context=self.mp_context,
+                run_progress=on_done,
+                run_on_start=on_start,
+                **kwargs,
+                **request["overrides"],
+            )
+        except (SweepError, CampaignError) as exc:
+            with self._lock:
+                state.status = "failed"
+                state.error = str(exc)
+        except Exception as exc:  # pragma: no cover - defensive: never wedge
+            with self._lock:
+                state.status = "failed"
+                state.error = f"{type(exc).__name__}: {exc}"
+        else:
+            with self._lock:
+                state.status = "done"
+                state.report = report
         finally:
             with self._lock:
                 state.finished_at = time.time()

@@ -31,11 +31,14 @@ __all__ = [
     "MANIFEST_KEYS",
     "MAX_ALGORITHMS",
     "MAX_BODY_BYTES",
+    "MAX_SCENARIOS",
     "MAX_SEEDS",
+    "SWEEP_MANIFEST_KEYS",
     "ManifestError",
     "manifest_specs",
     "parse_manifest",
     "result_to_dict",
+    "sweep_request",
 ]
 
 #: Request bodies above this size are rejected outright (HTTP 413).
@@ -43,9 +46,17 @@ MAX_BODY_BYTES = 256 * 1024
 #: Sweep-shape caps: a manifest is one campaign, not a denial of service.
 MAX_ALGORITHMS = 16
 MAX_SEEDS = 64
+MAX_SCENARIOS = 8
 
 #: The complete set of top-level manifest keys.
 MANIFEST_KEYS = frozenset({"scenario", "algorithms", "seeds", "overrides"})
+
+#: The complete set of top-level keys of a ``POST /sweeps`` body (the
+#: capacity-sweep variant: plural ``scenarios`` plus the search criterion).
+SWEEP_MANIFEST_KEYS = frozenset(
+    {"scenarios", "algorithms", "seeds", "overrides",
+     "threshold", "resolution", "max_scale"}
+)
 
 #: Override keys that are per-cell sweep axes (or provenance), never
 #: free-form overrides — mirrors the CLI's ``--set`` guard rails.
@@ -242,6 +253,115 @@ def manifest_specs(manifest: Mapping) -> "list[RunSpec]":
         return sweep_specs(algorithms, seeds, base=base)
     except (TypeError, ValueError) as exc:  # e.g. duplicate sweep cells
         raise ManifestError("invalid-manifest", str(exc)) from None
+
+
+def sweep_request(manifest: Mapping) -> dict:
+    """Validate a ``POST /sweeps`` body into a normalized sweep request.
+
+    Same strictness contract as :func:`manifest_specs`: every rejection —
+    unknown keys, bad shapes, unknown scenario/algorithm names, criterion
+    values the search cannot use, a trace-replay scenario whose arrival
+    rate is fixed by its trace file — raises :class:`ManifestError` before
+    anything reaches the worker.  Returns the keyword arguments for
+    :func:`repro.experiments.sweep.run_sweep` (plus the validated
+    ``seeds``/criterion fields, normalized with defaults applied).
+    """
+    if not isinstance(manifest, Mapping):
+        raise ManifestError(
+            "malformed-manifest",
+            f"manifest must be a JSON object, got {type(manifest).__name__}",
+        )
+    unknown = sorted(set(manifest) - SWEEP_MANIFEST_KEYS)
+    if unknown:
+        raise ManifestError(
+            "unknown-field",
+            f"unknown sweep manifest field(s): {', '.join(unknown)}; "
+            f"expected a subset of {{{', '.join(sorted(SWEEP_MANIFEST_KEYS))}}}",
+            field=unknown[0],
+        )
+    scenarios = manifest.get("scenarios")
+    if (
+        not isinstance(scenarios, list)
+        or not scenarios
+        or not all(isinstance(s, str) for s in scenarios)
+    ):
+        raise ManifestError(
+            "invalid-scenarios",
+            "scenarios must be a non-empty list of scenario names",
+            field="scenarios",
+        )
+    if len(scenarios) > MAX_SCENARIOS:
+        raise ManifestError(
+            "too-many-scenarios",
+            f"{len(scenarios)} scenarios exceed the limit of {MAX_SCENARIOS}",
+            field="scenarios",
+        )
+    if len(set(scenarios)) != len(scenarios):
+        raise ManifestError(
+            "invalid-scenarios", "duplicate scenario in sweep request",
+            field="scenarios",
+        )
+    from repro.workload.scenarios import scenario_names
+
+    known = scenario_names()
+    for name in scenarios:
+        if name not in known:
+            raise ManifestError(
+                "unknown-scenario",
+                f"unknown scenario {name!r}; available: {', '.join(known)}",
+                field="scenarios",
+            )
+    algorithms = manifest.get("algorithms")
+    if algorithms is None:
+        algorithms = ["dsmf", "dheft", "heft", "smf"]
+    else:
+        algorithms = _check_algorithms(manifest)
+    if len(set(algorithms)) != len(algorithms):
+        raise ManifestError(
+            "invalid-algorithms", "duplicate algorithm in sweep request",
+            field="algorithms",
+        )
+    seeds = _check_seeds(manifest)
+    overrides = _check_overrides(manifest)
+
+    criterion = {}
+    for key, default in (
+        ("threshold", 0.95), ("resolution", 0.25), ("max_scale", 8.0)
+    ):
+        value = manifest.get(key, default)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ManifestError(
+                "invalid-criterion", f"{key} must be a number", field=key
+            )
+        criterion[key] = float(value)
+
+    from repro.experiments.sweep import SweepError, SweepSettings, _resolve_base
+
+    try:
+        SweepSettings(seeds=tuple(seeds), **criterion)
+    except SweepError as exc:
+        raise ManifestError("invalid-criterion", str(exc)) from None
+    for name in scenarios:
+        try:
+            _resolve_base(name, None, overrides)
+        except SweepError as exc:
+            # Trace-replay scenarios: the arrival rate is pinned by the
+            # trace file, so there is nothing for workload_scale to sweep.
+            raise ManifestError(
+                "unsweepable-scenario", str(exc), field="scenarios"
+            ) from None
+        except (TypeError, ValueError) as exc:
+            raise ManifestError(
+                "invalid-overrides", f"bad config override: {exc}",
+                field="overrides",
+            ) from None
+    return {
+        "scenarios": scenarios,
+        "algorithms": algorithms,
+        "seeds": seeds,
+        "overrides": overrides,
+        **criterion,
+    }
 
 
 def result_to_dict(result: "RunResult") -> dict:

@@ -1,0 +1,282 @@
+"""Streaming parsers for published workload/availability archive formats.
+
+The grid-workload-mining literature (see "Mining the Workload of Real Grid
+Computing Systems" in PAPERS.md) standardized three interchange formats
+this module reads:
+
+* **GWF** — the Grid Workloads Archive format: one whitespace-separated
+  record per job, 29 columns, ``#`` comment/header lines.  We consume the
+  leading 12 columns (JobID .. UserID).
+* **SWF** — the Parallel Workloads Archive standard workload format: one
+  record per job, 18 columns, ``;`` header lines.
+* **FTA** — Failure Trace Archive style availability logs: one
+  whitespace-separated *interval* per line (``node_id event_type
+  start_time end_time``, ``event_type`` 1 = available, 0 = unavailable),
+  ``#`` comment lines.
+
+All three parsers stream (yield per line, never slurp the file), normalize
+fields into plain dataclasses (:class:`ArchiveJob` /
+:class:`AvailabilityInterval`), and are *strict*: any malformed line —
+truncated records, non-numeric fields, negative times, out-of-order
+timestamps, inverted intervals — raises :class:`ArchiveError` carrying the
+file and 1-based line number.  Archives are append-only logs written by
+production schedulers; a malformed line means truncation or corruption and
+silently skipping it would bias every derived statistic.
+
+The curation step that turns parsed archives into committed repro trace
+slices lives in ``scripts/curate_trace.py``; the normalization constants
+(seconds of runtime -> MI of load) are shared with the DAG importers in
+:mod:`repro.workload.importers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+__all__ = [
+    "ArchiveError",
+    "ArchiveJob",
+    "AvailabilityInterval",
+    "parse_fta",
+    "parse_gwf",
+    "parse_swf",
+    "sniff_format",
+]
+
+#: Columns a GWF record must carry for us to normalize it
+#: (JobID SubmitTime WaitTime RunTime NProcs AvgCPU UsedMem ReqNProcs
+#: ReqTime ReqMem Status UserID ...).
+_GWF_MIN_FIELDS = 12
+
+#: The SWF standard defines exactly 18 columns; partial last lines are a
+#: truncated download, not a shorter schema.
+_SWF_FIELDS = 18
+
+#: FTA interval rows: node_id event_type start_time end_time.
+_FTA_FIELDS = 4
+
+
+class ArchiveError(ValueError):
+    """A workload/availability archive failed to parse.
+
+    Carries the offending ``path`` and 1-based ``line`` number so curation
+    errors point at the exact record.
+    """
+
+    def __init__(self, path: "str | Path", line: int, message: str):
+        super().__init__(f"{path}:{line}: {message}")
+        self.path = str(path)
+        self.line = line
+
+
+@dataclass(frozen=True)
+class ArchiveJob:
+    """One normalized job record from a GWF/SWF workload log.
+
+    Times are seconds relative to the log's epoch; ``runtime`` 0 is a real
+    zero-cost job (immediately-failed or trivial submissions appear in the
+    published logs), not a missing value.
+    """
+
+    job_id: str
+    submit_time: float
+    runtime: float
+    n_procs: int
+    user_id: int
+    #: SWF/GWF status column: 1 = completed, 0 = failed, -1 = unknown.
+    status: int
+
+    @property
+    def completed(self) -> bool:
+        return self.status == 1
+
+
+@dataclass(frozen=True)
+class AvailabilityInterval:
+    """One FTA interval: ``node`` is up (``available``) in [start, end)."""
+
+    node: int
+    available: bool
+    start: float
+    end: float
+
+
+def _data_lines(path: Path, comment: str) -> Iterator[tuple[int, list[str]]]:
+    """Yield ``(line_number, fields)`` for every non-comment, non-blank line."""
+    with path.open("r", encoding="utf-8", errors="strict") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith(comment):
+                continue
+            yield lineno, line.split()
+
+
+def _number(path: Path, lineno: int, field: str, raw: str) -> float:
+    try:
+        return float(raw)
+    except ValueError:
+        raise ArchiveError(path, lineno, f"non-numeric {field} {raw!r}") from None
+
+
+def _integer(path: Path, lineno: int, field: str, raw: str) -> int:
+    value = _number(path, lineno, field, raw)
+    if value != int(value):
+        raise ArchiveError(path, lineno, f"non-integer {field} {raw!r}")
+    return int(value)
+
+
+def _normalize_job(
+    path: Path,
+    lineno: int,
+    fields: list[str],
+    last_submit: float,
+) -> ArchiveJob:
+    """Shared GWF/SWF column mapping (both lead with the same 12 columns)."""
+    submit = _number(path, lineno, "submit time", fields[1])
+    runtime = _number(path, lineno, "runtime", fields[3])
+    n_procs = _integer(path, lineno, "processor count", fields[4])
+    status = _integer(path, lineno, "status", fields[10])
+    user = _integer(path, lineno, "user id", fields[11])
+    if submit < 0:
+        raise ArchiveError(path, lineno, f"negative submit time {submit}")
+    if submit < last_submit:
+        raise ArchiveError(
+            path, lineno,
+            f"out-of-order submit time {submit} (previous record at "
+            f"{last_submit}); archive logs are sorted by submission",
+        )
+    # -1 is the archives' "unknown" marker for runtime/procs; normalize to
+    # the neutral values curation filters understand.
+    if runtime < 0:
+        runtime = 0.0
+    if n_procs < 1:
+        n_procs = 1
+    return ArchiveJob(
+        job_id=fields[0],
+        submit_time=submit,
+        runtime=runtime,
+        n_procs=n_procs,
+        user_id=max(user, 0),
+        status=status,
+    )
+
+
+def parse_gwf(path: "str | Path") -> Iterator[ArchiveJob]:
+    """Stream the job records of a Grid Workloads Archive (``.gwf``) log.
+
+    Raises :class:`ArchiveError` on any malformed record (truncated line,
+    non-numeric field, negative or out-of-order submit time).  A file with
+    only comments/headers yields nothing.
+    """
+    p = Path(path)
+    last_submit = 0.0
+    for lineno, fields in _data_lines(p, comment="#"):
+        if len(fields) < _GWF_MIN_FIELDS:
+            raise ArchiveError(
+                p, lineno,
+                f"truncated GWF record: {len(fields)} fields "
+                f"(need >= {_GWF_MIN_FIELDS}); the download may be cut short",
+            )
+        job = _normalize_job(p, lineno, fields, last_submit)
+        last_submit = job.submit_time
+        yield job
+
+
+def parse_swf(path: "str | Path") -> Iterator[ArchiveJob]:
+    """Stream the job records of a Parallel Workloads Archive (``.swf``) log.
+
+    Same strictness as :func:`parse_gwf`; SWF headers use ``;`` comments
+    and records carry exactly 18 columns.
+    """
+    p = Path(path)
+    last_submit = 0.0
+    for lineno, fields in _data_lines(p, comment=";"):
+        if len(fields) != _SWF_FIELDS:
+            raise ArchiveError(
+                p, lineno,
+                f"malformed SWF record: {len(fields)} fields "
+                f"(the standard defines exactly {_SWF_FIELDS})",
+            )
+        job = _normalize_job(p, lineno, fields, last_submit)
+        last_submit = job.submit_time
+        yield job
+
+
+def parse_fta(path: "str | Path") -> Iterator[AvailabilityInterval]:
+    """Stream the per-node intervals of an FTA-style availability log.
+
+    Rows are ``node_id event_type start end`` with ``event_type`` 1 for an
+    availability interval and 0 for an unavailability interval.  Intervals
+    must be well-formed (``start <= end``, non-negative) and non-decreasing
+    in start time across the file.
+    """
+    p = Path(path)
+    last_start = 0.0
+    for lineno, fields in _data_lines(p, comment="#"):
+        if len(fields) != _FTA_FIELDS:
+            raise ArchiveError(
+                p, lineno,
+                f"malformed FTA record: {len(fields)} fields "
+                f"(expected node_id event_type start end)",
+            )
+        node = _integer(p, lineno, "node id", fields[0])
+        kind = _integer(p, lineno, "event type", fields[1])
+        start = _number(p, lineno, "interval start", fields[2])
+        end = _number(p, lineno, "interval end", fields[3])
+        if node < 0:
+            raise ArchiveError(p, lineno, f"negative node id {node}")
+        if kind not in (0, 1):
+            raise ArchiveError(
+                p, lineno, f"unknown event type {kind} (expected 0 or 1)"
+            )
+        if start < 0 or end < start:
+            raise ArchiveError(
+                p, lineno, f"inverted interval [{start}, {end}]"
+            )
+        if start < last_start:
+            raise ArchiveError(
+                p, lineno,
+                f"out-of-order interval start {start} "
+                f"(previous interval starts at {last_start})",
+            )
+        last_start = start
+        yield AvailabilityInterval(
+            node=node, available=bool(kind), start=start, end=end
+        )
+
+
+def sniff_format(path: "str | Path") -> Optional[str]:
+    """Guess an archive's format (``"gwf"`` / ``"swf"`` / ``"fta"``).
+
+    By extension first, else by comment style and column count of the
+    first data line; ``None`` when nothing matches.
+    """
+    p = Path(path)
+    suffix = p.suffix.lower()
+    if suffix in (".gwf", ".swf", ".fta"):
+        return suffix[1:]
+    try:
+        with p.open("r", encoding="utf-8") as fh:
+            saw_semicolon = False
+            for raw in fh:
+                line = raw.strip()
+                if not line:
+                    continue
+                if line.startswith(";"):
+                    saw_semicolon = True
+                    continue
+                if line.startswith("#"):
+                    continue
+                n = len(line.split())
+                if saw_semicolon or n == _SWF_FIELDS:
+                    return "swf"
+                if n == _FTA_FIELDS:
+                    return "fta"
+                if n >= _GWF_MIN_FIELDS:
+                    return "gwf"
+                return None
+            return "swf" if saw_semicolon else None
+    except OSError:
+        return None

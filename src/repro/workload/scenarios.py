@@ -49,6 +49,27 @@ class Scenario:
     def __post_init__(self) -> None:
         object.__setattr__(self, "overrides", MappingProxyType(dict(self.overrides)))
 
+    @property
+    def provenance(self) -> str:
+        """Where this preset's inputs come from: ``synthetic`` (generated
+        in-process from the config's RNG streams) or an imported-trace tag
+        naming the external file axis — ``trace-replay`` (submission
+        trace), ``imported-dag`` (external DAG files), ``trace-churn``
+        (availability trace), or combinations thereof.
+        """
+        tags = []
+        source = self.overrides.get("workload_source")
+        if source == "trace":
+            tags.append("trace-replay")
+        elif source == "imported":
+            tags.append("imported-dag")
+        if (
+            self.overrides.get("churn_model") == "trace"
+            or "availability_path" in self.overrides
+        ):
+            tags.append("trace-churn")
+        return "+".join(tags) if tags else "synthetic"
+
 
 _REGISTRY: dict[str, Scenario] = {}
 
@@ -204,6 +225,46 @@ register_scenario(
     "--set availability_path=TRACE.json.",
     kind="availability",
     churn_model="trace",
+)
+
+# ----------------------------- imported-trace presets ----------------------
+# The real-trace corpus: curated archive slices committed under data/
+# (see docs/trace-formats.md and scripts/curate_trace.py).  Paths are
+# repo-root relative — run from a repo checkout, or override
+# workload_path/availability_path with an absolute path.  Each preset is
+# golden-pinned (tests/regression/golden_traces.json).
+
+register_scenario(
+    "gwa-replay-small",
+    "Replay the curated Grid Workloads Archive (GWF) slice: 35 completed "
+    "jobs mapped to single-task/fork-join workflows over 16 homes "
+    "(data/traces/gwa_sample.trace.json; curated by scripts/curate_trace.py).",
+    workload_source="trace",
+    workload_path="data/traces/gwa_sample.trace.json",
+    n_nodes=40,
+    total_time=8 * 3600.0,
+)
+register_scenario(
+    "pwa-replay-small",
+    "Replay the curated Parallel Workloads Archive (SWF) slice: 39 "
+    "completed jobs over 16 homes "
+    "(data/traces/pwa_sample.trace.json; curated by scripts/curate_trace.py).",
+    workload_source="trace",
+    workload_path="data/traces/pwa_sample.trace.json",
+    n_nodes=40,
+    total_time=8 * 3600.0,
+)
+register_scenario(
+    "fta-churn-small",
+    "Replay the curated FTA-style availability slice: downtime intervals "
+    "of 14 volatile nodes on a 40-node grid "
+    "(data/traces/fta_sample.avail.json; curated by scripts/curate_trace.py).",
+    kind="availability",
+    churn_model="trace",
+    availability_path="data/traces/fta_sample.avail.json",
+    n_nodes=40,
+    load_factor=2,
+    total_time=8 * 3600.0,
 )
 
 # ----------------------------- scale presets -------------------------------

@@ -74,8 +74,13 @@ class WorkloadSource(Protocol):
 
 
 def _slots(config: "ExperimentConfig", homes: Sequence[int]):
-    """Round-robin (slot index, home id) assignment — the seed behavior."""
-    total = config.load_factor * config.n_nodes
+    """Round-robin (slot index, home id) assignment — the seed behavior.
+
+    ``workload_scale`` is the capacity-sweep driver's continuous knob on
+    the submission count; at its default 1.0 the rounding is exact and the
+    slot list (hence the whole RNG stream) matches the seed bit-for-bit.
+    """
+    total = max(1, int(round(config.load_factor * config.n_nodes * config.workload_scale)))
     return [(i, homes[i % len(homes)]) for i in range(total)]
 
 

@@ -24,9 +24,11 @@ from repro.workload.scenarios import apply_scenario
 
 __all__ = ["AVAILABILITY_GOLDEN_PATH", "AVAILABILITY_SCENARIOS", "AVAILABILITY_TRACE_PATH",
            "GOLDEN_ALGORITHMS", "GOLDEN_PATH", "GOLDEN_SCENARIOS", "GOLDEN_SEEDS",
-           "METRO_GOLDEN_PATH", "availability_config", "availability_specs",
+           "METRO_GOLDEN_PATH", "TRACE_GOLDEN_PATH", "TRACE_SCENARIOS",
+           "availability_config", "availability_specs",
            "golden_config", "golden_specs", "load_availability_golden", "load_golden",
-           "load_metro_golden", "metro_config"]
+           "load_metro_golden", "load_trace_golden", "metro_config", "trace_config",
+           "trace_specs"]
 
 GOLDEN_PATH = Path(__file__).with_name("golden_fingerprints.json")
 
@@ -123,4 +125,43 @@ def metro_config() -> ExperimentConfig:
 def load_metro_golden() -> dict:
     """The recorded metro fingerprint file as a dict."""
     with METRO_GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+# -------------------------- imported-trace presets -------------------------
+# The PR 9 archive-import pipeline is pinned end to end: each curated
+# trace preset (a GWF slice, an SWF slice, an FTA availability slice —
+# see docs/trace-formats.md) replays its committed ``data/traces/`` file
+# bit-identically.  Curation is RNG-free, so these fingerprints cover the
+# whole chain: archive parsing -> curation output -> trace replay.
+
+TRACE_GOLDEN_PATH = Path(__file__).with_name("golden_traces.json")
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+TRACE_SCENARIOS = ("gwa-replay-small", "pwa-replay-small", "fta-churn-small")
+
+
+def trace_config(scenario: str) -> ExperimentConfig:
+    """The exact config of one imported-trace golden cell.
+
+    The presets carry repo-root-relative ``data/traces/`` paths; the
+    golden cells absolutize them so the regression job is cwd-independent
+    (paths are not part of the result digest).
+    """
+    base = ExperimentConfig(algorithm="dsmf", seed=1, task_range=(2, 30))
+    cfg = apply_scenario(base, scenario)
+    if cfg.workload_path:
+        cfg = cfg.with_(workload_path=str(_REPO_ROOT / cfg.workload_path))
+    if cfg.availability_path:
+        cfg = cfg.with_(availability_path=str(_REPO_ROOT / cfg.availability_path))
+    return cfg
+
+
+def trace_specs() -> list[tuple[str, ExperimentConfig]]:
+    """``(scenario, config)`` per imported-trace cell, in recording order."""
+    return [(s, trace_config(s)) for s in TRACE_SCENARIOS]
+
+
+def load_trace_golden() -> dict:
+    """The recorded imported-trace fingerprint file as a dict."""
+    with TRACE_GOLDEN_PATH.open() as fh:
         return json.load(fh)

@@ -1,0 +1,58 @@
+"""Record the imported-trace preset golden fingerprints.
+
+Usage::
+
+    PYTHONPATH=src python tests/regression/record_traces.py
+
+Regenerates ``golden_traces.json`` — one result-digest fingerprint per
+curated-trace scenario preset (``gwa-replay-small`` / ``pwa-replay-small``
+/ ``fta-churn-small``).  The committed ``data/traces/`` files these cells
+replay are themselves regenerated deterministically by
+``scripts/curate_trace.py`` (commands in ``data/README.md``), so this
+recorder pins the whole archive-import chain.
+
+Only run this when a PR *intentionally* changes trace-replay semantics or
+re-curates the slices; refactors must replay the existing file
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from regression.golden import TRACE_GOLDEN_PATH, trace_specs  # noqa: E402
+
+from repro.experiments.campaign import result_digest  # noqa: E402
+from repro.grid.system import P2PGridSystem  # noqa: E402
+
+
+def main() -> int:
+    t0 = time.perf_counter()
+    fingerprints: dict[str, str] = {}
+    for scenario, config in trace_specs():
+        t1 = time.perf_counter()
+        result = P2PGridSystem(config).run()
+        fingerprints[scenario] = result_digest(result)
+        print(f"{scenario}: {fingerprints[scenario]} "
+              f"({result.n_done}/{result.n_workflows} done, "
+              f"{time.perf_counter() - t1:.1f}s)")
+    payload = {
+        "_comment": (
+            "Golden result-digest per imported-trace scenario preset; "
+            "recorded by tests/regression/record_traces.py. Re-record only "
+            "for intentional semantic changes or re-curated slices."
+        ),
+        "fingerprints": fingerprints,
+    }
+    TRACE_GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {TRACE_GOLDEN_PATH} ({time.perf_counter() - t0:.1f}s total)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Golden fingerprints for the imported-trace scenario presets.
+
+Replays each curated-trace preset (dsmf, seed 1) and asserts its
+:func:`result_digest` matches ``golden_traces.json`` — pinning the
+archive parsers, the curation outputs committed under ``data/traces/``
+and the trace-replay machinery bit-for-bit, exactly as the other golden
+files pin the synthetic grids.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from regression.golden import (
+    TRACE_SCENARIOS,
+    load_trace_golden,
+    trace_config,
+)
+
+from repro.experiments.campaign import result_digest
+from repro.grid.system import P2PGridSystem
+
+
+def test_golden_file_covers_every_trace_preset():
+    recorded = load_trace_golden()["fingerprints"]
+    assert sorted(recorded) == sorted(TRACE_SCENARIOS), (
+        "golden_traces.json is out of sync with the trace-preset grid; "
+        "re-record via tests/regression/record_traces.py"
+    )
+
+
+def test_committed_trace_slices_exist():
+    for scenario in TRACE_SCENARIOS:
+        cfg = trace_config(scenario)
+        path = cfg.workload_path or cfg.availability_path
+        assert path and Path(path).exists(), (
+            f"{scenario}: committed trace file {path} is missing; "
+            "regenerate it via the commands in data/README.md"
+        )
+
+
+@pytest.mark.parametrize("scenario", TRACE_SCENARIOS)
+def test_replay_matches_trace_fingerprint(scenario):
+    recorded = load_trace_golden()["fingerprints"][scenario]
+    result = P2PGridSystem(trace_config(scenario)).run()
+    assert result.n_workflows > 0
+    assert result_digest(result) == recorded, (
+        f"{scenario} diverged from its recorded fingerprint — an archive "
+        "parser, curation rule or trace-replay change altered the "
+        "simulated outcome; if intentional, re-record via "
+        "tests/regression/record_traces.py and say so in the PR"
+    )

@@ -1,0 +1,220 @@
+"""Edge-case tests for the GWF/SWF/FTA archive parsers and the curation
+round trip (archive -> curated slice -> trace replay -> stable digest)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.campaign import result_digest
+from repro.experiments.config import ExperimentConfig
+from repro.grid.system import P2PGridSystem
+from repro.workload.archives import (
+    ArchiveError,
+    parse_fta,
+    parse_gwf,
+    parse_swf,
+    sniff_format,
+)
+from repro.workload.importers import load_trace
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def gwf_line(job_id, submit, runtime, procs=1, status=1, user=3, extra=0):
+    """One GWF record: the 12 consumed columns plus ``extra`` ignored ones."""
+    fields = [str(job_id), str(submit), "0", str(runtime), str(procs),
+              "-1", "-1", str(procs), "-1", "-1", str(status), str(user)]
+    return " ".join(fields + ["-1"] * extra)
+
+
+def swf_line(job_id, submit, runtime, procs=1, status=1, user=3):
+    """One SWF record: exactly 18 columns, leading 12 shared with GWF."""
+    lead = gwf_line(job_id, submit, runtime, procs, status, user).split()
+    return " ".join(lead + ["-1"] * (18 - len(lead)))
+
+
+def write(tmp_path, name, *lines):
+    path = tmp_path / name
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+# ----------------------------------------------------------- happy paths
+def test_gwf_parses_and_normalizes_unknown_markers(tmp_path):
+    path = write(
+        tmp_path, "a.gwf",
+        "# GWF header",
+        gwf_line("j1", 0, 120.5, procs=4, extra=17),
+        gwf_line("j2", 60, -1, procs=-1, status=0, user=-1),
+    )
+    jobs = list(parse_gwf(path))
+    assert [j.job_id for j in jobs] == ["j1", "j2"]
+    assert jobs[0].completed and jobs[0].n_procs == 4
+    # -1 "unknown" markers normalize to neutral values.
+    assert jobs[1].runtime == 0.0 and jobs[1].n_procs == 1
+    assert jobs[1].user_id == 0 and not jobs[1].completed
+
+
+def test_swf_parses_shared_columns(tmp_path):
+    path = write(tmp_path, "a.swf", "; SWF header", swf_line(7, 10, 300, procs=2))
+    (job,) = parse_swf(path)
+    assert job.job_id == "7" and job.submit_time == 10 and job.runtime == 300
+
+
+def test_fta_parses_intervals(tmp_path):
+    path = write(tmp_path, "a.fta", "# header", "0 1 0 3600", "2 0 100 200")
+    up, down = parse_fta(path)
+    assert up.available and up.end == 3600
+    assert not down.available and (down.start, down.end) == (100, 200)
+
+
+def test_zero_runtime_jobs_are_real_records(tmp_path):
+    path = write(tmp_path, "a.gwf", gwf_line("j0", 0, 0.0))
+    (job,) = parse_gwf(path)
+    assert job.runtime == 0.0 and job.completed
+
+
+# ------------------------------------------------------- malformed input
+def test_truncated_last_line_raises_with_location(tmp_path):
+    path = write(tmp_path, "cut.gwf", gwf_line("j1", 0, 10),
+                 "j2 60 0 10 1 -1")  # download cut mid-record
+    with pytest.raises(ArchiveError, match=r"cut\.gwf:2.*truncated"):
+        list(parse_gwf(path))
+    exc = pytest.raises(ArchiveError, lambda: list(parse_gwf(path)))
+    assert exc.value.line == 2 and exc.value.path.endswith("cut.gwf")
+
+
+def test_swf_wrong_column_count_raises(tmp_path):
+    short = " ".join(swf_line(1, 0, 10).split()[:17])
+    path = write(tmp_path, "short.swf", short)
+    with pytest.raises(ArchiveError, match="18"):
+        list(parse_swf(path))
+
+
+def test_comment_only_files_yield_nothing(tmp_path):
+    assert list(parse_gwf(write(tmp_path, "c.gwf", "# only", "# comments"))) == []
+    assert list(parse_swf(write(tmp_path, "c.swf", "; only", ";"))) == []
+    assert list(parse_fta(write(tmp_path, "c.fta", "# nothing"))) == []
+
+
+def test_out_of_order_submit_times_raise(tmp_path):
+    path = write(tmp_path, "o.gwf", gwf_line("j1", 100, 10), gwf_line("j2", 50, 10))
+    with pytest.raises(ArchiveError, match="out-of-order"):
+        list(parse_gwf(path))
+
+
+def test_negative_submit_time_raises(tmp_path):
+    path = write(tmp_path, "n.gwf", gwf_line("j1", -5, 10))
+    with pytest.raises(ArchiveError, match="negative submit"):
+        list(parse_gwf(path))
+
+
+def test_non_numeric_field_raises(tmp_path):
+    path = write(tmp_path, "x.gwf", gwf_line("j1", "soon", 10))
+    with pytest.raises(ArchiveError, match="non-numeric"):
+        list(parse_gwf(path))
+
+
+@pytest.mark.parametrize("row, message", [
+    ("0 1 0", "malformed FTA"),
+    ("0 7 0 10", "unknown event type"),
+    ("0 1 50 10", "inverted interval"),
+    ("-3 1 0 10", "negative node"),
+])
+def test_fta_malformed_rows_raise(tmp_path, row, message):
+    path = write(tmp_path, "bad.fta", row)
+    with pytest.raises(ArchiveError, match=message):
+        list(parse_fta(path))
+
+
+def test_fta_out_of_order_starts_raise(tmp_path):
+    path = write(tmp_path, "o.fta", "0 0 100 200", "1 0 50 80")
+    with pytest.raises(ArchiveError, match="out-of-order"):
+        list(parse_fta(path))
+
+
+# ----------------------------------------------------------- sniffing
+def test_sniff_by_extension_and_content(tmp_path):
+    assert sniff_format(tmp_path / "x.gwf") == "gwf"
+    assert sniff_format(write(tmp_path, "x.log", "; h", swf_line(1, 0, 5))) == "swf"
+    assert sniff_format(write(tmp_path, "y.log", "0 1 0 10")) == "fta"
+    assert sniff_format(write(tmp_path, "z.log", gwf_line(1, 0, 5))) == "gwf"
+    assert sniff_format(write(tmp_path, "w.log", "one two")) is None
+    assert sniff_format(tmp_path / "missing.log") is None
+
+
+# --------------------------------------------------------- round trip
+def curate(*args):
+    return subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "curate_trace.py"), *map(str, args)],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_full_round_trip_curate_import_run_replay(tmp_path):
+    """GWF archive -> curated slice -> trace replay -> digest-stable."""
+    archive = write(
+        tmp_path, "mini.gwf",
+        "# mini archive",
+        gwf_line("j0", 0, 0.0, procs=1),          # zero-runtime: floored, kept
+        gwf_line("j1", 30, 600, procs=4),          # wide: fork-join
+        gwf_line("j2", 90, 120, status=0),         # failed: dropped
+        gwf_line("j3", 120, 60, user=19),
+    )
+    out = tmp_path / "mini.trace.json"
+    proc = curate("workload", archive, out, "--homes", "8", "--max-width", "3")
+    assert proc.returncode == 0, proc.stderr
+    assert "3 jobs (1 non-completed dropped)" in proc.stdout
+
+    submissions = load_trace(out)
+    assert [s.submit_time for s in submissions] == [0.0, 30.0, 120.0]
+    assert [s.home_id for s in submissions] == [3, 3, 19 % 8]
+    widths = [s.workflow.n_tasks for s in submissions]
+    assert widths[0] == 1          # single-processor job -> single task
+    assert widths[1] > 1           # wide job -> fork-join (capped width)
+
+    cfg = ExperimentConfig(
+        algorithm="dsmf", seed=1, n_nodes=16, total_time=3600.0,
+        workload_source="trace", workload_path=str(out),
+    )
+    first = P2PGridSystem(cfg).run()
+    assert first.n_workflows == 3
+    # Replay is bit-stable: same trace, same digest.
+    assert result_digest(P2PGridSystem(cfg).run()) == result_digest(first)
+
+
+def test_curation_refuses_empty_slices(tmp_path):
+    archive = write(tmp_path, "empty.gwf", "# comments only")
+    proc = curate("workload", archive, tmp_path / "out.json", "--format", "gwf")
+    assert proc.returncode != 0
+    assert "no usable jobs" in proc.stderr
+
+
+def test_curation_reports_archive_errors_with_location(tmp_path):
+    archive = write(tmp_path, "bad.gwf", gwf_line("j1", 100, 5), gwf_line("j2", 1, 5))
+    proc = curate("workload", archive, tmp_path / "out.json")
+    assert proc.returncode != 0
+    assert "bad.gwf:2" in proc.stderr and "out-of-order" in proc.stderr
+
+
+def test_availability_round_trip_remaps_into_volatile_range(tmp_path):
+    archive = write(
+        tmp_path, "mini.fta",
+        "1 1 0 300",          # session 1 of node 1
+        "0 0 100 200",        # explicit downtime of node 0
+        "1 1 500 900",        # session 2: the 300-500 gap = downtime
+    )
+    out = tmp_path / "mini.avail.json"
+    proc = curate("availability", archive, out, "--nodes", "8")
+    assert proc.returncode == 0, proc.stderr
+    from repro.availability import load_availability_trace
+    events = load_availability_trace(out)
+    assert events and all(4 <= e.node <= 7 for e in events)  # volatile half
+    times = {(e.kind, e.time) for e in events}
+    assert ("leave", 100.0) in times and ("join", 200.0) in times
+    assert ("leave", 300.0) in times and ("join", 500.0) in times

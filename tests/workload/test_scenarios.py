@@ -64,3 +64,14 @@ def test_scenario_overrides_are_read_only():
     sc = get_scenario("burst-storm")
     with pytest.raises(TypeError):
         sc.overrides["burst_on"] = 1.0  # type: ignore[index]
+
+
+def test_provenance_distinguishes_synthetic_from_imported():
+    assert get_scenario("paper-fig4").provenance == "synthetic"
+    assert get_scenario("poisson-steady").provenance == "synthetic"
+    assert get_scenario("imported-dag").provenance == "imported-dag"
+    assert get_scenario("trace-replay").provenance == "trace-replay"
+    assert get_scenario("gwa-replay-small").provenance == "trace-replay"
+    assert get_scenario("pwa-replay-small").provenance == "trace-replay"
+    assert get_scenario("fta-churn-small").provenance == "trace-churn"
+    assert get_scenario("trace-churn").provenance == "trace-churn"
