@@ -5,6 +5,7 @@ Usage::
 
     python scripts/service_check.py http://127.0.0.1:8642 first
     python scripts/service_check.py http://127.0.0.1:8642 restarted
+    python scripts/service_check.py http://127.0.0.1:8653 killresume CACHE_DIR
 
 ``first`` runs against a cold server: submit a small campaign, long-poll
 it to completion, re-submit the identical manifest and assert it is
@@ -13,8 +14,13 @@ served entirely from cache, fetch every result by config hash and the
 Prometheus text.  ``restarted`` runs against a *new* server process
 on the same cache/index directories and asserts the persistent index
 still lists the first phase's runs (and that the cache still serves
-them).  Every request carries a timeout, so a dead or wedged server makes
-this script exit non-zero instead of hanging.
+them).  ``killresume`` manages its *own* two server processes: it
+SIGKILLs the first one mid-campaign, restarts on the same directories,
+and asserts the submission journal resumes the campaign under its
+original id with every pre-kill cell replayed from cache and all result
+digests identical to a clean in-process run.  Every request carries a
+timeout, so a dead or wedged server makes this script exit non-zero
+instead of hanging.
 """
 
 from __future__ import annotations
@@ -102,11 +108,112 @@ def phase_restarted(client: ServiceClient) -> None:
     )
 
 
+#: Six cells so the SIGKILL window (after the first journaled completion,
+#: before the last) is seconds wide.
+KILL_MANIFEST = {
+    "algorithms": ["dsmf"],
+    "seeds": [11, 12, 13, 14, 15, 16],
+    "overrides": {"n_nodes": 40, "load_factor": 1, "total_time": 21600.0},
+}
+
+
+def _spawn_server(port: int, cache_dir: str):
+    import subprocess
+
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments.cli", "serve",
+            "--port", str(port), "--jobs", "1", "--cache-dir", cache_dir,
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def phase_killresume(base_url: str, cache_dir: str) -> None:
+    """SIGKILL a server mid-campaign; restart; assert journal resume."""
+    import signal
+    import time
+    from urllib.parse import urlsplit
+
+    from repro.api import run_manifest
+    from repro.service.schemas import manifest_specs as specs_of
+
+    port = urlsplit(base_url).port
+    assert port, f"base URL needs an explicit port: {base_url}"
+
+    # Expected digests from a clean in-process run (no cache, no server).
+    clean = run_manifest(KILL_MANIFEST, use_cache=False)
+    expected = {run.cache_key: run.digest() for run in clean}
+
+    server = _spawn_server(port, cache_dir)
+    client = ServiceClient(base_url, timeout=30.0)
+    try:
+        client.wait_healthy(timeout=60)
+        record = client.submit(KILL_MANIFEST)
+        cid, total = record["id"], record["progress"]["total"]
+        print(f"submitted campaign {cid} ({total} configs)", flush=True)
+        deadline = time.monotonic() + 180
+        while True:
+            record = client.campaign(cid)
+            completed = record["progress"]["completed"]
+            if 1 <= completed < total:
+                break
+            assert record["status"] != "done", (
+                "campaign finished before the kill window; enlarge KILL_MANIFEST"
+            )
+            assert time.monotonic() < deadline, "no completed cell within 180s"
+            time.sleep(0.05)
+        server.send_signal(signal.SIGKILL)
+        server.wait(30)
+        print(f"SIGKILLed server with {completed}/{total} cells done", flush=True)
+    except BaseException:
+        server.kill()
+        server.wait(30)
+        raise
+
+    server = _spawn_server(port, cache_dir)
+    try:
+        client.wait_healthy(timeout=60)
+        health = client.health()
+        assert health["resumed_campaigns"] >= 1, health
+        record = client.wait(cid, timeout=240)
+        assert record["status"] == "done", record
+        assert record["resumed"] is True, record
+        assert record["n_cached"] >= completed, (
+            f"pre-kill cells were re-executed: {record['n_cached']} cached "
+            f"vs {completed} done before the kill"
+        )
+        hashes = {config_hash(s.config) for s in specs_of(KILL_MANIFEST)}
+        for key in sorted(hashes):
+            assert client.result(key)["result_digest"] == expected[key], key
+        print(
+            f"campaign {cid} resumed under its original id: "
+            f"{record['n_cached']}/{total} from cache, all digests match",
+            flush=True,
+        )
+    finally:
+        server.terminate()
+        server.wait(30)
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) != 2 or argv[1] not in ("first", "restarted"):
-        print(f"usage: {sys.argv[0]} BASE_URL first|restarted", file=sys.stderr)
+    if (
+        len(argv) < 2
+        or argv[1] not in ("first", "restarted", "killresume")
+        or (argv[1] == "killresume") != (len(argv) == 3)
+    ):
+        print(
+            f"usage: {sys.argv[0]} BASE_URL first|restarted\n"
+            f"       {sys.argv[0]} BASE_URL killresume CACHE_DIR",
+            file=sys.stderr,
+        )
         return 2
-    base_url, phase = argv
+    base_url, phase = argv[:2]
+    if phase == "killresume":
+        phase_killresume(base_url, argv[2])
+        print(f"phase {phase!r} OK", flush=True)
+        return 0
     client = ServiceClient(base_url, timeout=30.0)
     client.wait_healthy(timeout=60)
     print(f"service healthy at {base_url} (phase: {phase})", flush=True)

@@ -130,6 +130,9 @@ def run_campaign(
     use_cache: bool = True,
     progress: "Optional[Callable[[CampaignRun], None]]" = None,
     scenario: "Optional[str]" = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.25,
+    faults=None,
     **overrides,
 ) -> "CampaignResult":
     """Run an (algorithm × seed) sweep with process fan-out and caching.
@@ -138,8 +141,11 @@ def run_campaign(
     runs are cached on disk keyed by a content hash of the resolved config,
     so re-invocations are near-instant.  ``scenario`` applies a named
     workload preset from :mod:`repro.workload.scenarios` to every cell
-    (keyword ``overrides`` win over the preset).  Any
-    :class:`~repro.experiments.config.ExperimentConfig` field can be
+    (keyword ``overrides`` win over the preset).  Cells killed by a
+    worker-process death are retried up to ``max_retries`` times with
+    exponential backoff (``retry_backoff`` base); ``faults`` injects a
+    deterministic :class:`~repro.faults.FaultPlan` (``None`` = disabled).
+    Any :class:`~repro.experiments.config.ExperimentConfig` field can be
     overridden by keyword (applied to every cell of the sweep)::
 
         from repro import run_campaign
@@ -150,6 +156,7 @@ def run_campaign(
             print(run.label, run.result.summary())
     """
     from repro.experiments.campaign import CampaignRunner, sweep_specs
+    from repro.faults import NULL_FAULTS
 
     if scenario is not None:
         from repro.experiments.config import ExperimentConfig
@@ -158,7 +165,9 @@ def run_campaign(
         base = apply_scenario(base if base is not None else ExperimentConfig(), scenario)
     specs = sweep_specs(algorithms, seeds, base=base, **overrides)
     runner = CampaignRunner(
-        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress
+        jobs=jobs, cache_dir=cache_dir, use_cache=use_cache, progress=progress,
+        max_retries=max_retries, retry_backoff=retry_backoff,
+        faults=NULL_FAULTS if faults is None else faults,
     )
     return runner.run(specs)
 

@@ -27,10 +27,12 @@ import hashlib
 import json
 import os
 import pickle
+import time
 import traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import get_context
 from pathlib import Path
 from time import perf_counter
@@ -38,6 +40,7 @@ from typing import Callable, Mapping, Optional, Sequence
 
 from repro._version import __version__
 from repro.experiments.config import ExperimentConfig
+from repro.faults import NULL_FAULTS
 from repro.metrics.collectors import RunResult
 from repro.obs.telemetry import TelemetrySnapshot
 
@@ -46,6 +49,7 @@ __all__ = [
     "CampaignResult",
     "CampaignRun",
     "CampaignRunner",
+    "QUARANTINE_DIR",
     "RunSpec",
     "config_hash",
     "default_cache_dir",
@@ -70,25 +74,76 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get("REPRO_CAMPAIGN_CACHE", ".repro_cache/campaign"))
 
 
-def load_cached_result(key: str, cache_dir: "str | os.PathLike | None" = None) -> Optional[RunResult]:
+#: Corrupt cache entries are moved here (under the cache dir) instead of
+#: being silently shadowed — kept for postmortems, invisible to the
+#: ``*.pkl`` globs of the index rebuild.
+QUARANTINE_DIR = ".quarantine"
+
+
+def _count(stats: "Optional[dict]", name: str, n: int = 1) -> None:
+    """Increment a counter in an optional stats dict."""
+    if stats is not None:
+        stats[name] = stats.get(name, 0) + n
+
+
+def _quarantine(path: Path, stats: "Optional[dict]" = None) -> None:
+    """Move a corrupt cache entry aside and make the corruption observable."""
+    qdir = path.parent / QUARANTINE_DIR
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / path.name
+        os.replace(path, target)
+        moved = str(target)
+    except OSError:
+        # Can't move (read-only cache, races): the warning still fires.
+        moved = "<unmovable>"
+    _count(stats, "campaign.cache_quarantined")
+    warnings.warn(
+        f"quarantined corrupt cache entry {path} -> {moved}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def load_cached_result(
+    key: str,
+    cache_dir: "str | os.PathLike | None" = None,
+    stats: "Optional[dict]" = None,
+    faults=NULL_FAULTS,
+) -> Optional[RunResult]:
     """Load one cached :class:`RunResult` by its config hash.
 
-    Returns ``None`` on a miss or a corrupt/foreign entry — the service's
-    ``GET /results/{hash}`` route and the index rebuild both depend on
-    this never raising for bad cache files.
+    Returns ``None`` on a miss, an IO error, or a corrupt/foreign entry —
+    the service's ``GET /results/{hash}`` route and the index rebuild both
+    depend on this never raising for bad cache files.  Corrupt entries are
+    *quarantined* (moved to :data:`QUARANTINE_DIR` with a
+    ``RuntimeWarning`` and a counted ``campaign.cache_quarantined`` event)
+    rather than silently shadowed, so a fresh write replaces them and the
+    corruption stays observable.
     """
     cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
     path = cache_dir / f"{key}.pkl"
     if not path.is_file():
         return None
     try:
+        if faults.enabled and faults.check("cache.read") is not None:
+            raise OSError(f"injected cache read error for {key}")
         with path.open("rb") as fh:
             result = pickle.load(fh)
+    except OSError:
+        # Transient IO failure (EIO, permissions, injection): a miss, not
+        # corruption — the entry may read fine next time.
+        _count(stats, "campaign.cache_read_errors")
+        return None
     except Exception:
         # Corrupt/truncated entry (e.g. an interrupted writer on an old
-        # layout): treat as a miss and let a fresh write replace it.
+        # layout): quarantine it and let a fresh write replace it.
+        _quarantine(path, stats)
         return None
-    return result if isinstance(result, RunResult) else None
+    if not isinstance(result, RunResult):
+        _quarantine(path, stats)
+        return None
+    return result
 
 
 # --------------------------------------------------------------------------
@@ -219,6 +274,9 @@ class CampaignRun:
     from_cache: bool
     #: Worker-side execution seconds (0.0 for cache hits).
     wall_seconds: float
+    #: Execution attempts this cell took (0 for cache hits/dedup copies,
+    #: 1 for a clean run, >1 when worker-crash retries were needed).
+    attempts: int = 1
 
     def digest(self) -> str:
         return result_digest(self.result)
@@ -231,6 +289,10 @@ class CampaignResult:
     runs: list[CampaignRun]
     #: End-to-end orchestration seconds (includes cache I/O and pool setup).
     wall_seconds: float
+    #: Robustness counters for *this* run() call (retries, pool rebuilds,
+    #: cache read/write errors, quarantined entries) — empty on the happy
+    #: path, so fingerprints and old pickles are unaffected.
+    stats: dict = field(default_factory=dict)
 
     def __iter__(self):
         return iter(self.runs)
@@ -282,6 +344,10 @@ class CampaignResult:
         merged.gauges["campaign.worker_utilization"] = (
             busy / self.wall_seconds if self.wall_seconds > 0 else 0.0
         )
+        merged.counters["campaign.retries"] = float(self.stats.get("campaign.retries", 0))
+        for name, value in self.stats.items():
+            if name != "campaign.retries":
+                merged.counters[name] = float(value)
         return merged
 
 
@@ -355,17 +421,43 @@ def _default_runner(config: ExperimentConfig) -> RunResult:
     return P2PGridSystem(config).run()
 
 
+#: Exit status for an injected worker-process crash — distinguishable from
+#: a real SIGKILL/OOM in pool stderr, identical in recovery semantics.
+_CRASH_EXIT_CODE = 86
+
+#: Ceiling on the exponential retry backoff (seconds).
+_BACKOFF_CAP = 5.0
+
+
 @dataclass
 class _Outcome:
     index: int
     result: Optional[RunResult]
     wall: float
     error: Optional[str] = None
+    #: True only for worker-*process* deaths (real or injected) — failures
+    #: the retry loop may re-run.  Application exceptions from the runner
+    #: are deterministic and stay non-retryable.
+    retryable: bool = False
+    attempts: int = 1
 
 
-def _execute(item: tuple[int, ExperimentConfig, Callable]) -> _Outcome:
-    """Worker entry point (module-level, hence picklable under spawn)."""
-    index, config, runner = item
+def _execute(item: "tuple[int, ExperimentConfig, Callable, Optional[str]]") -> _Outcome:
+    """Worker entry point (module-level, hence picklable under spawn).
+
+    ``crash`` carries a parent-side fault-plan decision: ``"exit"``
+    hard-kills this worker process (pool mode — the stand-in for an OOM
+    kill, breaking the whole pool), while ``"raise"`` reports a retryable
+    crash outcome instead (inline mode, where ``os._exit`` would take the
+    orchestrator down with it).
+    """
+    index, config, runner, crash = item
+    if crash == "exit":  # pragma: no cover - dies before coverage flushes
+        os._exit(_CRASH_EXIT_CODE)
+    if crash == "raise":
+        return _Outcome(
+            index, None, 0.0, error="injected worker crash (inline)", retryable=True
+        )
     t0 = perf_counter()
     try:
         result = runner(config)
@@ -404,7 +496,21 @@ class CampaignRunner:
     on_start:
         Optional callback invoked with ``(spec, cache_key)`` as each
         *pending* spec (cache miss) is handed to a worker — the status
-        hook the service layer uses for per-config progress.
+        hook the service layer uses for per-config progress.  Fires again
+        on retry rounds.
+    max_retries:
+        How many times a cell killed by a worker-*process* death (real or
+        injected) is re-run before it becomes a permanent failure.
+        Application exceptions raised by ``runner`` are deterministic and
+        never retried.
+    retry_backoff:
+        Base delay (seconds) before a retry round; doubles per round,
+        capped at 5 s.  Set 0 for tests.
+    faults:
+        A :class:`~repro.faults.FaultPlan` (default: the zero-overhead
+        :data:`~repro.faults.NULL_FAULTS`).  Decisions are made
+        parent-side in this single-threaded orchestrator, so a schedule
+        fires deterministically regardless of pool timing or retries.
     """
 
     def __init__(
@@ -416,9 +522,17 @@ class CampaignRunner:
         mp_context: Optional[str] = None,
         progress: Optional[Callable[[CampaignRun], None]] = None,
         on_start: Optional[Callable[[RunSpec, str], None]] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.25,
+        faults=NULL_FAULTS,
+        stats: Optional[dict] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
         self.jobs = jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
         self.use_cache = use_cache
@@ -426,30 +540,67 @@ class CampaignRunner:
         self.mp_context = mp_context
         self.progress = progress
         self.on_start = on_start
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.faults = faults
+        #: Cumulative robustness counters across every run() on this
+        #: runner; each :class:`CampaignResult` carries its own delta in
+        #: ``.stats``.  An externally-supplied dict lets the service
+        #: aggregate across runners for ``/metrics``.
+        self.stats: dict = {} if stats is None else stats
 
     # ----------------------------------------------------------------- cache
     def _cache_path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.pkl"
 
     def _cache_load(self, key: str) -> Optional[RunResult]:
-        return load_cached_result(key, cache_dir=self.cache_dir)
+        return load_cached_result(
+            key, cache_dir=self.cache_dir, stats=self.stats, faults=self.faults
+        )
 
-    def _cache_store(self, key: str, result: RunResult) -> None:
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
+    def _cache_store(self, key: str, result: RunResult) -> bool:
+        """Atomically persist one result: serialize, tmp + fsync + rename.
+
+        Returns ``False`` instead of raising on IO failure — a cache write
+        error must not fail a campaign whose simulation already succeeded.
+        """
         path = self._cache_path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("wb") as fh:
-            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)  # atomic: concurrent campaigns never see partial files
+        try:
+            blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            if self.faults.enabled:
+                if self.faults.check("cache.write") is not None:
+                    raise OSError(f"injected cache write error for {key}")
+                if self.faults.check("cache.corrupt") is not None:
+                    # A torn writer that bypassed the tmp protocol: persist
+                    # a truncated pickle for a later read to quarantine.
+                    blob = blob[: max(1, len(blob) // 3)]
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            with tmp.open("wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)  # atomic: readers never see partial files
+            return True
+        except OSError as exc:
+            _count(self.stats, "campaign.cache_write_errors")
+            warnings.warn(
+                f"cache write failed for {key}: {exc}", RuntimeWarning, stacklevel=2
+            )
+            tmp.unlink(missing_ok=True)
+            return False
 
     # ------------------------------------------------------------------- run
     def run(self, specs: Sequence[RunSpec]) -> CampaignResult:
         """Execute every spec; returns runs in spec order.
 
         Raises :class:`CampaignError` after the sweep drains if any run
-        failed (a crashed worker *process* raises immediately).
+        failed permanently.  Worker-*process* deaths (a broken pool) are
+        retried up to ``max_retries`` times on a rebuilt pool before they
+        count as failures.
         """
         t0 = perf_counter()
+        stats_before = dict(self.stats)
         keys = [config_hash(s.config) for s in specs]
         runs: list[Optional[CampaignRun]] = [None] * len(specs)
 
@@ -471,6 +622,7 @@ class CampaignRunner:
                     cache_key=key,
                     from_cache=True,
                     wall_seconds=0.0,
+                    attempts=0,
                 )
                 self._notify(runs[i])
             else:
@@ -492,6 +644,7 @@ class CampaignRunner:
                 cache_key=keys[i],
                 from_cache=False,
                 wall_seconds=outcome.wall,
+                attempts=outcome.attempts,
             )
             self._notify(runs[i])
 
@@ -509,11 +662,19 @@ class CampaignRunner:
                 cache_key=keys[i],
                 from_cache=first.from_cache,
                 wall_seconds=0.0,
+                attempts=0,
             )
             self._notify(runs[i])
 
         assert all(r is not None for r in runs)
-        return CampaignResult(runs=list(runs), wall_seconds=perf_counter() - t0)
+        delta = {
+            k: v - stats_before.get(k, 0)
+            for k, v in self.stats.items()
+            if v != stats_before.get(k, 0)
+        }
+        return CampaignResult(
+            runs=list(runs), wall_seconds=perf_counter() - t0, stats=delta
+        )
 
     # -------------------------------------------------------------- internals
     def _notify(self, run: CampaignRun) -> None:
@@ -524,34 +685,109 @@ class CampaignRunner:
         if self.on_start is not None:
             self.on_start(spec, key)
 
+    def _make_item(self, i: int, specs, crash_mode: str):
+        """Build one worker item, folding in a parent-side crash decision.
+
+        The ``worker.crash`` check runs here — in the single-threaded
+        orchestrator — so a fault schedule fires on deterministic counts
+        regardless of pool scheduling, and a retried cell is a *fresh*
+        eligible check (letting a plan kill the same cell repeatedly).
+        """
+        crash = None
+        if self.faults.enabled and self.faults.check("worker.crash", key=str(i)) is not None:
+            _count(self.stats, "campaign.injected_crashes")
+            crash = crash_mode
+        return (i, specs[i].config, self.runner, crash)
+
     def _execute_pending(self, specs, keys, pending: list[int]):
-        """Yield one :class:`_Outcome` per pending index (completion order)."""
+        """Yield one :class:`_Outcome` per pending index.
+
+        Fault-tolerant execution: outcomes marked retryable (a worker
+        *process* death, real or injected) are re-run up to
+        ``max_retries`` times with exponential backoff, on a fresh pool —
+        a broken pool is rebuilt between rounds instead of aborting the
+        campaign.  Deterministic application exceptions from the runner
+        fail immediately.  The happy path is exactly one round on exactly
+        one pool, same as before the retry machinery existed.
+        """
         if not pending:
             return
-        items = [(i, specs[i].config, self.runner) for i in pending]
-        if self.jobs == 1 or len(items) == 1:
-            for item in items:
-                self._notify_start(specs[item[0]], keys[item[0]])
-                yield _execute(item)
-            return
+        attempts = dict.fromkeys(pending, 0)
+        queue = list(pending)
+        round_no = 0
+        while queue:
+            if round_no and self.retry_backoff > 0:
+                time.sleep(min(self.retry_backoff * 2 ** (round_no - 1), _BACKOFF_CAP))
+            use_pool = self.jobs > 1 and len(queue) > 1
+            rnd = self._round_pool(specs, keys, queue) if use_pool else self._round_inline(specs, keys, queue)
+            retry: list[int] = []
+            for outcome in rnd:
+                i = outcome.index
+                attempts[i] += 1
+                if (
+                    outcome.error is not None
+                    and outcome.retryable
+                    and attempts[i] <= self.max_retries
+                ):
+                    _count(self.stats, "campaign.retries")
+                    retry.append(i)
+                    continue
+                outcome.attempts = attempts[i]
+                yield outcome
+            queue = sorted(retry)
+            round_no += 1
+
+    def _round_inline(self, specs, keys, queue: list[int]):
+        for i in queue:
+            self._notify_start(specs[i], keys[i])
+            # Inline mode uses the "raise" crash flavor: os._exit here
+            # would kill the orchestrator itself.
+            yield _execute(self._make_item(i, specs, "raise"))
+
+    def _round_pool(self, specs, keys, queue: list[int]):
+        """One submission round on a fresh process pool.
+
+        A worker-process death poisons the whole pool: every unfinished
+        future resolves to :class:`BrokenProcessPool` and later submits
+        raise it too.  Each affected cell becomes a retryable outcome;
+        the next round gets a rebuilt pool.
+        """
         ctx = get_context(self.mp_context) if self.mp_context else None
-        workers = min(self.jobs, len(items))
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(queue)), mp_context=ctx)
+        broke = False
         try:
-            with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-                futures = {}
-                for item in items:
-                    self._notify_start(specs[item[0]], keys[item[0]])
-                    futures[pool.submit(_execute, item)] = item[0]
-                for fut in as_completed(futures):
-                    index = futures[fut]
-                    exc = fut.exception()
-                    if exc is not None:
-                        # A worker *process* died (e.g. OOM-killed): every
-                        # affected future carries BrokenProcessPool.
-                        yield _Outcome(
-                            index, None, 0.0, error=f"{type(exc).__name__}: {exc}"
-                        )
-                    else:
-                        yield fut.result()
-        except BrokenProcessPool as exc:  # pragma: no cover - defensive
-            raise CampaignError([("<pool>", f"worker pool died: {exc}")]) from exc
+            futures: dict = {}
+            unsubmitted: list[tuple[int, BaseException]] = []
+            for i in queue:
+                item = self._make_item(i, specs, "exit")
+                self._notify_start(specs[i], keys[i])
+                try:
+                    futures[pool.submit(_execute, item)] = i
+                except BrokenProcessPool as exc:
+                    unsubmitted.append((i, exc))
+            for fut in as_completed(futures):
+                i = futures[fut]
+                exc = fut.exception()
+                if exc is None:
+                    yield fut.result()
+                    continue
+                retryable = isinstance(exc, BrokenProcessPool)
+                if retryable and not broke:
+                    broke = True
+                    _count(self.stats, "campaign.pool_rebuilds")
+                yield _Outcome(
+                    i, None, 0.0,
+                    error=f"{type(exc).__name__}: {exc}",
+                    retryable=retryable,
+                )
+            for i, exc in unsubmitted:
+                if not broke:
+                    broke = True
+                    _count(self.stats, "campaign.pool_rebuilds")
+                yield _Outcome(
+                    i, None, 0.0,
+                    error=f"{type(exc).__name__}: {exc}",
+                    retryable=True,
+                )
+        finally:
+            pool.shutdown()

@@ -153,6 +153,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect per-run telemetry and print the campaign-wide merged "
              "summary (cache hits, worker utilization, counter totals)",
     )
+    camp.add_argument(
+        "--journal", default=None, metavar="JOURNAL.jsonl",
+        help="crash-safe progress journal: every finished cell is fsynced "
+             "as it completes, so a killed campaign can be resumed",
+    )
+    camp.add_argument(
+        "--resume", action="store_true",
+        help="resume a killed campaign from its --journal: finished cells "
+             "replay from cache (digest-checked against the journal), only "
+             "the unfinished tail re-executes",
+    )
+    camp.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="re-run a cell killed by a worker-process death up to N times "
+             "on a rebuilt pool (default 2; deterministic run errors are "
+             "never retried)",
+    )
+    camp.add_argument(
+        "--retry-backoff", type=float, default=0.25, metavar="SECONDS",
+        help="base delay before a retry round; doubles per round, capped "
+             "at 5s (default 0.25)",
+    )
+    camp.add_argument(
+        "--inject-faults", default=None, metavar="PLAN.json",
+        help="chaos testing: load a deterministic fault plan (see "
+             "docs/robustness.md for the schema) and inject its scheduled "
+             "worker crashes / cache IO errors / journal tears",
+    )
     camp.add_argument("--quiet", action="store_true", help="suppress per-run progress")
 
     sw = sub.add_parser(
@@ -201,6 +229,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="force fresh probes; skip cache reads and writes")
     sw.add_argument("--output", "-o", default=None, metavar="REPORT.json",
                     help="also write the capacity-envelope report as JSON")
+    sw.add_argument(
+        "--journal", default=None, metavar="JOURNAL.jsonl",
+        help="crash-safe progress journal: every finished probe cell is "
+             "fsynced as it completes, so a killed sweep can be resumed",
+    )
+    sw.add_argument(
+        "--resume", action="store_true",
+        help="resume a killed sweep from its --journal: finished probe "
+             "cells replay from cache (digest-checked), the search "
+             "continues from where it died",
+    )
     sw.add_argument("--quiet", action="store_true", help="suppress per-probe progress")
 
     bench = sub.add_parser(
@@ -263,6 +302,13 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--no-cache", action="store_true",
                      help="diagnostics only: force fresh runs (disables the "
                           "cross-campaign coalescing guarantee)")
+    srv.add_argument("--journal", default=None, metavar="JSONL",
+                     help="submission journal enabling restart-resume "
+                          "(default <cache-dir>/service.jsonl)")
+    srv.add_argument("--max-pending", type=int, default=None, metavar="N",
+                     help="bound the backlog: submissions beyond N queued+"
+                          "running campaigns get 429 + Retry-After "
+                          "(default unbounded)")
     srv.add_argument("--verbose", action="store_true",
                      help="log every request to stderr")
 
@@ -406,6 +452,70 @@ def _cmd_campaign(args) -> int:
             base = base.with_(telemetry=True)
     except (TypeError, ValueError) as exc:
         raise SystemExit(f"invalid --set override: {exc}")
+    if args.max_retries < 0:
+        raise SystemExit("--max-retries must be >= 0")
+    faults = None
+    if args.inject_faults:
+        from repro.faults import load_fault_plan
+
+        try:
+            faults = load_fault_plan(args.inject_faults)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"--inject-faults: {exc}")
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal JOURNAL.jsonl")
+    journal = None
+    journal_state = None
+    if args.journal:
+        import os
+
+        from repro.experiments.campaign import config_hash, sweep_specs
+        from repro.experiments.journal import RunJournal, request_identity
+
+        try:
+            cells = [
+                (s.label, config_hash(s.config))
+                for s in sweep_specs(args.algorithms, args.seeds, base=base)
+            ]
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        identity = request_identity("campaign", cells)
+        if args.resume:
+            journal_state = RunJournal.load(args.journal)
+            if journal_state is None:
+                raise SystemExit(f"--resume: no journal at {args.journal}")
+            if journal_state.identity != identity:
+                raise SystemExit(
+                    "--resume: the journal was written by a different request "
+                    "(algorithms/seeds/config/code version changed) — "
+                    "start fresh without --resume"
+                )
+            if not args.quiet:
+                print(
+                    f"resuming: {len(journal_state.done)}/{len(cells)} cells "
+                    "journaled done (replayed from cache)",
+                    file=sys.stderr,
+                )
+        else:
+            # A fresh run truncates any stale journal for this path.
+            try:
+                os.unlink(args.journal)
+            except FileNotFoundError:
+                pass
+        from repro.faults import NULL_FAULTS
+
+        journal = RunJournal(args.journal, faults=faults or NULL_FAULTS)
+        journal.begin(
+            "campaign",
+            identity,
+            {
+                "algorithms": list(args.algorithms),
+                "seeds": [int(s) for s in args.seeds],
+                "profile": args.profile,
+                "scenario": args.scenario,
+                "overrides": {k: repr(v) for k, v in overrides.items()},
+            },
+        )
     progress = None
     if not args.quiet:
         def progress(run):  # noqa: ANN001
@@ -413,6 +523,13 @@ def _cmd_campaign(args) -> int:
             print(f"  [{run.label}] {run.result.n_done}/{run.result.n_workflows} done, "
                   f"ACT={run.result.act:.0f}s AE={run.result.ae:.3f} ({src})",
                   file=sys.stderr)
+    if journal is not None:
+        user_progress = progress
+
+        def progress(run):  # noqa: ANN001
+            journal.record_done(run.cache_key, run.label, run.digest())
+            if user_progress is not None:
+                user_progress(run)
     try:
         campaign = run_campaign(
             algorithms=args.algorithms,
@@ -422,11 +539,43 @@ def _cmd_campaign(args) -> int:
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             progress=progress,
+            max_retries=args.max_retries,
+            retry_backoff=args.retry_backoff,
+            faults=faults,
         )
     except CampaignError as exc:  # run failures (message embeds each one)
         raise SystemExit(str(exc))
     except ValueError as exc:  # bad sweep shape, e.g. repeated seeds
         raise SystemExit(str(exc))
+    finally:
+        if journal is not None:
+            journal.close()
+    if journal is not None:
+        # finish() lazily reopens the closed handle for the final record.
+        journal.finish(campaign.fingerprint())
+        journal.close()
+    if journal_state is not None:
+        mismatched = [
+            run.label
+            for run in campaign
+            if run.cache_key in journal_state.done
+            and run.digest() != journal_state.done[run.cache_key]
+        ]
+        if mismatched:
+            raise SystemExit(
+                "--resume: cached digests diverged from the journal for: "
+                + ", ".join(mismatched)
+            )
+        replayed = sum(
+            1
+            for run in campaign
+            if run.cache_key in journal_state.done and run.from_cache
+        )
+        print(
+            f"resume verified: {replayed} journaled cells replayed from "
+            "cache, digests match",
+            file=sys.stderr,
+        )
     headers = ["run", "finished", "ACT (s)", "AE", "source"]
     rows = [
         [
@@ -486,6 +635,54 @@ def _cmd_sweep(args) -> int:
         overrides = _parse_overrides(args.overrides)
     except (TypeError, ValueError) as exc:
         raise SystemExit(f"invalid --set override: {exc}")
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal JOURNAL.jsonl")
+    journal = None
+    journal_state = None
+    mismatched: list[str] = []
+    if args.journal:
+        import os
+
+        from repro import __version__
+        from repro.experiments.campaign import CACHE_SCHEMA
+        from repro.experiments.journal import RunJournal, request_identity
+
+        request = {
+            "scenarios": list(args.scenarios),
+            "algorithms": list(args.algorithms),
+            "seeds": [int(s) for s in settings.seeds],
+            "threshold": settings.threshold,
+            "resolution": settings.resolution,
+            "max_scale": settings.max_scale,
+            "overrides": {k: repr(v) for k, v in sorted(overrides.items())},
+            "profile": args.profile,
+            "quick": bool(args.quick),
+            "version": __version__,
+            "cache_schema": CACHE_SCHEMA,
+        }
+        identity = request_identity("sweep", request)
+        if args.resume:
+            journal_state = RunJournal.load(args.journal)
+            if journal_state is None:
+                raise SystemExit(f"--resume: no journal at {args.journal}")
+            if journal_state.identity != identity:
+                raise SystemExit(
+                    "--resume: the journal was written by a different sweep "
+                    "request — start fresh without --resume"
+                )
+            if not args.quiet:
+                print(
+                    f"resuming: {len(journal_state.done)} probe cells "
+                    "journaled done (replayed from cache)",
+                    file=sys.stderr,
+                )
+        else:
+            try:
+                os.unlink(args.journal)
+            except FileNotFoundError:
+                pass
+        journal = RunJournal(args.journal)
+        journal.begin("sweep", identity, request)
     progress = None
     if not args.quiet:
         def progress(scenario, algorithm, probe):  # noqa: ANN001
@@ -495,6 +692,16 @@ def _cmd_sweep(args) -> int:
                   f"{probe.n_done}/{probe.n_workflows} done "
                   f"(rate {probe.completion_rate:.3f}, {verdict}, {src})",
                   file=sys.stderr)
+    run_progress = None
+    if journal is not None:
+        def run_progress(run):  # noqa: ANN001
+            digest = run.digest()
+            journal.record_done(run.cache_key, run.label, digest)
+            if (
+                journal_state is not None
+                and journal_state.done.get(run.cache_key, digest) != digest
+            ):
+                mismatched.append(run.label)
     try:
         report = run_sweep(
             args.scenarios,
@@ -505,6 +712,7 @@ def _cmd_sweep(args) -> int:
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             progress=progress,
+            run_progress=run_progress,
             **overrides,
         )
     except SweepError as exc:
@@ -513,6 +721,19 @@ def _cmd_sweep(args) -> int:
         raise SystemExit(str(exc))
     except (TypeError, ValueError) as exc:
         raise SystemExit(f"invalid sweep request: {exc}")
+    finally:
+        if journal is not None:
+            journal.close()
+    if journal is not None:
+        from repro.experiments.journal import request_identity as _report_hash
+
+        journal.finish(_report_hash("sweep-report", report))
+        journal.close()
+    if mismatched:
+        raise SystemExit(
+            "--resume: cached digests diverged from the journal for: "
+            + ", ".join(sorted(set(mismatched)))
+        )
     print(format_envelope(report))
     total = sum(
         cell["n_probes"]
@@ -631,6 +852,8 @@ def _cmd_serve(args) -> int:
 
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
+    if args.max_pending is not None and args.max_pending < 1:
+        raise SystemExit("--max-pending must be >= 1")
     return serve(
         host=args.host,
         port=args.port,
@@ -639,6 +862,8 @@ def _cmd_serve(args) -> int:
         index_path=args.index,
         jobs=args.jobs,
         use_cache=not args.no_cache,
+        journal_path=args.journal,
+        max_pending=args.max_pending,
     )
 
 

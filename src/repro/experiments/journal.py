@@ -1,0 +1,216 @@
+"""Crash-safe run journal: ``repro campaign --resume`` / ``repro sweep --resume``.
+
+A multi-hour campaign killed at cell 37/48 should not restart from cell
+one.  The cache already guarantees the *results* survive (each finished
+cell is an atomically-written ``<hash>.pkl``); what a crash loses is the
+*bookkeeping* — which cells of which request were done, and what their
+digests were.  The journal persists exactly that, one JSON object per
+line, flushed and fsynced per record, so a ``SIGKILL`` can lose at most
+the record being written and never corrupts earlier ones:
+
+``begin``
+    opens a journal: the request's *identity hash* (a content hash of the
+    ordered cell labels + config hashes, so ``--resume`` refuses a
+    journal from a different request) plus a human-readable request echo.
+``done``
+    one per finished cell: config hash, label, result digest.
+``finish``
+    the campaign completed; carries the final fingerprint.
+
+Resume = load the journal, verify identity, re-run the same request
+against the same cache: journaled-done cells replay as cache hits (no
+re-execution), and their digests are checked against the journaled ones —
+a mismatch means the cache changed identity mid-campaign and is an error,
+not a warning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional
+
+from repro.faults import NULL_FAULTS
+
+__all__ = ["JournalState", "RunJournal", "request_identity"]
+
+JOURNAL_SCHEMA = 1
+
+
+def request_identity(kind: str, payload) -> str:
+    """Content hash identifying one campaign/sweep request.
+
+    For a campaign, ``payload`` is the ordered ``(label, config_hash)``
+    grid — covering the algorithms, seeds, scenario, overrides, code
+    version, and cache schema (all folded into each config hash), plus
+    the grid order.  For a sweep it is the JSON request dict.
+    """
+    blob = json.dumps([kind, payload], sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class JournalState:
+    """What a loaded journal says happened so far."""
+
+    kind: str
+    identity: str
+    request: dict
+    #: config_hash -> result digest for every journaled-done cell.
+    done: dict = field(default_factory=dict)
+    finished: bool = False
+    fingerprint: Optional[str] = None
+    #: Unparseable lines skipped on load (torn tail writes).
+    skipped_lines: int = 0
+
+
+class RunJournal:
+    """Append-side journal handle for one campaign/sweep process.
+
+    Not thread-safe — the CLI writes from the single-threaded
+    orchestrator's progress callback.  ``faults`` may inject
+    ``index.append`` tears; recovery (drop the handle, keep going,
+    terminate the torn tail on reopen) is the same code path a real
+    ``ENOSPC`` would take.
+    """
+
+    def __init__(self, path: "str | os.PathLike", faults=NULL_FAULTS):
+        self.path = Path(path)
+        self.faults = faults
+        self._fh = None
+        #: Appends that failed (torn writes); the in-memory campaign is
+        #: unaffected, the next append reopens and repairs the tail.
+        self.append_errors = 0
+
+    # ------------------------------------------------------------- writing
+    def _handle(self):
+        """Lazily (re)open for append, terminating any torn tail first."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            needs_newline = False
+            if self.path.is_file() and self.path.stat().st_size > 0:
+                with self.path.open("rb") as fh:
+                    fh.seek(-1, os.SEEK_END)
+                    needs_newline = fh.read(1) != b"\n"
+            self._fh = self.path.open("a", encoding="utf-8")
+            if needs_newline:
+                self._fh.write("\n")
+        return self._fh
+
+    def _append(self, record: Mapping) -> None:
+        line = json.dumps(dict(record), sort_keys=True, separators=(",", ":"))
+        try:
+            fh = self._handle()
+            if self.faults.enabled and self.faults.check("index.append") is not None:
+                # A torn write: half the line lands on disk, no newline,
+                # and the writer sees an IO error — exactly what a crash
+                # or full disk leaves behind.
+                fh.write(line[: max(1, len(line) // 2)])
+                fh.flush()
+                raise OSError("injected torn journal append")
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        except OSError:
+            self.append_errors += 1
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                except OSError:  # pragma: no cover - double-fault close
+                    pass
+                self._fh = None
+
+    def begin(self, kind: str, identity: str, request: Mapping) -> None:
+        self._append(
+            {
+                "event": "begin",
+                "schema": JOURNAL_SCHEMA,
+                "kind": kind,
+                "identity": identity,
+                "request": dict(request),
+            }
+        )
+
+    def record_done(self, key: str, label: str, digest: str) -> None:
+        self._append({"event": "done", "key": key, "label": label, "digest": digest})
+
+    def finish(self, fingerprint: str) -> None:
+        self._append({"event": "finish", "fingerprint": fingerprint})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- loading
+    @staticmethod
+    def load(path: "str | os.PathLike") -> Optional[JournalState]:
+        """Parse a journal; ``None`` if it doesn't exist or has no valid
+        ``begin`` record.  Corrupt lines (torn tails) are skipped, and a
+        later ``begin`` resets the state (a resumed run re-begins)."""
+        path = Path(path)
+        if not path.is_file():
+            return None
+        state: Optional[JournalState] = None
+        skipped = 0
+        with path.open("r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    skipped += 1
+                    continue
+                if not isinstance(rec, dict):
+                    skipped += 1
+                    continue
+                event = rec.get("event")
+                if event == "begin":
+                    if (
+                        rec.get("schema") == JOURNAL_SCHEMA
+                        and isinstance(rec.get("kind"), str)
+                        and isinstance(rec.get("identity"), str)
+                    ):
+                        # Done cells carry across a re-begin only when it
+                        # is the *same* request resuming.
+                        done = (
+                            state.done
+                            if state is not None and state.identity == rec["identity"]
+                            else {}
+                        )
+                        state = JournalState(
+                            kind=rec["kind"],
+                            identity=rec["identity"],
+                            request=dict(rec.get("request") or {}),
+                            done=done,
+                        )
+                    else:
+                        skipped += 1
+                elif state is None:
+                    skipped += 1
+                elif event == "done":
+                    key, digest = rec.get("key"), rec.get("digest")
+                    if isinstance(key, str) and isinstance(digest, str):
+                        state.done[key] = digest
+                    else:
+                        skipped += 1
+                elif event == "finish":
+                    state.finished = True
+                    fp = rec.get("fingerprint")
+                    state.fingerprint = fp if isinstance(fp, str) else None
+                else:
+                    skipped += 1
+        if state is not None:
+            state.skipped_lines = skipped
+        return state

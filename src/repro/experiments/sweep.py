@@ -31,6 +31,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.experiments.campaign import CampaignRunner, RunSpec
 from repro.experiments.config import ExperimentConfig
+from repro.faults import NULL_FAULTS
 
 __all__ = [
     "SWEEP_SCHEMA",
@@ -169,6 +170,10 @@ def run_sweep(
     mp_context: Optional[str] = None,
     run_progress: Optional[Callable] = None,
     run_on_start: Optional[Callable] = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.25,
+    faults=NULL_FAULTS,
+    stats: Optional[dict] = None,
     **overrides,
 ) -> dict:
     """Bisect every (scenario × heuristic) cell to its saturation scale.
@@ -181,7 +186,8 @@ def run_sweep(
     :class:`CampaignRunner` callbacks (the service layer's status hooks).
     All probes of a cell run through one shared :class:`CampaignRunner`,
     so they are content-hash cached and an interrupted sweep resumes for
-    free.
+    free; ``max_retries``/``retry_backoff``/``faults``/``stats`` forward
+    to that runner (see :class:`CampaignRunner`).
     """
     if not scenarios:
         raise SweepError("need at least one scenario")
@@ -196,6 +202,8 @@ def run_sweep(
     campaign_runner = CampaignRunner(
         jobs=jobs, cache_dir=cache_dir, use_cache=use_cache,
         mp_context=mp_context, progress=run_progress, on_start=run_on_start,
+        max_retries=max_retries, retry_backoff=retry_backoff,
+        faults=faults, stats=stats,
         **kwargs,
     )
     bases = {name: _resolve_base(name, base, overrides) for name in scenarios}

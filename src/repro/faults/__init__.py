@@ -1,0 +1,24 @@
+"""Deterministic fault injection for the campaign/service stack.
+
+See :mod:`repro.faults.plan` for the design.  The usual imports::
+
+    from repro.faults import NULL_FAULTS, FaultPlan, FaultSpec
+"""
+
+from repro.faults.plan import (
+    NULL_FAULTS,
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    NullFaultPlan,
+    load_fault_plan,
+)
+
+__all__ = [
+    "NULL_FAULTS",
+    "FaultPlan",
+    "FaultSpec",
+    "NullFaultPlan",
+    "SITES",
+    "load_fault_plan",
+]

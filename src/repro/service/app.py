@@ -27,7 +27,12 @@ thread per connection) while simulation work stays on the queue's single
 worker thread — submissions return immediately with ``202 Accepted`` and
 clients poll (or long-poll).  Every error path returns a structured JSON
 body (``{"error": {"code", "message", ...}}``); manifest validation
-failures are 4xx by construction and can never wedge the worker.
+failures are 4xx by construction and can never wedge the worker.  With
+``--max-pending`` the backlog is bounded: submissions beyond it get
+``429`` + a ``Retry-After`` header instead of unbounded queueing.
+Accepted submissions are journaled (``<cache_dir>/service.jsonl``), so a
+killed server resumes its unfinished campaigns — original ids, finished
+cells replayed from cache — on the next start against the same dirs.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from __future__ import annotations
 import json
 import re
 import signal
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -44,9 +50,11 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro._version import __version__
 from repro.experiments.campaign import default_cache_dir, load_cached_result
+from repro.faults import NULL_FAULTS
 from repro.obs.telemetry import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.service.index import ExperimentIndex
-from repro.service.queue import CampaignQueue
+from repro.service.journal import ServiceJournal
+from repro.service.queue import CampaignQueue, QueueFullError
 from repro.service.schemas import ManifestError, parse_manifest, result_to_dict
 
 __all__ = [
@@ -137,7 +145,14 @@ def _route_label(method: str, path: str) -> str:
 
 
 class ServiceState:
-    """Shared service state: the cache, the index, and the queue."""
+    """Shared service state: the cache, the index, the journal, the queue.
+
+    ``journal_path`` defaults to ``<cache_dir>/service.jsonl`` — restart
+    the service on the same directories and every submitted-but-unfinished
+    campaign resumes under its original id.  ``max_pending`` bounds the
+    backlog (submissions beyond it get 429 + ``Retry-After``); ``faults``
+    is the injection plan (default: the zero-overhead null plan).
+    """
 
     def __init__(
         self,
@@ -147,16 +162,23 @@ class ServiceState:
         runner: Optional[Callable] = None,
         use_cache: bool = True,
         mp_context: Optional[str] = None,
+        journal_path=None,
+        max_pending: Optional[int] = None,
+        faults=NULL_FAULTS,
     ):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
         if index_path is None:
             index_path = self.cache_dir / "experiments.jsonl"
-        self.index = ExperimentIndex(index_path)
+        self.faults = faults
+        self.index = ExperimentIndex(index_path, faults=faults)
         #: Cache entries the journal didn't know about (CLI runs against
         #: the same cache dir, or a fresh/lost journal) — recovered here so
         #: the index survives restarts even without its journal.
         self.index_rebuilt = self.index.rebuild_from_cache(self.cache_dir)
         self.metrics = ServiceMetrics()
+        if journal_path is None:
+            journal_path = self.cache_dir / "service.jsonl"
+        self.journal = ServiceJournal(journal_path)
         self.queue = CampaignQueue(
             cache_dir=self.cache_dir,
             index=self.index,
@@ -164,7 +186,12 @@ class ServiceState:
             runner=runner,
             use_cache=use_cache,
             mp_context=mp_context,
+            journal=self.journal,
+            max_pending=max_pending,
+            faults=faults,
         )
+        #: Campaigns replayed from the submission journal at startup.
+        self.resumed_campaigns = len(self.journal.unfinished)
 
     def start(self) -> None:
         self.queue.start()
@@ -172,6 +199,7 @@ class ServiceState:
     def close(self, timeout: Optional[float] = 30.0) -> None:
         self.queue.stop(timeout)
         self.index.close()
+        self.journal.close()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -183,24 +211,42 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[dict] = None,
+    ) -> None:
         self._status = status  # recorded by the request-metrics wrapper
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        self._send_body(status, json.dumps(payload).encode("utf-8"), "application/json")
+    def _send_json(
+        self, status: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
+        self._send_body(
+            status, json.dumps(payload).encode("utf-8"), "application/json",
+            headers=headers,
+        )
 
     def _send_error_json(
-        self, status: int, code: str, message: str, field: Optional[str] = None
+        self,
+        status: int,
+        code: str,
+        message: str,
+        field: Optional[str] = None,
+        headers: Optional[dict] = None,
     ) -> None:
         error = {"code": code, "message": message}
         if field is not None:
             error["field"] = field
-        self._send_json(status, {"error": error})
+        self._send_json(status, {"error": error}, headers=headers)
 
     # --------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -210,13 +256,32 @@ class _Handler(BaseHTTPRequestHandler):
         self._timed("POST", self._route_post)
 
     def _timed(self, method: str, route_fn: Callable[[str, dict], None]) -> None:
-        """Dispatch one request, recording count + latency for /metrics."""
+        """Dispatch one request, recording count + latency for /metrics.
+
+        The ``http.*`` fault sites live here, ahead of routing: an
+        injected ``http.slow`` stalls the response, an injected
+        ``http.reset`` drops the connection without one (recorded with
+        status 0) — what a client sees from a server dying mid-request.
+        """
         parts = urlsplit(self.path)
         path = parts.path.rstrip("/") or "/"
         query = parse_qs(parts.query)
         self._status = 500  # overwritten by _send_body on any response
         t0 = time.perf_counter()
         try:
+            faults = self.server.state.faults
+            if faults.enabled:
+                spec = faults.check("http.slow")
+                if spec is not None:
+                    time.sleep(spec.delay)
+                if faults.check("http.reset") is not None:
+                    self._status = 0
+                    self.close_connection = True
+                    try:
+                        self.connection.shutdown(socket.SHUT_RDWR)
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+                    return
             route_fn(path, query)
         finally:
             self.server.state.metrics.observe(
@@ -235,6 +300,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "campaigns": len(state.queue),
                     "experiments": len(state.index),
                     "index_rebuilt": state.index_rebuilt,
+                    "resumed_campaigns": state.resumed_campaigns,
                 },
             )
             return
@@ -313,6 +379,7 @@ class _Handler(BaseHTTPRequestHandler):
         """The full Prometheus exposition: HTTP counters + service gauges."""
         state = self.server.state
         counts = state.queue.status_counts()
+        robust = state.queue.stats
         families = state.metrics.families() + [
             (
                 "repro_service_campaigns",
@@ -331,6 +398,51 @@ class _Handler(BaseHTTPRequestHandler):
                 "counter",
                 "index entries recovered from the cache at startup",
                 [(None, float(state.index_rebuilt))],
+            ),
+            (
+                "repro_service_resumed_campaigns_total",
+                "counter",
+                "campaigns replayed from the submission journal at startup",
+                [(None, float(state.resumed_campaigns))],
+            ),
+            (
+                "repro_campaign_retries_total",
+                "counter",
+                "campaign cells re-run after a worker-process death",
+                [(None, float(robust.get("campaign.retries", 0)))],
+            ),
+            (
+                "repro_campaign_pool_rebuilds_total",
+                "counter",
+                "broken process pools rebuilt between retry rounds",
+                [(None, float(robust.get("campaign.pool_rebuilds", 0)))],
+            ),
+            (
+                "repro_cache_quarantined_total",
+                "counter",
+                "corrupt cache entries moved to the quarantine directory",
+                [(None, float(robust.get("campaign.cache_quarantined", 0)))],
+            ),
+            (
+                "repro_cache_io_errors_total",
+                "counter",
+                "cache read/write IO errors absorbed, by direction",
+                [
+                    ({"op": "read"}, float(robust.get("campaign.cache_read_errors", 0))),
+                    ({"op": "write"}, float(robust.get("campaign.cache_write_errors", 0))),
+                ],
+            ),
+            (
+                "repro_index_append_errors_total",
+                "counter",
+                "experiment-index journal appends that failed (torn writes)",
+                [(None, float(state.index.append_errors))],
+            ),
+            (
+                "repro_faults_injected_total",
+                "counter",
+                "faults fired by the active injection plan (0 when disabled)",
+                [(None, float(state.faults.fired_count()))],
             ),
         ]
         return render_prometheus(families)
@@ -359,6 +471,15 @@ class _Handler(BaseHTTPRequestHandler):
         except ManifestError as exc:
             status = 413 if exc.code == "body-too-large" else 400
             self._send_error_json(status, exc.code, exc.message, exc.field)
+            return
+        except QueueFullError as exc:
+            # Overload protection: the serial worker is saturated.  429 is
+            # safe to retry (nothing was accepted); Retry-After tells the
+            # client when a slot should free up.
+            self._send_error_json(
+                429, "queue-full", str(exc),
+                headers={"Retry-After": f"{exc.retry_after:g}"},
+            )
             return
         record["url"] = f"/campaigns/{record['id']}"
         self._send_json(202, record)

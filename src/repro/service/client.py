@@ -12,12 +12,18 @@ also the easiest programmatic entry point::
         print(run["label"], client.result(run["config_hash"])["act"])
 
 Every request carries a timeout, so a dead or wedged server surfaces as
-an exception instead of a hang.
+an exception instead of a hang.  Transient failures are retried where
+that is safe: idempotent GETs on connection errors (reset, refused, torn
+response) with capped jittered exponential backoff, and *any* method on
+``429``/``503`` — the server rejected before doing work — honoring the
+``Retry-After`` header when one is sent.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -25,25 +31,78 @@ from typing import Mapping, Optional
 
 __all__ = ["ServiceClient", "ServiceError"]
 
+#: Statuses that are safe to retry for any method: the server refused the
+#: request before acting on it (overload / not ready).
+_RETRY_STATUSES = (429, 503)
+
 
 class ServiceError(RuntimeError):
     """A non-2xx response; carries the server's structured error body."""
 
-    def __init__(self, status: int, code: str, message: str):
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ):
         super().__init__(f"HTTP {status} [{code}]: {message}")
         self.status = status
         self.code = code
         self.message = message
+        #: Parsed ``Retry-After`` header (seconds), when the server sent one.
+        self.retry_after = retry_after
 
 
 class ServiceClient:
-    """Minimal blocking client (urllib; no extra dependencies)."""
+    """Minimal blocking client (urllib; no extra dependencies).
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    Parameters
+    ----------
+    timeout:
+        Per-request socket timeout.
+    retries:
+        Transient-failure retries per request (0 disables).  Connection
+        errors are only retried on GETs — a torn POST may have been
+        accepted, and resubmitting it would double-submit; 429/503 are
+        retried for any method.
+    backoff:
+        Base retry delay; doubles per attempt, capped at ``backoff_cap``,
+        jittered ±50% so concurrent clients don't retry in lockstep.
+        ``Retry-After`` from the server overrides the computed delay.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff: float = 0.25,
+        backoff_cap: float = 5.0,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 0 or backoff_cap < 0:
+            raise ValueError("backoff delays must be >= 0")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random()
 
     # ------------------------------------------------------------ plumbing
+    def _sleep_before_retry(self, attempt: int, retry_after: Optional[float]) -> None:
+        """Capped exponential backoff with ±50% jitter; the server's
+        ``Retry-After`` wins when present."""
+        if retry_after is not None:
+            delay = min(retry_after, self.backoff_cap)
+        else:
+            delay = min(self.backoff * 2**attempt, self.backoff_cap)
+            delay *= 0.5 + self._rng.random()
+        if delay > 0:
+            time.sleep(delay)
+
     def _request(
         self,
         method: str,
@@ -57,26 +116,41 @@ class ServiceClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.base_url + path, data=data, method=method, headers=headers
-        )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout if timeout is None else timeout
-            ) as response:
-                body = response.read().decode("utf-8")
-                return body if raw else json.loads(body)
-        except urllib.error.HTTPError as exc:
-            body = exc.read()
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                self.base_url + path, data=data, method=method, headers=headers
+            )
             try:
-                error = json.loads(body.decode("utf-8")).get("error", {})
-            except ValueError:
-                error = {}
-            raise ServiceError(
-                exc.code,
-                error.get("code", "http-error"),
-                error.get("message", body.decode("utf-8", errors="replace")[:200]),
-            ) from None
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout if timeout is None else timeout
+                ) as response:
+                    body = response.read().decode("utf-8")
+                    return body if raw else json.loads(body)
+            except urllib.error.HTTPError as exc:
+                body = exc.read()
+                try:
+                    error = json.loads(body.decode("utf-8")).get("error", {})
+                except ValueError:
+                    error = {}
+                retry_after = _parse_retry_after(exc.headers.get("Retry-After"))
+                err = ServiceError(
+                    exc.code,
+                    error.get("code", "http-error"),
+                    error.get("message", body.decode("utf-8", errors="replace")[:200]),
+                    retry_after=retry_after,
+                )
+                if exc.code in _RETRY_STATUSES and attempt < self.retries:
+                    self._sleep_before_retry(attempt, retry_after)
+                    continue
+                raise err from None
+            except (urllib.error.URLError, http.client.HTTPException, OSError):
+                # Connection-level failure: reset, refused, torn response.
+                # Only GETs are safely repeatable — a torn POST may have
+                # been accepted server-side.
+                if method == "GET" and attempt < self.retries:
+                    self._sleep_before_retry(attempt, None)
+                    continue
+                raise
 
     # -------------------------------------------------------------- routes
     def health(self) -> dict:
@@ -139,22 +213,27 @@ class ServiceClient:
     def wait(self, campaign_id: str, timeout: float = 120.0, poll: float = 5.0) -> dict:
         """Long-poll until the campaign reaches ``done``/``failed``.
 
-        Each round trip parks on the server up to ``poll`` seconds and
-        returns the instant the campaign changes state, so completion is
-        seen with no polling lag.  The last-seen ``version`` rides along
-        on every poll, closing the race where a transition lands between
-        two round trips (without it, such a poll parks the full ``poll``
-        seconds despite the change having already happened).  Raises
-        :class:`TimeoutError` if the campaign isn't terminal within
-        ``timeout`` seconds (the hung-request guard the CI job relies on).
+        Each round trip parks on the server up to roughly ``poll`` seconds
+        and returns the instant the campaign changes state, so completion
+        is seen with no polling lag.  The actual park time is jittered
+        ±25% per round trip — N clients started together (the stress
+        benchmark, a CI fan-out) would otherwise re-poll on the same tick
+        forever, hitting the server in synchronized herds.  The last-seen
+        ``version`` rides along on every poll, closing the race where a
+        transition lands between two round trips (without it, such a poll
+        parks the full ``poll`` seconds despite the change having already
+        happened).  Raises :class:`TimeoutError` if the campaign isn't
+        terminal within ``timeout`` seconds (the hung-request guard the CI
+        job relies on).
         """
         deadline = time.monotonic() + timeout
         version: Optional[int] = None
         while True:
             remaining = deadline - time.monotonic()
+            jittered = poll * (0.75 + 0.5 * self._rng.random())
             record = self.campaign(
                 campaign_id,
-                wait=max(0.0, min(poll, remaining)),
+                wait=max(0.0, min(jittered, remaining)),
                 version=version,
             )
             if record["status"] in ("done", "failed"):
@@ -179,3 +258,14 @@ class ServiceClient:
                         f"service at {self.base_url} not healthy after {timeout:.0f}s"
                     ) from None
                 time.sleep(poll)
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """Parse a ``Retry-After`` header (delta-seconds form only)."""
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None
+    return max(0.0, seconds)

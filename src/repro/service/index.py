@@ -24,6 +24,8 @@ import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping, Optional
 
+from repro.faults import NULL_FAULTS
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.metrics.collectors import RunResult
 
@@ -66,13 +68,18 @@ def entry_from_result(
 class ExperimentIndex:
     """Thread-safe persistent index of completed experiments."""
 
-    def __init__(self, path: "str | os.PathLike"):
+    def __init__(self, path: "str | os.PathLike", faults=NULL_FAULTS):
         self.path = Path(path)
+        self.faults = faults
         self._lock = threading.Lock()
         #: config_hash -> latest entry; insertion order = first-seen order.
         self._entries: dict[str, dict] = {}
         #: Journal lines that failed to parse on load (torn tail writes).
         self.skipped_lines = 0
+        #: Appends that failed with an IO error (torn writes).  The
+        #: in-memory listing keeps the entry; the next append reopens the
+        #: journal and terminates the torn tail.
+        self.append_errors = 0
         self._fh = None
         self._load()
 
@@ -115,16 +122,38 @@ class ExperimentIndex:
 
     # -------------------------------------------------------------- access
     def record(self, entry: Mapping) -> None:
-        """Append one entry to the journal (flush + fsync) and the listing."""
+        """Append one entry to the journal (flush + fsync) and the listing.
+
+        An append IO error (real ``ENOSPC``/``EIO`` or an injected
+        ``index.append`` tear) never loses the in-memory entry and never
+        propagates — the handle is dropped so the next append reopens the
+        journal and terminates the torn tail first.
+        """
         entry = dict(entry)
         if not isinstance(entry.get("config_hash"), str):
             raise ValueError("index entries need a string config_hash")
         line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
         with self._lock:
-            fh = self._journal()
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+            try:
+                fh = self._journal()
+                if (
+                    self.faults.enabled
+                    and self.faults.check("index.append") is not None
+                ):
+                    fh.write(line[: max(1, len(line) // 2)])
+                    fh.flush()
+                    raise OSError("injected torn index append")
+                fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            except OSError:
+                self.append_errors += 1
+                if self._fh is not None:
+                    try:
+                        self._fh.close()
+                    except OSError:  # pragma: no cover - double-fault close
+                        pass
+                    self._fh = None
             self._entries[entry["config_hash"]] = entry
 
     def entries(self) -> list[dict]:

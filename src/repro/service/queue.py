@@ -28,13 +28,27 @@ from repro.experiments.campaign import (
     CampaignRunner,
     config_hash,
 )
+from repro.faults import NULL_FAULTS
 from repro.service.index import ExperimentIndex, entry_from_result
 from repro.service.schemas import manifest_specs, sweep_request
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.campaign import CampaignRun, RunSpec
+    from repro.service.journal import ServiceJournal
 
-__all__ = ["CampaignQueue", "CampaignState", "RunState"]
+__all__ = ["CampaignQueue", "CampaignState", "QueueFullError", "RunState"]
+
+
+class QueueFullError(RuntimeError):
+    """The queue is at its bounded depth; try again after ``retry_after``."""
+
+    def __init__(self, depth: int, retry_after: float):
+        self.depth = depth
+        self.retry_after = retry_after
+        super().__init__(
+            f"queue is full ({depth} campaigns queued or running); "
+            f"retry after {retry_after:g}s"
+        )
 
 
 @dataclass
@@ -88,6 +102,9 @@ class CampaignState:
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     version: int = 0
+    #: True when this campaign was recreated from the submission journal
+    #: after a server restart (it keeps its original id).
+    resumed: bool = False
 
     def to_dict(self, with_runs: bool = True) -> dict:
         completed = sum(1 for r in self.runs if r.status == "done")
@@ -103,6 +120,7 @@ class CampaignState:
             "progress": {"completed": completed, "total": len(self.runs)},
             "n_cached": sum(1 for r in self.runs if r.from_cache),
             "version": self.version,
+            "resumed": self.resumed,
         }
         if with_runs:
             out["runs"] = [r.to_dict() for r in self.runs]
@@ -129,6 +147,20 @@ class CampaignQueue:
     use_cache:
         Disable only in diagnostics — without the cache the coalescing
         guarantee degrades to within-campaign dedup.
+    journal:
+        Optional :class:`~repro.service.journal.ServiceJournal`.  When
+        given, accepted submissions are journaled before the client sees
+        them, and any submitted-but-unfinished campaign from a previous
+        process is recreated (original id, ``resumed`` flag) and
+        re-enqueued — finished cells replay from cache.
+    max_pending:
+        Overload bound: when this many campaigns are queued or running, a
+        new submission raises :class:`QueueFullError` (the HTTP layer
+        turns it into ``429`` + ``Retry-After``) instead of growing the
+        backlog without limit.  ``None`` = unbounded.
+    faults:
+        A :class:`~repro.faults.FaultPlan` forwarded to every runner
+        (default: the zero-overhead null plan).
     """
 
     def __init__(
@@ -139,13 +171,24 @@ class CampaignQueue:
         runner: Optional[Callable] = None,
         use_cache: bool = True,
         mp_context: Optional[str] = None,
+        journal: "Optional[ServiceJournal]" = None,
+        max_pending: Optional[int] = None,
+        faults=NULL_FAULTS,
     ):
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
         self.cache_dir = cache_dir
         self.index = index
         self.jobs = jobs
         self.runner = runner
         self.use_cache = use_cache
         self.mp_context = mp_context
+        self.journal = journal
+        self.max_pending = max_pending
+        self.faults = faults
+        #: Robustness counters aggregated across every campaign runner
+        #: (retries, pool rebuilds, cache errors) — exposed on /metrics.
+        self.stats: dict = {}
         self._queue: _queuemod.Queue = _queuemod.Queue()
         self._campaigns: dict[str, CampaignState] = {}
         self._lock = threading.RLock()
@@ -155,6 +198,49 @@ class CampaignQueue:
         self._seq = 0
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        if journal is not None:
+            self._seq = journal.max_seq
+            self._replay(journal.unfinished)
+
+    def _replay(self, unfinished: "list[dict]") -> None:
+        """Recreate journaled unfinished campaigns under their original ids.
+
+        Manifests were validated at submission; one that no longer
+        validates (schema drift across an upgrade) is journaled as failed
+        rather than wedging the queue.
+        """
+        for entry in unfinished:
+            cid, kind, manifest = entry["id"], entry["kind"], entry["manifest"]
+            try:
+                if kind == "sweep":
+                    payload: object = sweep_request(manifest)
+                    runs: list[RunState] = []
+                else:
+                    specs = manifest_specs(manifest)
+                    payload = specs
+                    runs = [RunState(s.label, config_hash(s.config)) for s in specs]
+            except Exception as exc:
+                if self.journal is not None:
+                    self.journal.finished(cid, "failed")
+                self._campaigns[cid] = CampaignState(
+                    id=cid,
+                    manifest=dict(manifest),
+                    kind=kind,
+                    status="failed",
+                    error=f"resume: manifest no longer valid: {exc}",
+                    submitted_at=time.time(),
+                    resumed=True,
+                )
+                continue
+            self._campaigns[cid] = CampaignState(
+                id=cid,
+                manifest=dict(manifest),
+                kind=kind,
+                runs=runs,
+                submitted_at=time.time(),
+                resumed=True,
+            )
+            self._queue.put((kind, cid, payload))
 
     # ----------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -178,11 +264,13 @@ class CampaignQueue:
         """Validate a manifest, enqueue the campaign, return its status.
 
         Raises :class:`~repro.service.schemas.ManifestError` on any
-        validation failure — nothing invalid ever reaches the worker.
+        validation failure — nothing invalid ever reaches the worker —
+        and :class:`QueueFullError` when the bounded queue is at depth.
         """
         specs = manifest_specs(manifest)
         runs = [RunState(s.label, config_hash(s.config)) for s in specs]
         with self._lock:
+            self._check_capacity()
             self._seq += 1
             cid = f"c{self._seq:06d}"
             state = CampaignState(
@@ -193,6 +281,8 @@ class CampaignQueue:
             )
             self._campaigns[cid] = state
             snapshot = state.to_dict()
+        if self.journal is not None:
+            self.journal.submitted(cid, "campaign", manifest)
         self._queue.put(("campaign", cid, specs))
         return snapshot
 
@@ -206,10 +296,11 @@ class CampaignQueue:
         on the state's ``report`` field.  Raises
         :class:`~repro.service.schemas.ManifestError` on any validation
         failure — including trace-replay scenarios, whose arrival rate a
-        sweep cannot scale.
+        sweep cannot scale — and :class:`QueueFullError` at depth.
         """
         request = sweep_request(manifest)
         with self._lock:
+            self._check_capacity()
             self._seq += 1
             cid = f"c{self._seq:06d}"
             state = CampaignState(
@@ -220,8 +311,27 @@ class CampaignQueue:
             )
             self._campaigns[cid] = state
             snapshot = state.to_dict()
+        if self.journal is not None:
+            self.journal.submitted(cid, "sweep", manifest)
         self._queue.put(("sweep", cid, request))
         return snapshot
+
+    def _check_capacity(self) -> None:
+        """Reject a submission when the backlog is at ``max_pending``.
+
+        Called under ``self._lock``.  ``Retry-After`` scales with the
+        backlog: one serial slot frees per campaign, so a deeper queue
+        advertises a longer wait (capped at 30 s).
+        """
+        if self.max_pending is None:
+            return
+        active = sum(
+            1
+            for s in self._campaigns.values()
+            if s.status in ("queued", "running")
+        )
+        if active >= self.max_pending:
+            raise QueueFullError(active, min(30.0, float(max(1, active))))
 
     def get(
         self,
@@ -279,12 +389,14 @@ class CampaignQueue:
 
     # ------------------------------------------------------------- worker
     def _worker(self) -> None:
-        while True:
+        # Graceful drain: the stop check precedes each dequeue, so a
+        # SIGTERM finishes the campaign in flight but leaves the queued
+        # backlog to the submission journal (replayed on next start)
+        # instead of racing to drain it inside the shutdown window.
+        while not self._stop.is_set():
             try:
                 kind, cid, payload = self._queue.get(timeout=0.2)
             except _queuemod.Empty:
-                if self._stop.is_set():
-                    return
                 continue
             try:
                 if kind == "sweep":
@@ -373,6 +485,8 @@ class CampaignQueue:
             mp_context=self.mp_context,
             progress=on_done,
             on_start=on_start,
+            faults=self.faults,
+            stats=self.stats,
             **kwargs,
         )
         try:
@@ -391,7 +505,10 @@ class CampaignQueue:
         finally:
             with self._lock:
                 state.finished_at = time.time()
+                final = state.status
                 self._bump(state)
+            if self.journal is not None:
+                self.journal.finished(cid, final)
 
     def _process_sweep(self, cid: str, request: dict) -> None:
         from repro.experiments.sweep import SweepError, SweepSettings, run_sweep
@@ -448,6 +565,8 @@ class CampaignQueue:
                 mp_context=self.mp_context,
                 run_progress=on_done,
                 run_on_start=on_start,
+                faults=self.faults,
+                stats=self.stats,
                 **kwargs,
                 **request["overrides"],
             )
@@ -466,4 +585,7 @@ class CampaignQueue:
         finally:
             with self._lock:
                 state.finished_at = time.time()
+                final = state.status
                 self._bump(state)
+            if self.journal is not None:
+                self.journal.finished(cid, final)

@@ -1,0 +1,33 @@
+"""Tiny-scale config helpers shared by the chaos tests (kept out of
+conftest so test modules can import them without package plumbing)."""
+
+from __future__ import annotations
+
+from repro.experiments.campaign import RunSpec, sweep_specs
+from repro.experiments.config import ExperimentConfig
+
+TINY = dict(
+    n_nodes=24,
+    load_factor=1,
+    total_time=4 * 3600.0,
+    task_range=(2, 10),
+)
+
+TINY_MANIFEST = {
+    "algorithms": ["dsmf"],
+    "seeds": [5],
+    "overrides": {
+        "n_nodes": 24,
+        "load_factor": 1,
+        "total_time": 6 * 3600.0,
+        "task_range": [2, 10],
+    },
+}
+
+
+def tiny_config(**overrides) -> ExperimentConfig:
+    return ExperimentConfig(**{**TINY, **overrides})
+
+
+def tiny_specs(algorithms=("dsmf", "dheft"), seeds=(1, 2)) -> "list[RunSpec]":
+    return sweep_specs(algorithms, seeds, base=tiny_config())

@@ -1,0 +1,173 @@
+"""Campaigns under injected fault schedules.
+
+The acceptance bar: a schedule of worker crashes, cache corruptions and a
+torn journal append must leave the campaign's fingerprint **bit-identical**
+to a fault-free run, with every distinct config executed effectively once
+(coalesced through the content-addressed cache)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.campaign import (
+    QUARANTINE_DIR,
+    CampaignError,
+    CampaignRunner,
+    RunSpec,
+)
+from repro.experiments.journal import RunJournal, request_identity
+from repro.faults import FaultPlan, FaultSpec
+
+from chaos_helpers import tiny_specs
+
+
+def test_acceptance_schedule_bit_identical(tmp_path):
+    """3 worker crashes + 2 corrupt cache writes + 1 torn journal append."""
+    specs = tiny_specs(algorithms=("dsmf", "dheft"), seeds=(1, 2, 3))  # 6 cells
+    clean = CampaignRunner(jobs=1, use_cache=False).run(specs)
+
+    plan = FaultPlan([
+        # Crash three distinct cells on their first attempt (keyed by the
+        # sweep-cell index, so retries are fresh eligible checks).
+        FaultSpec("worker.crash", at=1, key="0"),
+        FaultSpec("worker.crash", at=1, key="2"),
+        FaultSpec("worker.crash", at=1, key="5"),
+        # Tear two of the six cache writes (quarantined on the next read).
+        FaultSpec("cache.corrupt", at=2),
+        FaultSpec("cache.corrupt", at=5),
+        # Tear one journal append mid-line.
+        FaultSpec("index.append", at=3),
+    ])
+    cache = tmp_path / "cache"
+    journal = RunJournal(tmp_path / "run.jsonl", faults=plan)
+    identity = request_identity("campaign", [(s.label, "") for s in specs])
+    journal.begin("campaign", identity, {})
+    runner = CampaignRunner(
+        jobs=1, cache_dir=cache, max_retries=2, retry_backoff=0.0,
+        faults=plan,
+        progress=lambda run: journal.record_done(run.cache_key, run.label, run.digest()),
+    )
+    chaotic = runner.run(specs)
+    journal.finish(chaotic.fingerprint())
+    journal.close()
+
+    # Identical results despite the whole schedule firing.
+    assert chaotic.fingerprint() == clean.fingerprint()
+    assert plan.fired_count("worker.crash") == 3
+    assert plan.fired_count("cache.corrupt") == 2
+    assert plan.fired_count("index.append") == 1
+    assert chaotic.stats["campaign.injected_crashes"] == 3
+    assert chaotic.stats["campaign.retries"] == 3
+    crashed = [run for run in chaotic.runs if run.attempts > 1]
+    assert len(crashed) == 3
+
+    # Exactly-once per distinct config hash: one cache entry per cell.
+    assert len(list(cache.glob("*.pkl"))) == len(specs)
+    assert journal.append_errors == 1
+    state = RunJournal.load(tmp_path / "run.jsonl")
+    assert state.finished and state.fingerprint == chaotic.fingerprint()
+    assert len(state.done) == len(specs) - 1  # the torn append lost one
+
+    # Second pass: the two torn entries are quarantined on read and
+    # re-executed; the other four replay as hits.  Fingerprint unchanged.
+    with pytest.warns(RuntimeWarning, match="quarantined corrupt cache entry"):
+        second = CampaignRunner(jobs=1, cache_dir=cache).run(specs)
+    assert second.fingerprint() == clean.fingerprint()
+    assert second.n_cached == len(specs) - 2
+    assert second.stats["campaign.cache_quarantined"] == 2
+    assert len(list((cache / QUARANTINE_DIR).glob("*.pkl"))) == 2
+
+    # Third pass: fresh writes replaced the quarantined entries.
+    third = CampaignRunner(jobs=1, cache_dir=cache).run(specs)
+    assert third.n_cached == len(specs)
+    assert third.fingerprint() == clean.fingerprint()
+
+
+def test_pool_chaos_bit_identical(tmp_path):
+    """Injected worker.crash under a real process pool: os._exit breaks
+    the pool; rebuilt pools re-run the victims to identical results."""
+    specs = tiny_specs(algorithms=("dsmf",), seeds=(1, 2, 3))
+    clean = CampaignRunner(jobs=1, use_cache=False).run(specs)
+    plan = FaultPlan([FaultSpec("worker.crash", at=1, key="1")])
+    chaotic = CampaignRunner(
+        jobs=2, use_cache=False, mp_context="fork",
+        max_retries=2, retry_backoff=0.0, faults=plan,
+    ).run(specs)
+    assert chaotic.fingerprint() == clean.fingerprint()
+    assert plan.fired_count("worker.crash") == 1
+    assert chaotic.stats["campaign.pool_rebuilds"] >= 1
+    victim = chaotic.runs[1]
+    assert victim.attempts >= 2
+
+
+def test_crash_every_attempt_exhausts_retries():
+    specs = tiny_specs(algorithms=("dsmf",), seeds=(1, 2))
+    # Cell 0 dies on every one of its first 10 attempts; retries cap out.
+    plan = FaultPlan([FaultSpec("worker.crash", at=1, count=10, key="0")])
+    runner = CampaignRunner(
+        jobs=1, use_cache=False, max_retries=2, retry_backoff=0.0, faults=plan
+    )
+    with pytest.raises(CampaignError) as err:
+        runner.run(specs)
+    assert len(err.value.failures) == 1
+    assert "injected worker crash" in str(err.value)
+    assert runner.stats["campaign.retries"] == 2  # both retries consumed
+
+
+def test_cache_read_error_is_a_counted_miss(tmp_path):
+    specs = tiny_specs(algorithms=("dsmf",), seeds=(1,))
+    CampaignRunner(jobs=1, cache_dir=tmp_path).run(specs)
+    plan = FaultPlan([FaultSpec("cache.read", at=1)])
+    runner = CampaignRunner(jobs=1, cache_dir=tmp_path, faults=plan)
+    campaign = runner.run(specs)
+    assert campaign.n_cached == 0  # the read error forced a re-run
+    assert campaign.stats["campaign.cache_read_errors"] == 1
+    # The entry itself is intact: the next run hits.
+    assert CampaignRunner(jobs=1, cache_dir=tmp_path).run(specs).n_cached == 1
+
+
+def test_cache_write_error_does_not_fail_the_campaign(tmp_path):
+    specs = tiny_specs(algorithms=("dsmf",), seeds=(1,))
+    plan = FaultPlan([FaultSpec("cache.write", at=1)])
+    runner = CampaignRunner(jobs=1, cache_dir=tmp_path, faults=plan)
+    with pytest.warns(RuntimeWarning, match="cache write failed"):
+        campaign = runner.run(specs)
+    assert campaign.stats["campaign.cache_write_errors"] == 1
+    assert len(list(tmp_path.glob("*.pkl"))) == 0  # nothing half-written
+    # No tmp turds left behind either.
+    assert not [p for p in tmp_path.iterdir() if p.suffix != ".pkl"]
+
+
+def test_dedup_coalesces_under_chaos(tmp_path):
+    """Duplicate specs still execute once even when that one execution
+    needed crash retries."""
+    base = tiny_specs(algorithms=("dsmf",), seeds=(1,))[0]
+    specs = [base, RunSpec("again", base.config)]
+    plan = FaultPlan([FaultSpec("worker.crash", at=1, key="0")])
+    campaign = CampaignRunner(
+        jobs=1, cache_dir=tmp_path, max_retries=2, retry_backoff=0.0, faults=plan
+    ).run(specs)
+    assert campaign.runs[0].result is campaign.runs[1].result
+    assert campaign.runs[0].attempts == 2
+    assert campaign.runs[1].attempts == 0  # the coalesced copy never ran
+    assert len(list(tmp_path.glob("*.pkl"))) == 1
+
+
+def test_retry_stats_surface_in_telemetry_summary():
+    specs = tiny_specs(algorithms=("dsmf",), seeds=(1,))
+    plan = FaultPlan([FaultSpec("worker.crash", at=1, key="0")])
+    campaign = CampaignRunner(
+        jobs=1, use_cache=False, max_retries=1, retry_backoff=0.0, faults=plan
+    ).run(specs)
+    summary = campaign.telemetry_summary()
+    assert summary.counters["campaign.retries"] == 1.0
+    assert summary.counters["campaign.injected_crashes"] == 1.0
+
+
+def test_null_faults_leave_stats_empty(tmp_path):
+    """The disabled plane is invisible: no stats keys, no fired log, and
+    the fingerprint matches a pre-fault-plane run by construction."""
+    specs = tiny_specs(algorithms=("dsmf",), seeds=(1,))
+    campaign = CampaignRunner(jobs=1, cache_dir=tmp_path).run(specs)
+    assert campaign.stats == {}
+    assert campaign.telemetry_summary().counters["campaign.retries"] == 0.0

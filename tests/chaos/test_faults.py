@@ -1,0 +1,126 @@
+"""Unit tests for the fault plan itself: scheduling, determinism, the
+null object, and (de)serialisation."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.faults import NULL_FAULTS, SITES, FaultPlan, FaultSpec, load_fault_plan
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("cache.explode")
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec("cache.read", at=0)
+        with pytest.raises(ValueError, match="count"):
+            FaultSpec("cache.read", count=0)
+        with pytest.raises(ValueError, match="delay"):
+            FaultSpec("http.slow", delay=-1.0)
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec("http.slow", at=3, count=2, key="7", delay=0.5)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+        with pytest.raises(ValueError, match="unknown FaultSpec field"):
+            FaultSpec.from_dict({"site": "cache.read", "when": 2})
+
+
+class TestFaultPlanCheck:
+    def test_fires_on_the_nth_check(self):
+        plan = FaultPlan([FaultSpec("cache.read", at=3)])
+        assert plan.check("cache.read") is None
+        assert plan.check("cache.read") is None
+        assert plan.check("cache.read") is not None
+        assert plan.check("cache.read") is None
+        assert plan.fired == [("cache.read", None, 3)]
+
+    def test_count_window_fires_consecutively(self):
+        plan = FaultPlan([FaultSpec("worker.crash", at=2, count=2)])
+        fired = [plan.check("worker.crash") is not None for _ in range(5)]
+        assert fired == [False, True, True, False, False]
+
+    def test_keyed_specs_count_per_key(self):
+        plan = FaultPlan([FaultSpec("worker.crash", at=2, key="b")])
+        # Global checks of other keys never advance key "b"'s counter.
+        assert plan.check("worker.crash", key="a") is None
+        assert plan.check("worker.crash", key="a") is None
+        assert plan.check("worker.crash", key="b") is None  # b's 1st
+        assert plan.check("worker.crash", key="b") is not None  # b's 2nd
+        assert plan.fired_count("worker.crash") == 1
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan([FaultSpec("cache.read", at=1)])
+        assert plan.check("cache.write") is None
+        assert plan.check("cache.read") is not None
+        assert plan.fired_count() == 1
+        assert plan.fired_count("cache.write") == 0
+
+    def test_rejects_non_specs(self):
+        with pytest.raises(TypeError):
+            FaultPlan([{"site": "cache.read"}])
+
+
+class TestSeeded:
+    def test_same_seed_same_schedule(self):
+        kwargs = dict(worker_crashes=3, cache_corruptions=2, torn_appends=1)
+        a = FaultPlan.seeded(42, **kwargs)
+        b = FaultPlan.seeded(42, **kwargs)
+        assert a.to_dict() == b.to_dict()
+        assert FaultPlan.seeded(43, **kwargs).to_dict() != a.to_dict()
+
+    def test_counts_land_in_horizon(self):
+        plan = FaultPlan.seeded(7, worker_crashes=4, horizon=6)
+        ats = [s.at for s in plan.specs]
+        assert len(ats) == len(set(ats)) == 4
+        assert all(1 <= at <= 6 for at in ats)
+
+    def test_overfull_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            FaultPlan.seeded(1, worker_crashes=9, horizon=8)
+
+
+class TestNullPlan:
+    def test_disabled_and_inert(self):
+        assert NULL_FAULTS.enabled is False
+        assert NULL_FAULTS.check("cache.read") is None
+        assert NULL_FAULTS.check("worker.crash", key="0") is None
+        assert NULL_FAULTS.fired_count() == 0
+        assert NULL_FAULTS.fired == ()
+
+    def test_every_site_is_documented(self):
+        # The null object must stay in sync with the site table.
+        assert len(SITES) == 7
+        for site in SITES:
+            assert NULL_FAULTS.check(site) is None
+
+
+class TestSerialisation:
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan.seeded(11, worker_crashes=2, slow_responses=1)
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        loaded = load_fault_plan(path)
+        assert loaded.to_dict() == plan.to_dict()
+
+    def test_load_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_fault_plan(bad)
+        bad.write_text('{"schema": 99, "specs": []}')
+        with pytest.raises(ValueError, match="schema"):
+            load_fault_plan(bad)
+        bad.write_text('{"schema": 1, "specs": "nope"}')
+        with pytest.raises(ValueError, match="specs"):
+            load_fault_plan(bad)
+
+    def test_pickle_resets_counters(self):
+        plan = FaultPlan([FaultSpec("cache.read", at=1)])
+        assert plan.check("cache.read") is not None
+        copy = pickle.loads(pickle.dumps(plan))
+        assert copy.specs == plan.specs
+        assert copy.fired == []
+        assert copy.check("cache.read") is not None

@@ -1,0 +1,124 @@
+"""Crash-safety tests for the two JSONL journals: the campaign/sweep run
+journal (``--resume``) and the service submission journal."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.journal import RunJournal, request_identity
+from repro.faults import FaultPlan, FaultSpec
+from repro.service.journal import ServiceJournal
+
+
+class TestRequestIdentity:
+    def test_deterministic_and_sensitive(self):
+        cells = [("dsmf#s1", "abc"), ("dsmf#s2", "def")]
+        assert request_identity("campaign", cells) == request_identity("campaign", cells)
+        assert request_identity("campaign", cells) != request_identity("sweep", cells)
+        assert request_identity("campaign", cells) != request_identity(
+            "campaign", list(reversed(cells))
+        )
+
+
+class TestRunJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        identity = request_identity("campaign", [("a", "h1")])
+        with RunJournal(path) as journal:
+            journal.begin("campaign", identity, {"algorithms": ["dsmf"]})
+            journal.record_done("h1", "a", "digest-1")
+            journal.finish("fp")
+        state = RunJournal.load(path)
+        assert state.kind == "campaign"
+        assert state.identity == identity
+        assert state.done == {"h1": "digest-1"}
+        assert state.finished and state.fingerprint == "fp"
+        assert state.skipped_lines == 0
+
+    def test_load_missing_or_headerless(self, tmp_path):
+        assert RunJournal.load(tmp_path / "nope.jsonl") is None
+        orphan = tmp_path / "orphan.jsonl"
+        orphan.write_text('{"event":"done","key":"h","digest":"d"}\n')
+        assert RunJournal.load(orphan) is None
+
+    def test_torn_tail_is_skipped_and_repaired(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.begin("campaign", "id", {})
+            journal.record_done("h1", "a", "d1")
+        # Simulate a writer killed mid-append: half a record, no newline.
+        with path.open("a") as fh:
+            fh.write('{"event":"done","key":"h2"')
+        state = RunJournal.load(path)
+        assert state.done == {"h1": "d1"}
+        assert state.skipped_lines == 1
+        # A resuming writer terminates the torn tail before appending.
+        with RunJournal(path) as journal:
+            journal.record_done("h3", "c", "d3")
+        state = RunJournal.load(path)
+        assert state.done == {"h1": "d1", "h3": "d3"}
+
+    def test_rebegin_same_identity_keeps_done(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.begin("campaign", "same", {})
+            journal.record_done("h1", "a", "d1")
+            journal.begin("campaign", "same", {})  # a --resume re-begins
+            journal.record_done("h2", "b", "d2")
+        assert RunJournal.load(path).done == {"h1": "d1", "h2": "d2"}
+
+    def test_rebegin_different_identity_resets_done(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.begin("campaign", "one", {})
+            journal.record_done("h1", "a", "d1")
+            journal.begin("campaign", "two", {})
+        assert RunJournal.load(path).done == {}
+
+    def test_injected_torn_append_recovers(self, tmp_path):
+        plan = FaultPlan([FaultSpec("index.append", at=2)])
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, faults=plan) as journal:
+            journal.begin("campaign", "id", {})
+            journal.record_done("h1", "a", "d1")  # torn (check #2 fires)
+            journal.record_done("h2", "b", "d2")  # reopens, repairs, lands
+            assert journal.append_errors == 1
+        assert plan.fired_count("index.append") == 1
+        state = RunJournal.load(path)
+        assert state.done == {"h2": "d2"}
+        assert state.skipped_lines == 1
+
+
+class TestServiceJournal:
+    def test_unfinished_survive_and_seq_advances(self, tmp_path):
+        path = tmp_path / "service.jsonl"
+        journal = ServiceJournal(path)
+        journal.submitted("c000001", "campaign", {"algorithms": ["dsmf"]})
+        journal.submitted("c000002", "sweep", {"scenarios": ["poisson-steady"]})
+        journal.finished("c000001", "done")
+        journal.close()
+
+        reloaded = ServiceJournal(path)
+        assert reloaded.max_seq == 2
+        assert [rec["id"] for rec in reloaded.unfinished] == ["c000002"]
+        assert reloaded.unfinished[0]["kind"] == "sweep"
+        reloaded.close()
+
+    def test_torn_tail_skipped(self, tmp_path):
+        path = tmp_path / "service.jsonl"
+        journal = ServiceJournal(path)
+        journal.submitted("c000001", "campaign", {"a": 1})
+        journal.close()
+        with path.open("a") as fh:
+            fh.write('{"event":"submitted","id":"c0000')
+        reloaded = ServiceJournal(path)
+        assert reloaded.skipped_lines == 1
+        assert [rec["id"] for rec in reloaded.unfinished] == ["c000001"]
+        # The reopened writer terminates the torn tail first, so the new
+        # record lands on its own parseable line.
+        reloaded.finished("c000001", "done")
+        reloaded.close()
+        assert json.loads(path.read_text().splitlines()[-1])["event"] == "finished"
+        final = ServiceJournal(path)
+        assert final.unfinished == []
+        final.close()

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import os
 import pickle
+from pathlib import Path
 
 import pytest
 
@@ -240,6 +242,78 @@ class TestFailures:
     def test_jobs_must_be_positive(self):
         with pytest.raises(ValueError):
             CampaignRunner(jobs=0)
+
+    def test_retry_knobs_validated(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(max_retries=-1)
+        with pytest.raises(ValueError):
+            CampaignRunner(retry_backoff=-0.1)
+
+
+# --------------------------------------------------------------------------
+# Worker-process death (BrokenProcessPool) and retry recovery
+# --------------------------------------------------------------------------
+
+def _exit_hard(config):
+    # A worker-process death mid-run (the stand-in for an OOM kill):
+    # poisons the whole pool, not just this future.
+    os._exit(86)
+
+
+def _exit_once(config):
+    """Die the first time each seed is attempted, succeed on the retry.
+
+    Cross-process state via marker files (workers are fresh processes);
+    the parent points REPRO_TEST_DIE_ONCE at a tmp dir before forking.
+    """
+    from repro.experiments.campaign import _default_runner
+
+    marker = Path(os.environ["REPRO_TEST_DIE_ONCE"]) / f"s{config.seed}"
+    try:
+        marker.touch(exist_ok=False)
+    except FileExistsError:
+        return _default_runner(config)
+    os._exit(86)
+
+
+class TestPoolCrashes:
+    def test_pool_death_fails_fast_without_retries(self):
+        specs = tiny_specs(algorithms=("dsmf",), seeds=(1, 2))
+        runner = CampaignRunner(
+            jobs=2, use_cache=False, runner=_exit_hard,
+            mp_context="fork", max_retries=0,
+        )
+        with pytest.raises(CampaignError) as err:
+            runner.run(specs)
+        assert "BrokenProcessPool" in str(err.value)
+        assert runner.stats.get("campaign.retries", 0) == 0
+
+    def test_pool_death_exhausts_retries(self):
+        specs = tiny_specs(algorithms=("dsmf",), seeds=(1, 2))
+        runner = CampaignRunner(
+            jobs=2, use_cache=False, runner=_exit_hard,
+            mp_context="fork", max_retries=1, retry_backoff=0.0,
+        )
+        with pytest.raises(CampaignError) as err:
+            runner.run(specs)
+        # Both cells failed after a retry round on a rebuilt pool.
+        assert len(err.value.failures) == 2
+        assert runner.stats["campaign.pool_rebuilds"] >= 1
+        assert runner.stats["campaign.retries"] >= 1
+
+    def test_pool_death_retry_recovers(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_DIE_ONCE", str(tmp_path))
+        specs = tiny_specs(algorithms=("dsmf",), seeds=(1, 2))
+        clean = CampaignRunner(jobs=1, use_cache=False).run(specs)
+        crashed = CampaignRunner(
+            jobs=2, use_cache=False, runner=_exit_once,
+            mp_context="fork", max_retries=2, retry_backoff=0.0,
+        ).run(specs)
+        # Identical results despite every cell's first attempt dying.
+        assert crashed.fingerprint() == clean.fingerprint()
+        assert all(run.attempts >= 2 for run in crashed.runs)
+        assert crashed.stats["campaign.retries"] >= 2
+        assert crashed.stats["campaign.pool_rebuilds"] >= 1
 
 
 # --------------------------------------------------------------------------
